@@ -1,0 +1,43 @@
+GO ?= go
+
+.PHONY: all build test race cover bench figures examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/... .
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure (tables + ASCII charts + CSV series).
+figures:
+	$(GO) run ./cmd/vodbench -fig all -runs 20 -csv results/csv | tee results/vodbench-full.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/placement-planner
+	$(GO) run ./examples/rejection-sweep
+	$(GO) run ./examples/scalable-bitrate
+	$(GO) run ./examples/failure-recovery
+	$(GO) run ./examples/dynamic-replication
+	$(GO) run ./examples/hierarchical-sites
+
+fuzz:
+	$(GO) test -run=Fuzz -fuzz=FuzzLoad -fuzztime=30s ./internal/config/
+	$(GO) test -run=Fuzz -fuzz=FuzzTraceLoad -fuzztime=30s ./internal/workload/
+	$(GO) test -run=Fuzz -fuzz=FuzzApportion -fuzztime=30s ./internal/apportion/
+
+clean:
+	rm -f cover.out

@@ -1,0 +1,450 @@
+package main
+
+import (
+	"fmt"
+
+	"vodcluster"
+	"vodcluster/internal/analytic"
+	"vodcluster/internal/anneal"
+	"vodcluster/internal/avail"
+	"vodcluster/internal/config"
+	"vodcluster/internal/core"
+	"vodcluster/internal/disk"
+	"vodcluster/internal/dynrep"
+	"vodcluster/internal/hierarchy"
+	"vodcluster/internal/place"
+	"vodcluster/internal/report"
+	"vodcluster/internal/sim"
+	"vodcluster/internal/stats"
+	"vodcluster/internal/striped"
+	"vodcluster/internal/workload"
+)
+
+// figureAvail exercises the paper's availability motivation (§1, §3.2):
+// under server failures, the replication degree buys session survival.
+// It reports the measured failure rate (rejected + dropped sessions) per
+// degree together with the analytic unavailable-request mass Σ p_i·u^{r_i}.
+func figureAvail(cfg benchConfig) error {
+	fmt.Println("\n=== Availability: session failure rate vs replication degree under server failures ===")
+	f := &avail.FailureModel{MTBF: 10 * core.Hour, MTTR: 30 * core.Minute}
+	fmt.Printf("failure model: MTBF %.1f h, MTTR %.0f min → server availability %.4f\n",
+		f.MTBF/core.Hour, f.MTTR/core.Minute, f.Availability())
+	degrees := degreeSweep
+	if cfg.quick {
+		degrees = degreeSweepQuick
+	}
+	t := report.NewTable("degree", "rejected %", "dropped/run", "failure rate %", "analytic unavailable %")
+	for _, degree := range degrees {
+		s := config.Paper()
+		s.Degree = degree
+		s.LambdaPerMin = 32 // below saturation so failures, not capacity, dominate
+		p, layout, sched, err := vodcluster.Pipeline(s)
+		if err != nil {
+			return err
+		}
+		agg, _, err := sim.RunMany(sim.Config{
+			Problem: p, Layout: layout, NewScheduler: sched,
+			Failures: f, Seed: cfg.seed,
+		}, cfg.runs)
+		if err != nil {
+			return err
+		}
+		analytic := avail.UnavailableRequestMass(p, layout, f.Unavailability())
+		t.AddRowf(degree,
+			100*agg.RejectionRate.Mean(),
+			agg.Dropped.Mean(),
+			100*agg.FailureRate.Mean(),
+			100*analytic)
+	}
+	if err := emitTable(cfg, "availability", t); err != nil {
+		return err
+	}
+	fmt.Println("replication's availability value: the analytic unavailable mass falls")
+	fmt.Println("geometrically with the degree, and the measured failure rate follows.")
+	return nil
+}
+
+// figureDynamic runs the popularity-shift experiment: the layout is planned
+// for the initial ranking, the ranking rotates by M/2 halfway through the
+// peak period, and runtime dynamic replication (paper §4.1.2, §6) migrates
+// replicas over the backbone to chase the new hot set.
+func figureDynamic(cfg benchConfig) error {
+	fmt.Println("\n=== Dynamic replication under a mid-period popularity shift ===")
+	s := config.Paper()
+	s.Degree = 1.2
+	s.BackboneGbps = 2
+	p, layout, _, err := vodcluster.Pipeline(s)
+	if err != nil {
+		return err
+	}
+	// Overload slightly so the misplaced layout visibly rejects.
+	lambda := 40.0
+	gen, err := workload.NewGenerator(workload.NewPoissonPerMinute(lambda), p.M(), s.Theta)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("policy", "rejected %", "± 95% CI", "migrations/run")
+	for _, dynamic := range []bool{false, true} {
+		var rej, mig stats.Summary
+		for run := 0; run < cfg.runs; run++ {
+			tr := gen.Generate(p.PeakPeriod, cfg.seed+int64(run))
+			shifted, err := tr.Remap(workload.RotationMapping(p.M(), p.M()/2), p.PeakPeriod/2)
+			if err != nil {
+				return err
+			}
+			rc := sim.Config{Problem: p, Layout: layout, Trace: shifted, Seed: cfg.seed + int64(run)}
+			var mgr *dynrep.Manager
+			if dynamic {
+				rc.NewController = func() sim.Controller {
+					m, err := dynrep.New(p, dynrep.Options{IntervalSec: 300, MaxPerTick: 4})
+					if err != nil {
+						panic(err)
+					}
+					mgr = m
+					return m
+				}
+			}
+			res, err := sim.Run(rc)
+			if err != nil {
+				return err
+			}
+			rej.Add(res.RejectionRate)
+			if mgr != nil {
+				mig.Add(float64(mgr.Migrations()))
+			}
+		}
+		name := "static layout"
+		if dynamic {
+			name = "dynamic replication"
+		}
+		t.AddRowf(name, 100*rej.Mean(), 100*rej.CI95(), mig.Mean())
+	}
+	return emitTable(cfg, "dynamic-replication", t)
+}
+
+// figureDisk checks the paper's modeling assumption that the outgoing
+// network link, not disk I/O, binds admission — and shows the striping
+// granularity ablation ("striping doesn't scale") on the per-server array.
+func figureDisk(cfg benchConfig) error {
+	fmt.Println("\n=== Disk subsystem: bottleneck check and striping granularity ===")
+	d := disk.Disk{CapacityBytes: 36 * core.GB, SeekMs: 8, TransferMBps: 40}
+	round := 2.0 // seconds per retrieval round
+	t := report.NewTable("array", "usable GB", "disk streams", "net streams", "bottleneck")
+	for _, n := range []int{4, 8, 16} {
+		for _, scheme := range []disk.Scheme{disk.RAID0, disk.RAID5} {
+			a, err := disk.NewArray(d, n, scheme)
+			if err != nil {
+				return err
+			}
+			streams, diskBound := disk.BottleneckStreams(a, 1.8*core.Gbps, 4*core.Mbps, round)
+			b := "network"
+			if diskBound {
+				b = "disk"
+			}
+			t.AddRowf(fmt.Sprintf("%d× %s (coarse)", n, scheme),
+				a.UsableBytes()/core.GB, a.StreamCapacity(4*core.Mbps, round), 450, b)
+			_ = streams
+		}
+	}
+	fine, err := disk.NewArray(d, 16, disk.RAID5)
+	if err != nil {
+		return err
+	}
+	fine.SetGranularity(disk.FineGrained)
+	_, diskBound := disk.BottleneckStreams(fine, 1.8*core.Gbps, 4*core.Mbps, round)
+	b := "network"
+	if diskBound {
+		b = "disk"
+	}
+	t.AddRowf("16× raid5 (fine)", fine.UsableBytes()/core.GB,
+		fine.StreamCapacity(4*core.Mbps, round), 450, b)
+	if err := emitTable(cfg, "disk-bottleneck", t); err != nil {
+		return err
+	}
+
+	// Degraded-mode effect on the simulated cluster: cap each server's
+	// concurrent streams at a degraded 8-disk RAID5's capacity.
+	a, err := disk.NewArray(d, 8, disk.RAID5)
+	if err != nil {
+		return err
+	}
+	if err := a.Fail(0); err != nil {
+		return err
+	}
+	s := config.Paper()
+	s.Degree = 1.2
+	p, layout, sched, err := vodcluster.Pipeline(s)
+	if err != nil {
+		return err
+	}
+	limit := a.StreamCapacity(4*core.Mbps, round)
+	t2 := report.NewTable("admission model", "rejected % at λ=40")
+	for _, cap := range []int{0, limit} {
+		agg, _, err := sim.RunMany(sim.Config{
+			Problem: p, Layout: layout, NewScheduler: sched,
+			StreamLimit: cap, Seed: cfg.seed,
+		}, cfg.runs)
+		if err != nil {
+			return err
+		}
+		name := "network only (paper)"
+		if cap > 0 {
+			name = fmt.Sprintf("degraded RAID5 cap (%d streams)", cap)
+		}
+		t2.AddRowf(name, 100*agg.RejectionRate.Mean())
+	}
+	fmt.Println()
+	return emitTable(cfg, "disk-admission", t2)
+}
+
+// figureHetero evaluates placement on a heterogeneous cluster — the
+// generalization the paper's homogeneous model invites. Two hardware tiers
+// with crossed resources (bandwidth-rich/space-poor vs the reverse) serve
+// the paper workload; the experiment compares the paper's SLF against its
+// bandwidth-weighted generalization, the BSR heuristic of Dan & Sitaram that
+// the related-work section cites, and round-robin.
+func figureHetero(cfg benchConfig) error {
+	fmt.Println("\n=== Heterogeneous cluster: placement policies on crossed hardware tiers ===")
+	s := config.Paper()
+	s.Servers = 8
+	// Crossed tiers with the same aggregate resources as the paper cluster:
+	// 4 streaming boxes (2.4 Gb/s, 10 replicas) + 4 archive boxes
+	// (1.2 Gb/s, 20 replicas) = 14.4 Gb/s and 120 replicas.
+	s.ServerBandwidthGbps = []float64{2.4, 2.4, 2.4, 2.4, 1.2, 1.2, 1.2, 1.2}
+	s.ServerStorageGB = []float64{27, 27, 27, 27, 54, 54, 54, 54}
+	s.Degree = 1.2
+	lambdas := []float64{24, 32, 36, 40}
+	if cfg.quick {
+		lambdas = []float64{32, 40}
+	}
+	t := report.NewTable(append([]string{"placer", "rel. imbalance"}, lambdaLabels(lambdas)...)...)
+	for _, placer := range []string{"slf", "wslf", "bsr", "roundrobin"} {
+		s.Placer = placer
+		p, layout, sched, err := vodcluster.Pipeline(s)
+		if err != nil {
+			return fmt.Errorf("hetero %s: %w", placer, err)
+		}
+		pts, err := vodcluster.SweepArrivalRates(p, layout, sched, lambdas, cfg.runs, cfg.seed)
+		if err != nil {
+			return err
+		}
+		row := make([]any, 0, len(lambdas)+2)
+		row = append(row, placer, place.RelativeImbalance(p, layout))
+		for _, pt := range pts {
+			row = append(row, 100*pt.Agg.RejectionRate.Mean())
+		}
+		t.AddRowf(row...)
+	}
+	if err := emitTable(cfg, "heterogeneous", t); err != nil {
+		return err
+	}
+	fmt.Println("rejection columns are % at each arrival rate. Both resource-aware")
+	fmt.Println("policies (wslf, bsr) dominate the resource-blind ones (slf, roundrobin);")
+	fmt.Println("bsr's hot-content-to-fast-server matching additionally shelters the")
+	fmt.Println("heaviest replicas from static-RR burstiness, winning on admission.")
+	return nil
+}
+
+func lambdaLabels(lambdas []float64) []string {
+	out := make([]string, len(lambdas))
+	for i, l := range lambdas {
+		out[i] = fmt.Sprintf("rej%% λ=%g", l)
+	}
+	return out
+}
+
+// figureHierarchy reproduces the predecessor media-mapping experiment
+// (Zhou/Lüling/Xie, whose SA the paper's §4.3 reuses): map a catalog onto a
+// three-level server tree and compare the root-only, greedy top-popularity,
+// and simulated-annealing mappings — globally shared taste and regional
+// (per-leaf rotated) taste.
+func figureHierarchy(cfg benchConfig) error {
+	fmt.Println("\n=== Hierarchical server network: media mapping (predecessor work) ===")
+	c, err := core.NewCatalog(100, 0.75, 4*core.Mbps, 90*core.Minute)
+	if err != nil {
+		return err
+	}
+	size := c[0].SizeBytes()
+	topo, err := hierarchy.NewUniformTree(2, []hierarchy.Node{
+		{StorageBytes: 110 * size, StreamBW: 20 * core.Gbps},
+		{StorageBytes: 30 * size, StreamBW: 4 * core.Gbps, UplinkBW: 4 * core.Gbps},
+		{StorageBytes: 12 * size, StreamBW: 2 * core.Gbps, UplinkBW: 2 * core.Gbps},
+	})
+	if err != nil {
+		return err
+	}
+	rates := make([]float64, len(topo.Leaves()))
+	for i := range rates {
+		rates[i] = 5.0 / core.Minute
+	}
+
+	for _, regional := range []bool{false, true} {
+		p := &hierarchy.Problem{Topo: topo, Catalog: c, LeafRate: rates}
+		label := "global taste"
+		if regional {
+			label = "regional taste (per-leaf rotated ranking)"
+			pops := make([][]float64, len(rates))
+			for li := range pops {
+				pops[li] = make([]float64, len(c))
+				for v := range c {
+					pops[li][v] = c[(v+li*25)%len(c)].Popularity
+				}
+			}
+			p.LeafPopularity = pops
+		}
+		if err := p.Validate(); err != nil {
+			return err
+		}
+
+		opts := anneal.DefaultOptions()
+		opts.InitialTemp = 0.5
+		opts.Seed = cfg.seed
+		chains := 4
+		if cfg.quick {
+			opts.MaxSteps = 15_000
+			chains = 1
+		}
+		best, saEval, err := hierarchy.Optimize(p, opts, chains)
+		if err != nil {
+			return err
+		}
+		_ = best
+
+		t := report.NewTable("mapping", "local hit %", "mean hops", "max link util", "max node util")
+		for _, row := range []struct {
+			name string
+			e    hierarchy.Eval
+		}{
+			{"root only", p.Evaluate(hierarchy.NewMapping(p))},
+			{"greedy top-popularity", p.Evaluate(hierarchy.GreedyMapping(p))},
+			{"simulated annealing", saEval},
+		} {
+			t.AddRowf(row.name, 100*row.e.LocalHitRatio, row.e.MeanHops, row.e.MaxLinkUtil, row.e.MaxNodeUtil)
+		}
+		name := "hierarchy-global"
+		if regional {
+			name = "hierarchy-regional"
+		}
+		fmt.Printf("\n--- %s ---\n", label)
+		if err := emitTable(cfg, name, t); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\nthe SA mapping removes the duplication the greedy baseline creates along")
+	fmt.Println("every root-leaf path and specializes leaf caches under regional taste.")
+	return nil
+}
+
+// figureStriping quantifies the §1 architectural argument: wide striping
+// across servers balances perfectly (beating replication on rejection while
+// healthy) but fails catastrophically, while the replicated cluster degrades
+// gracefully. Failure intensity sweeps from none to harsh.
+func figureStriping(cfg benchConfig) error {
+	fmt.Println("\n=== §1: replication vs wide striping across servers ===")
+	s := config.Paper()
+	s.Degree = 1.4
+	p, layout, sched, err := vodcluster.Pipeline(s)
+	if err != nil {
+		return err
+	}
+	q := p.Clone()
+	q.ArrivalRate = 36.0 / core.Minute // 90% of saturation
+
+	models := []struct {
+		name string
+		f    *avail.FailureModel
+	}{
+		{"no failures", nil},
+		{"MTBF 20h", &avail.FailureModel{MTBF: 20 * core.Hour, MTTR: 30 * core.Minute}},
+		{"MTBF 5h", &avail.FailureModel{MTBF: 5 * core.Hour, MTTR: 30 * core.Minute}},
+	}
+	t := report.NewTable("failure model", "replication fail %", "plain striping fail %", "parity striping fail %")
+	for _, m := range models {
+		var rep, plain, parity stats.Summary
+		for run := 0; run < cfg.runs; run++ {
+			seed := cfg.seed + int64(run)
+			rres, err := sim.Run(sim.Config{Problem: q, Layout: layout, NewScheduler: sched, Failures: m.f, Seed: seed})
+			if err != nil {
+				return err
+			}
+			rep.Add(rres.FailureRate)
+			pres, err := striped.Run(striped.Config{Problem: q, Scheme: striped.Plain, Failures: m.f, Seed: seed})
+			if err != nil {
+				return err
+			}
+			plain.Add(pres.FailureRate)
+			xres, err := striped.Run(striped.Config{Problem: q, Scheme: striped.Parity, Failures: m.f, Seed: seed})
+			if err != nil {
+				return err
+			}
+			parity.Add(xres.FailureRate)
+		}
+		t.AddRowf(m.name, 100*rep.Mean(), 100*plain.Mean(), 100*parity.Mean())
+	}
+	if err := emitTable(cfg, "striping-vs-replication", t); err != nil {
+		return err
+	}
+	fmt.Println("healthy: striping's pooled bandwidth wins. Failing: plain striping's")
+	fmt.Println("catalog goes dark with any server, parity pays half its pool in degraded")
+	fmt.Println("mode — the replicated cluster degrades most gracefully, the paper's case.")
+	return nil
+}
+
+// figureErlang validates the simulator against queueing theory: Erlang-B is
+// exact for the pooled (striped) cluster and a per-server approximation for
+// the replicated one. Long warmed-up runs must converge to the predictions.
+func figureErlang(cfg benchConfig) error {
+	fmt.Println("\n=== Validation: simulator vs Erlang-B loss formula ===")
+	s := config.Paper()
+	s.Degree = 1.4
+	p, layout, sched, err := vodcluster.Pipeline(s)
+	if err != nil {
+		return err
+	}
+	lambdas := []float64{38, 40, 42, 44}
+	if cfg.quick {
+		lambdas = []float64{40, 44}
+	}
+	t := report.NewTable("λ (req/min)", "Erlang-B pooled %", "striped sim %", "Erlang-B per-server %", "replicated sim %")
+	for _, lam := range lambdas {
+		q := p.Clone()
+		q.ArrivalRate = lam / core.Minute
+		pooled, err := analytic.PooledBlocking(q)
+		if err != nil {
+			return err
+		}
+		perServer, err := analytic.ReplicatedBlocking(q, layout)
+		if err != nil {
+			return err
+		}
+		var stripedSim, replSim stats.Summary
+		runs := cfg.runs
+		if runs > 8 {
+			runs = 8 // long-horizon runs: keep the total cost bounded
+		}
+		for i := 0; i < runs; i++ {
+			sres, err := striped.Run(striped.Config{Problem: q, Duration: 6 * q.PeakPeriod, Seed: cfg.seed + int64(i)})
+			if err != nil {
+				return err
+			}
+			stripedSim.Add(sres.RejectionRate)
+			rres, err := sim.Run(sim.Config{
+				Problem: q, Layout: layout, NewScheduler: sched,
+				Duration: 6 * q.PeakPeriod, Warmup: q.PeakPeriod, Seed: cfg.seed + int64(i),
+			})
+			if err != nil {
+				return err
+			}
+			replSim.Add(rres.RejectionRate)
+		}
+		t.AddRowf(lam, 100*pooled, 100*stripedSim.Mean(), 100*perServer, 100*replSim.Mean())
+	}
+	if err := emitTable(cfg, "erlang-validation", t); err != nil {
+		return err
+	}
+	fmt.Println("Erlang-B is exact for the pooled system (insensitivity makes the fixed")
+	fmt.Println("session length irrelevant); the per-server product form approximates the")
+	fmt.Println("replicated cluster under static RR, erring slightly high.")
+	return nil
+}

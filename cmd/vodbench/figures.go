@@ -1,0 +1,226 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"vodcluster"
+	"vodcluster/internal/config"
+	"vodcluster/internal/report"
+)
+
+// Reconstructed sweep parameters (the figure axes in the available paper text
+// are OCR-damaged; EXPERIMENTS.md documents the reconstruction). The
+// saturation arrival rate of the paper's cluster is 40 requests/minute.
+var (
+	lambdaSweep      = []float64{8, 16, 24, 28, 32, 36, 40, 44}
+	lambdaSweepQuick = []float64{16, 32, 40}
+	degreeSweep      = []float64{1.0, 1.2, 1.4, 1.6, 1.8, 2.0}
+	degreeSweepQuick = []float64{1.0, 1.4, 2.0}
+	thetas           = []float64{0.75, 0.25}
+)
+
+// combo names one replication+placement pairing.
+type combo struct{ repl, plac string }
+
+func (c combo) String() string { return c.repl + "+" + c.plac }
+
+var fourCombos = []combo{
+	{"zipf", "slf"},
+	{"zipf", "roundrobin"},
+	{"classification", "slf"},
+	{"classification", "roundrobin"},
+}
+
+// sweepCombo builds the layout for one (θ, degree, combo) cell and sweeps the
+// arrival rate, returning rejection-rate and imbalance series.
+func sweepCombo(cfg benchConfig, theta, degree float64, c combo, lambdas []float64) ([]vodcluster.SweepPoint, error) {
+	s := config.Paper()
+	s.Theta = theta
+	s.Degree = degree
+	s.Replicator = c.repl
+	s.Placer = c.plac
+	p, layout, sched, err := vodcluster.Pipeline(s)
+	if err != nil {
+		return nil, fmt.Errorf("%s at θ=%g degree=%g: %w", c, theta, degree, err)
+	}
+	return vodcluster.SweepArrivalRates(p, layout, sched, lambdas, cfg.runs, cfg.seed)
+}
+
+// figure4 reproduces Fig. 4: impact of the replication degree on rejection
+// rate, for (a, c) Zipf replication + smallest-load-first placement and
+// (b, d) classification replication + round-robin placement, at two skews.
+func figure4(cfg benchConfig) error {
+	lambdas, degrees := lambdaSweep, degreeSweep
+	if cfg.quick {
+		lambdas, degrees = lambdaSweepQuick, degreeSweepQuick
+	}
+	subplots := []struct {
+		label string
+		theta float64
+		c     combo
+	}{
+		{"(a)", thetas[0], combo{"zipf", "slf"}},
+		{"(b)", thetas[0], combo{"classification", "roundrobin"}},
+		{"(c)", thetas[1], combo{"zipf", "slf"}},
+		{"(d)", thetas[1], combo{"classification", "roundrobin"}},
+	}
+	fmt.Println("=== Figure 4: rejection rate vs arrival rate, by replication degree ===")
+	for _, sub := range subplots {
+		fmt.Printf("\n--- Fig. 4%s %s, θ=%.2f ---\n", sub.label, sub.c, sub.theta)
+		t := report.NewTable(append([]string{"λ (req/min)"}, degreeLabels(degrees)...)...)
+		chart := &report.Chart{
+			Title:  fmt.Sprintf("Fig. 4%s rejection rate (%%) — %s, θ=%.2f", sub.label, sub.c, sub.theta),
+			XLabel: "arrival rate (req/min)", YLabel: "rejection rate (%)",
+		}
+		cells := make([][]float64, len(lambdas))
+		for i := range cells {
+			cells[i] = make([]float64, len(degrees))
+		}
+		for di, deg := range degrees {
+			pts, err := sweepCombo(cfg, sub.theta, deg, sub.c, lambdas)
+			if err != nil {
+				return err
+			}
+			ys := make([]float64, len(pts))
+			for i, pt := range pts {
+				cells[i][di] = 100 * pt.Agg.RejectionRate.Mean()
+				ys[i] = cells[i][di]
+			}
+			chart.Add(report.Series{Name: fmt.Sprintf("deg %.1f", deg), X: lambdas, Y: ys})
+		}
+		for i, lam := range lambdas {
+			row := make([]any, 0, len(degrees)+1)
+			row = append(row, lam)
+			for _, v := range cells[i] {
+				row = append(row, v)
+			}
+			t.AddRowf(row...)
+		}
+		if err := emitTable(cfg, fmt.Sprintf("fig4%s-%s-theta%.2f", strings.Trim(sub.label, "()"), sub.c, sub.theta), t); err != nil {
+			return err
+		}
+		if err := chart.Fprint(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// figure5 reproduces Fig. 5: impact of the four algorithm combinations on
+// rejection rate at replication degrees 1.2 and 2.0 and two skews.
+func figure5(cfg benchConfig) error {
+	lambdas := lambdaSweep
+	if cfg.quick {
+		lambdas = lambdaSweepQuick
+	}
+	subplots := []struct {
+		label  string
+		theta  float64
+		degree float64
+	}{
+		{"(a)", thetas[0], 1.2},
+		{"(b)", thetas[0], 2.0},
+		{"(c)", thetas[1], 1.2},
+		{"(d)", thetas[1], 2.0},
+	}
+	fmt.Println("\n=== Figure 5: rejection rate vs arrival rate, by algorithm combination ===")
+	for _, sub := range subplots {
+		fmt.Printf("\n--- Fig. 5%s degree %.1f, θ=%.2f ---\n", sub.label, sub.degree, sub.theta)
+		t := report.NewTable("λ (req/min)", fourCombos[0].String(), fourCombos[1].String(), fourCombos[2].String(), fourCombos[3].String())
+		chart := &report.Chart{
+			Title:  fmt.Sprintf("Fig. 5%s rejection rate (%%) — degree %.1f, θ=%.2f", sub.label, sub.degree, sub.theta),
+			XLabel: "arrival rate (req/min)", YLabel: "rejection rate (%)",
+		}
+		cells := make([][]float64, len(lambdas))
+		for i := range cells {
+			cells[i] = make([]float64, len(fourCombos))
+		}
+		for ci, c := range fourCombos {
+			pts, err := sweepCombo(cfg, sub.theta, sub.degree, c, lambdas)
+			if err != nil {
+				return err
+			}
+			ys := make([]float64, len(pts))
+			for i, pt := range pts {
+				cells[i][ci] = 100 * pt.Agg.RejectionRate.Mean()
+				ys[i] = cells[i][ci]
+			}
+			chart.Add(report.Series{Name: c.String(), X: lambdas, Y: ys})
+		}
+		for i, lam := range lambdas {
+			t.AddRowf(lam, cells[i][0], cells[i][1], cells[i][2], cells[i][3])
+		}
+		if err := emitTable(cfg, fmt.Sprintf("fig5%s-deg%.1f-theta%.2f", strings.Trim(sub.label, "()"), sub.degree, sub.theta), t); err != nil {
+			return err
+		}
+		if err := chart.Fprint(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// figure6 reproduces Fig. 6: the measured load imbalance degree L (%) versus
+// arrival rate for the four combinations, at θ = 0.75 and degrees 1.2, 2.0.
+// The plotted L is the capacity-normalized spread (max_j l_j − l̄)/B, the
+// variant whose measured curve traces the paper's shape: rising at light
+// load, peaking at mid arrival rates, and collapsing past saturation (see
+// EXPERIMENTS.md for the discussion of the normalization choice).
+func figure6(cfg benchConfig) error {
+	lambdas := lambdaSweep
+	if cfg.quick {
+		lambdas = lambdaSweepQuick
+	}
+	subplots := []struct {
+		label  string
+		degree float64
+	}{
+		{"(a)", 1.2},
+		{"(b)", 2.0},
+	}
+	fmt.Println("\n=== Figure 6: load imbalance degree L(%) vs arrival rate ===")
+	for _, sub := range subplots {
+		fmt.Printf("\n--- Fig. 6%s degree %.1f, θ=%.2f ---\n", sub.label, sub.degree, thetas[0])
+		t := report.NewTable("λ (req/min)", fourCombos[0].String(), fourCombos[1].String(), fourCombos[2].String(), fourCombos[3].String())
+		chart := &report.Chart{
+			Title:  fmt.Sprintf("Fig. 6%s load imbalance L (%%) — degree %.1f, θ=%.2f", sub.label, sub.degree, thetas[0]),
+			XLabel: "arrival rate (req/min)", YLabel: "L (%)",
+		}
+		cells := make([][]float64, len(lambdas))
+		for i := range cells {
+			cells[i] = make([]float64, len(fourCombos))
+		}
+		for ci, c := range fourCombos {
+			pts, err := sweepCombo(cfg, thetas[0], sub.degree, c, lambdas)
+			if err != nil {
+				return err
+			}
+			ys := make([]float64, len(pts))
+			for i, pt := range pts {
+				cells[i][ci] = 100 * pt.Agg.ImbalanceCapAvg.Mean()
+				ys[i] = cells[i][ci]
+			}
+			chart.Add(report.Series{Name: c.String(), X: lambdas, Y: ys})
+		}
+		for i, lam := range lambdas {
+			t.AddRowf(lam, cells[i][0], cells[i][1], cells[i][2], cells[i][3])
+		}
+		if err := emitTable(cfg, fmt.Sprintf("fig6%s-deg%.1f", strings.Trim(sub.label, "()"), sub.degree), t); err != nil {
+			return err
+		}
+		if err := chart.Fprint(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func degreeLabels(degrees []float64) []string {
+	out := make([]string, len(degrees))
+	for i, d := range degrees {
+		out[i] = fmt.Sprintf("deg %.1f (%%)", d)
+	}
+	return out
+}

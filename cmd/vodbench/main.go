@@ -1,0 +1,119 @@
+// Command vodbench regenerates the paper's evaluation figures on the
+// simulated cluster and prints each as a table plus an ASCII chart, so the
+// reproduced curve shapes can be compared with the paper directly.
+//
+//	vodbench -fig 4        # Fig. 4: rejection rate vs λ per replication degree
+//	vodbench -fig 5        # Fig. 5: rejection rate vs λ per algorithm combo
+//	vodbench -fig 6        # Fig. 6: load imbalance L(%) vs λ per combo
+//	vodbench -fig sa       # §4.3: simulated annealing for scalable bit rates
+//	vodbench -fig sens     # §5.2: sensitivity to M, N, and bit rate
+//	vodbench -fig redirect # §6: request redirection over the backbone
+//	vodbench -fig avail    # availability: failures vs replication degree
+//	vodbench -fig dynamic  # runtime dynamic replication under a popularity shift
+//	vodbench -fig disk     # disk subsystem: bottleneck + striping granularity
+//	vodbench -fig hetero   # heterogeneous cluster placement policies
+//	vodbench -fig hier     # hierarchical server network media mapping
+//	vodbench -fig striping # replication vs wide striping under failures
+//	vodbench -fig erlang   # simulator validation against the Erlang-B loss formula
+//	vodbench -fig all      # everything
+//
+// Use -quick for a fast low-replication pass and -runs to set the number of
+// simulation replications per point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vodcluster/internal/report"
+)
+
+// benchConfig carries the shared harness knobs into each figure generator.
+type benchConfig struct {
+	runs   int
+	seed   int64
+	quick  bool
+	csvDir string
+}
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 4|5|6|sa|sens|redirect|avail|dynamic|disk|hetero|hier|striping|erlang|all")
+	runs := flag.Int("runs", 20, "simulation replications per data point")
+	seed := flag.Int64("seed", 42, "master random seed")
+	quick := flag.Bool("quick", false, "coarser sweeps and fewer runs, for a fast look")
+	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
+	flag.Parse()
+
+	cfg := benchConfig{runs: *runs, seed: *seed, quick: *quick, csvDir: *csvDir}
+	if cfg.quick && cfg.runs > 5 {
+		cfg.runs = 5
+	}
+
+	var err error
+	switch *fig {
+	case "4":
+		err = figure4(cfg)
+	case "5":
+		err = figure5(cfg)
+	case "6":
+		err = figure6(cfg)
+	case "sa":
+		err = figureSA(cfg)
+	case "sens":
+		err = figureSensitivity(cfg)
+	case "redirect":
+		err = figureRedirect(cfg)
+	case "avail":
+		err = figureAvail(cfg)
+	case "dynamic":
+		err = figureDynamic(cfg)
+	case "disk":
+		err = figureDisk(cfg)
+	case "hetero":
+		err = figureHetero(cfg)
+	case "hier":
+		err = figureHierarchy(cfg)
+	case "striping":
+		err = figureStriping(cfg)
+	case "erlang":
+		err = figureErlang(cfg)
+	case "all":
+		for _, f := range []func(benchConfig) error{
+			figure4, figure5, figure6, figureSA, figureSensitivity,
+			figureRedirect, figureAvail, figureDynamic, figureDisk, figureHetero, figureHierarchy, figureStriping, figureErlang,
+		} {
+			if err = f(cfg); err != nil {
+				break
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown figure %q", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vodbench:", err)
+		os.Exit(1)
+	}
+}
+
+// emitTable prints a table to stdout and, when -csv is set, also writes it
+// to <csvDir>/<name>.csv so sweeps can be post-processed or plotted outside
+// the terminal.
+func emitTable(cfg benchConfig, name string, t *report.Table) error {
+	if err := t.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	if cfg.csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(cfg.csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}

@@ -1,0 +1,136 @@
+// Command vodplace computes a replication and placement plan for a VoD
+// cluster and prints it: the replica count per video, the per-server
+// placement, expected loads, the load-imbalance degree under both of the
+// paper's definitions, and the Theorem 4.2 bound.
+//
+// Usage:
+//
+//	vodplace [-servers 8] [-videos 100] [-theta 0.75] [-degree 1.2]
+//	         [-replicator zipf] [-placer slf] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vodcluster"
+	"vodcluster/internal/analytic"
+	"vodcluster/internal/config"
+	"vodcluster/internal/core"
+	"vodcluster/internal/place"
+	"vodcluster/internal/replicate"
+	"vodcluster/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vodplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	s := config.Paper()
+	flag.IntVar(&s.Servers, "servers", s.Servers, "number of servers N")
+	flag.IntVar(&s.Videos, "videos", s.Videos, "number of videos M")
+	flag.Float64Var(&s.Theta, "theta", s.Theta, "Zipf popularity skew θ")
+	flag.Float64Var(&s.BitRateMbps, "bitrate", s.BitRateMbps, "encoding bit rate (Mb/s)")
+	flag.Float64Var(&s.DurationMin, "duration", s.DurationMin, "video duration (minutes)")
+	flag.Float64Var(&s.BandwidthGbps, "bandwidth", s.BandwidthGbps, "outgoing bandwidth per server (Gb/s)")
+	flag.Float64Var(&s.StorageGB, "storage", s.StorageGB, "storage per server (GB); 0 derives from degree")
+	flag.Float64Var(&s.LambdaPerMin, "lambda", s.LambdaPerMin, "peak arrival rate (requests/minute)")
+	flag.Float64Var(&s.Degree, "degree", s.Degree, "target replication degree")
+	flag.StringVar(&s.Replicator, "replicator", s.Replicator, "replication algorithm: adams|zipf|classification|uniform")
+	flag.StringVar(&s.Placer, "placer", s.Placer, "placement algorithm: slf|roundrobin|greedy|random|wslf|bsr")
+	verbose := flag.Bool("verbose", false, "print the full per-video placement")
+	out := flag.String("out", "", "write the computed plan as JSON to this file (replayable by vodsim -plan)")
+	flag.Parse()
+
+	p, err := s.Problem()
+	if err != nil {
+		return err
+	}
+	r, err := vodcluster.ReplicatorByName(s.Replicator)
+	if err != nil {
+		return err
+	}
+	pl, err := vodcluster.PlacerByName(s.Placer)
+	if err != nil {
+		return err
+	}
+	layout, err := vodcluster.BuildLayout(p, r, pl, s.Degree)
+	if err != nil {
+		return err
+	}
+
+	sat, _ := p.SaturationArrivalRate()
+	if p.Homogeneous() {
+		capPerServer, _ := p.ReplicaCapacityPerServer()
+		fmt.Printf("cluster: N=%d servers, %.1f GB storage (%d replicas) and %.2f Gb/s out each\n",
+			p.N(), p.StorageOf(0)/core.GB, capPerServer, p.BandwidthOf(0)/core.Gbps)
+	} else {
+		fmt.Printf("cluster: N=%d heterogeneous servers, %.1f GB storage and %.2f Gb/s out in total\n",
+			p.N(), p.TotalStorage()/core.GB, p.TotalBandwidth()/core.Gbps)
+	}
+	fmt.Printf("catalog: M=%d videos, θ=%.3g, %.1f Mb/s, %.0f min (%.2f GB each)\n",
+		p.M(), s.Theta, s.BitRateMbps, s.DurationMin, p.Catalog[0].SizeBytes()/core.GB)
+	fmt.Printf("workload: peak λ=%.3g req/min for %.0f min (saturation at %.3g req/min)\n\n",
+		s.LambdaPerMin, s.DurationMin, sat*core.Minute)
+
+	fmt.Printf("plan: %s replication + %s placement, degree %.3f (%d replicas)\n",
+		r.Name(), pl.Name(), layout.ReplicationDegree(), layout.TotalReplicas())
+	fmt.Printf("max per-replica weight (Eq. 8 objective): %.2f expected requests\n",
+		replicate.MaxWeight(p, layout.Replicas))
+	loads := layout.ServerLoads(p)
+	fmt.Printf("load imbalance: Eq.2 L=%.4f  Eq.3 L=%.4f (Theorem 4.2 bound for slf: %.4f)\n",
+		core.ImbalanceMax(loads), core.ImbalanceStd(loads), place.GeneralBound(p, layout.Replicas))
+	worst, ok := layout.BandwidthFeasible(p)
+	fmt.Printf("expected peak bandwidth: worst server at %.1f%% of capacity (feasible: %v)\n", 100*worst, ok)
+	if pred, err := analytic.ReplicatedBlocking(p, layout); err == nil {
+		pooled, _ := analytic.PooledBlocking(p)
+		fmt.Printf("predicted steady-state rejection (Erlang-B): %.3f%% (perfect pooling would give %.3f%%)\n", 100*pred, 100*pooled)
+	}
+	fmt.Println()
+
+	srv := report.NewTable("server", "replicas", "storage GB", "expected load", "expected Gb/s")
+	used := layout.ServerStorageUsed(p)
+	demand := layout.ServerBandwidthDemand(p)
+	perServer := make([]int, p.N())
+	for _, servers := range layout.Servers {
+		for _, sv := range servers {
+			perServer[sv]++
+		}
+	}
+	for sv := 0; sv < p.N(); sv++ {
+		srv.AddRowf(sv, perServer[sv], used[sv]/core.GB, loads[sv], demand[sv]/core.Gbps)
+	}
+	if err := srv.Fprint(os.Stdout); err != nil {
+		return err
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := config.NewPlan(s, layout).Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("\nplan written to %s\n", *out)
+	}
+
+	if *verbose {
+		fmt.Println()
+		tv := report.NewTable("video", "popularity", "replicas", "weight", "servers")
+		w := layout.Weights(p)
+		for v := 0; v < p.M(); v++ {
+			tv.AddRowf(v, p.Catalog[v].Popularity, layout.Replicas[v], w[v], fmt.Sprint(layout.Servers[v]))
+		}
+		if err := tv.Fprint(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

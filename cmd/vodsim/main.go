@@ -1,0 +1,161 @@
+// Command vodsim runs one simulated peak period of a VoD cluster under a
+// chosen replication/placement/scheduling combination and prints the
+// measured rejection rate, load imbalance, and utilization, aggregated over
+// replicated runs with 95% confidence intervals.
+//
+// The scenario comes either from flags (paper defaults) or a JSON file:
+//
+//	vodsim -lambda 40 -degree 1.2 -replicator zipf -placer slf -runs 20
+//	vodsim -scenario scenario.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vodcluster"
+	"vodcluster/internal/avail"
+	"vodcluster/internal/cluster"
+	"vodcluster/internal/config"
+	"vodcluster/internal/core"
+	"vodcluster/internal/dynrep"
+	"vodcluster/internal/report"
+	"vodcluster/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vodsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	s := config.Paper()
+	scenarioPath := flag.String("scenario", "", "JSON scenario file (flags override nothing when set)")
+	planPath := flag.String("plan", "", "replay a plan written by vodplace -out instead of recomputing the layout")
+	flag.IntVar(&s.Servers, "servers", s.Servers, "number of servers N")
+	flag.IntVar(&s.Videos, "videos", s.Videos, "number of videos M")
+	flag.Float64Var(&s.Theta, "theta", s.Theta, "Zipf popularity skew θ")
+	flag.Float64Var(&s.BitRateMbps, "bitrate", s.BitRateMbps, "encoding bit rate (Mb/s)")
+	flag.Float64Var(&s.DurationMin, "duration", s.DurationMin, "video duration (minutes)")
+	flag.Float64Var(&s.BandwidthGbps, "bandwidth", s.BandwidthGbps, "outgoing bandwidth per server (Gb/s)")
+	flag.Float64Var(&s.BackboneGbps, "backbone", s.BackboneGbps, "internal backbone bandwidth (Gb/s); >0 enables redirection")
+	flag.Float64Var(&s.StorageGB, "storage", s.StorageGB, "storage per server (GB); 0 derives from degree")
+	flag.Float64Var(&s.LambdaPerMin, "lambda", s.LambdaPerMin, "arrival rate (requests/minute)")
+	flag.Float64Var(&s.Degree, "degree", s.Degree, "target replication degree")
+	flag.StringVar(&s.Replicator, "replicator", s.Replicator, "replication algorithm: adams|zipf|classification|uniform")
+	flag.StringVar(&s.Placer, "placer", s.Placer, "placement algorithm: slf|roundrobin|greedy|random|wslf|bsr")
+	flag.StringVar(&s.Scheduler, "scheduler", s.Scheduler, "scheduling policy: static-rr|first-available|least-loaded")
+	flag.IntVar(&s.Runs, "runs", s.Runs, "number of simulation replications")
+	flag.Int64Var(&s.Seed, "seed", s.Seed, "master random seed")
+	perRun := flag.Bool("per-run", false, "print every run's result, not just the aggregate")
+	mtbfH := flag.Float64("mtbf", 0, "server mean time between failures (hours); 0 disables failure injection")
+	mttrMin := flag.Float64("mttr", 30, "server mean time to repair (minutes), used with -mtbf")
+	streamLimit := flag.Int("stream-limit", 0, "max concurrent streams per server (disk bound); 0 = network only")
+	dynamic := flag.Bool("dynamic", false, "enable runtime dynamic replication (needs -backbone > 0)")
+	flag.Parse()
+
+	if *scenarioPath != "" {
+		f, err := os.Open(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		s, err = config.Load(f)
+		if err != nil {
+			return err
+		}
+	}
+
+	var (
+		p      *core.Problem
+		layout *core.Layout
+		sched  func() cluster.Scheduler
+	)
+	if *planPath != "" {
+		f, err := os.Open(*planPath)
+		if err != nil {
+			return err
+		}
+		plan, err := config.LoadPlan(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		runs, seed := s.Runs, s.Seed // keep the command-line knobs
+		s = plan.Scenario
+		s.Runs, s.Seed = runs, seed
+		if p, layout, err = plan.Layout(); err != nil {
+			return err
+		}
+		if sched, err = vodcluster.SchedulerFactory(s.Scheduler, p.BackboneBandwidth > 0); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if p, layout, sched, err = vodcluster.Pipeline(s); err != nil {
+			return err
+		}
+	}
+	cfg := sim.Config{
+		Problem:      p,
+		Layout:       layout,
+		NewScheduler: sched,
+		Seed:         s.Seed,
+		StreamLimit:  *streamLimit,
+	}
+	if *mtbfH > 0 {
+		cfg.Failures = &avail.FailureModel{MTBF: *mtbfH * core.Hour, MTTR: *mttrMin * core.Minute}
+	}
+	if *dynamic {
+		if p.BackboneBandwidth <= 0 {
+			return fmt.Errorf("-dynamic needs -backbone > 0 for replica migrations")
+		}
+		cfg.NewController = func() sim.Controller {
+			m, err := dynrep.New(p, dynrep.Options{})
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}
+	}
+	agg, runs, err := sim.RunMany(cfg, s.Runs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s + %s + %s, degree %.2f, λ=%.3g req/min, θ=%.3g, %d runs\n",
+		s.Replicator, s.Placer, s.Scheduler, layout.ReplicationDegree(), s.LambdaPerMin, s.Theta, s.Runs)
+	t := report.NewTable("metric", "mean", "95% CI", "min", "max")
+	t.AddRowf("rejection rate (%)", 100*agg.RejectionRate.Mean(), 100*agg.RejectionRate.CI95(),
+		100*agg.RejectionRate.Min(), 100*agg.RejectionRate.Max())
+	t.AddRowf("load imbalance L (Eq.2)", agg.ImbalanceAvg.Mean(), agg.ImbalanceAvg.CI95(),
+		agg.ImbalanceAvg.Min(), agg.ImbalanceAvg.Max())
+	t.AddRowf("peak imbalance", agg.ImbalancePeak.Mean(), agg.ImbalancePeak.CI95(),
+		agg.ImbalancePeak.Min(), agg.ImbalancePeak.Max())
+	t.AddRowf("mean utilization", agg.MeanUtilization.Mean(), agg.MeanUtilization.CI95(),
+		agg.MeanUtilization.Min(), agg.MeanUtilization.Max())
+	if agg.Redirected.Max() > 0 {
+		t.AddRowf("redirected requests", agg.Redirected.Mean(), agg.Redirected.CI95(),
+			agg.Redirected.Min(), agg.Redirected.Max())
+	}
+	if agg.Dropped.Max() > 0 {
+		t.AddRowf("dropped streams", agg.Dropped.Mean(), agg.Dropped.CI95(),
+			agg.Dropped.Min(), agg.Dropped.Max())
+		t.AddRowf("failure rate (%)", 100*agg.FailureRate.Mean(), 100*agg.FailureRate.CI95(),
+			100*agg.FailureRate.Min(), 100*agg.FailureRate.Max())
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		return err
+	}
+
+	if *perRun {
+		fmt.Println()
+		for i, r := range runs {
+			fmt.Printf("run %2d: %s\n", i, r)
+		}
+	}
+	return nil
+}

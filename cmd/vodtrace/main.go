@@ -1,0 +1,118 @@
+// Command vodtrace generates and inspects synthetic request traces.
+//
+// Generate a trace:
+//
+//	vodtrace -videos 100 -theta 0.75 -lambda 40 -duration 90 -seed 7 -out trace.json
+//
+// Inspect a trace:
+//
+//	vodtrace -in trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vodcluster/internal/report"
+	"vodcluster/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vodtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	videos := flag.Int("videos", 100, "number of videos M")
+	theta := flag.Float64("theta", 0.75, "Zipf popularity skew θ")
+	lambda := flag.Float64("lambda", 40, "arrival rate (requests/minute)")
+	durationMin := flag.Float64("duration", 90, "trace duration (minutes)")
+	seed := flag.Int64("seed", 1, "random seed")
+	bursty := flag.Bool("bursty", false, "use a 2-state MMPP (rates 0.5λ and 2λ, 10-minute sojourns)")
+	out := flag.String("out", "", "output file (default stdout)")
+	in := flag.String("in", "", "inspect an existing trace instead of generating")
+	top := flag.Int("top", 10, "when inspecting, how many hottest videos to list")
+	flag.Parse()
+
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := workload.Load(f)
+		if err != nil {
+			return err
+		}
+		return inspect(tr, *top)
+	}
+
+	var arrivals workload.ArrivalProcess = workload.NewPoissonPerMinute(*lambda)
+	if *bursty {
+		arrivals = &workload.MMPP{
+			Lambda1: 0.5 * *lambda / 60, Lambda2: 2 * *lambda / 60,
+			Sojourn1: 600, Sojourn2: 600,
+		}
+	}
+	gen, err := workload.NewGenerator(arrivals, *videos, *theta)
+	if err != nil {
+		return err
+	}
+	tr := gen.Generate(*durationMin*60, *seed)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Save(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "vodtrace: wrote %d requests over %.0f min\n", len(tr.Requests), *durationMin)
+	return nil
+}
+
+func inspect(tr *workload.Trace, top int) error {
+	fmt.Printf("trace: %d requests, %d videos, θ=%.3g, process=%s, duration=%.0f s, seed=%d\n",
+		len(tr.Requests), tr.Meta.Videos, tr.Meta.Theta, tr.Meta.Process, tr.Meta.Duration, tr.Meta.Seed)
+	if len(tr.Requests) == 0 {
+		return nil
+	}
+	rate := float64(len(tr.Requests)) / tr.Meta.Duration * 60
+	fmt.Printf("empirical arrival rate: %.2f requests/minute\n", rate)
+	if theta, err := workload.EstimateTheta(tr.VideoCounts()); err == nil {
+		fmt.Printf("estimated Zipf skew θ: %.3f (trace was generated with %.3f)\n", theta, tr.Meta.Theta)
+	}
+	fmt.Println()
+
+	counts := tr.VideoCounts()
+	type vc struct{ v, n int }
+	order := make([]vc, len(counts))
+	for v, n := range counts {
+		order[v] = vc{v, n}
+	}
+	for i := 0; i < len(order); i++ { // selection sort of the top-k prefix
+		best := i
+		for j := i + 1; j < len(order); j++ {
+			if order[j].n > order[best].n {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+		if i+1 >= top {
+			break
+		}
+	}
+	t := report.NewTable("rank", "video", "requests", "share %")
+	for i := 0; i < top && i < len(order); i++ {
+		t.AddRowf(i+1, order[i].v, order[i].n, 100*float64(order[i].n)/float64(len(tr.Requests)))
+	}
+	return t.Fprint(os.Stdout)
+}

@@ -1,0 +1,76 @@
+// Rejection-sweep: a Figure-4/5 style experiment through the public API.
+//
+// For each replication/placement combination, sweep the arrival rate from
+// light load to beyond the cluster's saturation point (40 requests/minute on
+// the paper's cluster) and chart the rejection rate. The ranking the paper
+// reports — Zipf replication + smallest-load-first placement dominating the
+// classification + round-robin baseline, with the gap closing as the
+// replication degree rises — reproduces here.
+//
+//	go run ./examples/rejection-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vodcluster"
+	"vodcluster/internal/config"
+	"vodcluster/internal/report"
+)
+
+func main() {
+	lambdas := []float64{16, 24, 32, 36, 40, 44}
+	combos := [][2]string{
+		{"zipf", "slf"},
+		{"zipf", "roundrobin"},
+		{"classification", "slf"},
+		{"classification", "roundrobin"},
+	}
+
+	for _, degree := range []float64{1.2, 2.0} {
+		chart := &report.Chart{
+			Title:  fmt.Sprintf("Rejection rate (%%) vs arrival rate — degree %.1f, θ=0.75", degree),
+			XLabel: "arrival rate (req/min)",
+			YLabel: "rejection (%)",
+		}
+		table := report.NewTable("λ (req/min)", "zipf+slf", "zipf+rr", "class+slf", "class+rr")
+		cells := make([][]float64, len(lambdas))
+		for i := range cells {
+			cells[i] = make([]float64, len(combos))
+		}
+
+		for ci, combo := range combos {
+			s := config.Paper()
+			s.Degree = degree
+			s.Replicator, s.Placer = combo[0], combo[1]
+			s.Runs = 10
+			p, layout, sched, err := vodcluster.Pipeline(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			points, err := vodcluster.SweepArrivalRates(p, layout, sched, lambdas, s.Runs, s.Seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ys := make([]float64, len(points))
+			for i, pt := range points {
+				ys[i] = 100 * pt.Agg.RejectionRate.Mean()
+				cells[i][ci] = ys[i]
+			}
+			chart.Add(report.Series{Name: combo[0] + "+" + combo[1], X: lambdas, Y: ys})
+		}
+
+		for i, lam := range lambdas {
+			table.AddRowf(lam, cells[i][0], cells[i][1], cells[i][2], cells[i][3])
+		}
+		if err := table.Fprint(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if err := chart.Fprint(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module vodcluster
+
+go 1.22

@@ -1,0 +1,187 @@
+// Package analytic provides closed-form loss-system predictions for the VoD
+// cluster — the queueing-theory counterpart of the simulator, used to
+// validate it and to sanity-check layouts without simulating.
+//
+// A VoD server with m concurrent-stream slots, Poisson request arrivals, and
+// sessions it never queues is an M/G/c/c loss system, so its steady-state
+// blocking probability is the Erlang-B formula — which is insensitive to the
+// session-length distribution, making it exact for the simulator's
+// fixed-length sessions. Two cluster-level predictions follow:
+//
+//   - A wide-striped cluster pools all capacity: one Erlang-B evaluation at
+//     the aggregate offered load and slot count (exact in steady state).
+//   - The replicated cluster under static round-robin splits each video's
+//     arrivals across its replicas; treating each server's aggregate
+//     arrivals as Poisson gives a per-server Erlang-B approximation whose
+//     load-weighted average predicts the cluster rejection rate. (Exact
+//     Poisson splitting would require random routing; round-robin thinning
+//     makes per-replica arrivals slightly more regular, so the
+//     approximation errs high.)
+//
+// Offered load per replica is exactly its communication weight: the replica
+// receives p·λ/r requests/s with mean holding time T, so its offered traffic
+// is p·λ·T/r erlangs — the same w_i the paper's algorithms minimize.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"vodcluster/internal/core"
+)
+
+// ErlangB returns the steady-state blocking probability of an M/G/c/c loss
+// system offered `erlangs` of traffic with `servers` service slots, using
+// the numerically stable recurrence
+//
+//	B(E, 0) = 1,   B(E, m) = E·B(E, m−1) / (m + E·B(E, m−1)).
+func ErlangB(erlangs float64, servers int) (float64, error) {
+	if erlangs < 0 {
+		return 0, fmt.Errorf("analytic: offered load must be non-negative, got %g", erlangs)
+	}
+	if servers < 0 {
+		return 0, fmt.Errorf("analytic: slot count must be non-negative, got %d", servers)
+	}
+	if erlangs == 0 {
+		if servers == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	b := 1.0
+	for m := 1; m <= servers; m++ {
+		b = erlangs * b / (float64(m) + erlangs*b)
+	}
+	return b, nil
+}
+
+// InverseErlangB returns the smallest slot count keeping blocking at or
+// below target for the given offered load — the capacity-planning inverse.
+func InverseErlangB(erlangs, target float64) (int, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("analytic: target blocking must be in (0,1), got %g", target)
+	}
+	if erlangs < 0 {
+		return 0, fmt.Errorf("analytic: offered load must be non-negative, got %g", erlangs)
+	}
+	if erlangs == 0 {
+		return 0, nil
+	}
+	b := 1.0
+	for m := 1; ; m++ {
+		b = erlangs * b / (float64(m) + erlangs*b)
+		if b <= target {
+			return m, nil
+		}
+		if m > int(10*erlangs)+1000 {
+			return 0, fmt.Errorf("analytic: no slot count below %d reaches blocking %g", m, target)
+		}
+	}
+}
+
+// PooledBlocking predicts the steady-state rejection rate of the
+// wide-striped cluster (internal/striped): all arrivals share one pool of
+// Σ_s ⌊B_s/b⌋ slots.
+func PooledBlocking(p *core.Problem) (float64, error) {
+	rate, ok := p.Catalog.FixedBitRate()
+	if !ok {
+		return 0, fmt.Errorf("analytic: pooled blocking needs a fixed bit rate")
+	}
+	duration, ok := p.Catalog.FixedDuration()
+	if !ok {
+		return 0, fmt.Errorf("analytic: pooled blocking needs a fixed duration")
+	}
+	slots := 0
+	for s := 0; s < p.N(); s++ {
+		slots += int(p.BandwidthOf(s) / rate)
+	}
+	return ErlangB(p.ArrivalRate*duration, slots)
+}
+
+// ReplicatedBlocking predicts the steady-state rejection rate of the
+// replicated cluster under static round-robin: each server is an Erlang-B
+// loss system offered its layout load l_s (in erlangs), and the cluster
+// rejection is the load-weighted average of the per-server blocking.
+func ReplicatedBlocking(p *core.Problem, l *core.Layout) (float64, error) {
+	rate, ok := p.Catalog.FixedBitRate()
+	if !ok {
+		return 0, fmt.Errorf("analytic: replicated blocking needs a fixed bit rate")
+	}
+	if err := l.Validate(p); err != nil {
+		return 0, err
+	}
+	loads := l.ServerLoads(p) // expected sessions per peak period == erlangs
+	total := 0.0
+	blocked := 0.0
+	for s, e := range loads {
+		slots := int(p.BandwidthOf(s) / rate)
+		b, err := ErlangB(e, slots)
+		if err != nil {
+			return 0, err
+		}
+		total += e
+		blocked += e * b
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return blocked / total, nil
+}
+
+// PerServerBlocking returns each server's Erlang-B blocking under the
+// layout, for diagnosing which servers a placement overloads.
+func PerServerBlocking(p *core.Problem, l *core.Layout) ([]float64, error) {
+	rate, ok := p.Catalog.FixedBitRate()
+	if !ok {
+		return nil, fmt.Errorf("analytic: blocking needs a fixed bit rate")
+	}
+	loads := l.ServerLoads(p)
+	out := make([]float64, len(loads))
+	for s, e := range loads {
+		b, err := ErlangB(e, int(p.BandwidthOf(s)/rate))
+		if err != nil {
+			return nil, err
+		}
+		out[s] = b
+	}
+	return out, nil
+}
+
+// ErlangsForBlocking returns the offered load at which an m-slot system
+// reaches the target blocking, by bisection — the utilization headroom
+// question ("how far can λ rise before 1% rejection?").
+func ErlangsForBlocking(servers int, target float64) (float64, error) {
+	if servers <= 0 {
+		return 0, fmt.Errorf("analytic: need at least one slot")
+	}
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("analytic: target blocking must be in (0,1), got %g", target)
+	}
+	lo, hi := 0.0, float64(servers)
+	for {
+		b, err := ErlangB(hi, servers)
+		if err != nil {
+			return 0, err
+		}
+		if b >= target {
+			break
+		}
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return 0, fmt.Errorf("analytic: target blocking %g unreachable", target)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		b, err := ErlangB(mid, servers)
+		if err != nil {
+			return 0, err
+		}
+		if b < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,32 @@
+package analytic_test
+
+import (
+	"fmt"
+	"log"
+
+	"vodcluster/internal/analytic"
+)
+
+// A paper-sized server: 450 concurrent-stream slots (1.8 Gb/s at 4 Mb/s).
+// Offered exactly its capacity in erlangs, an M/G/c/c loss system still
+// blocks a few percent of requests — the statistical-multiplexing penalty
+// the simulator reproduces.
+func ExampleErlangB() {
+	b, err := analytic.ErlangB(450, 450)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("blocking at 100%% offered load: %.2f%%\n", 100*b)
+	// Output: blocking at 100% offered load: 3.67%
+}
+
+// Capacity planning: how many stream slots keep blocking below 1% for 450
+// erlangs of offered traffic?
+func ExampleInverseErlangB() {
+	m, err := analytic.InverseErlangB(450, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m, "slots")
+	// Output: 476 slots
+}

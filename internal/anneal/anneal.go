@@ -1,0 +1,193 @@
+// Package anneal provides a generic simulated-annealing minimizer and the
+// paper's scalable-bit-rate replication/placement optimizer built on it
+// (§4.3). The paper used the closed-source parsa library for the annealing
+// engine; this package substitutes a stdlib-only engine with a geometric
+// cooling schedule and optional parallel independent chains, exposing the
+// same three problem-specific hooks the paper lists: cost function, initial
+// solution, and neighborhood structure.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"vodcluster/internal/stats"
+)
+
+// Problem supplies the problem-specific decisions of a simulated annealing
+// search over states of type S. Implementations must treat states as values:
+// Neighbor must not mutate its argument (use Clone).
+type Problem[S any] interface {
+	// Cost returns the value to minimize.
+	Cost(s S) float64
+	// Neighbor returns a random neighboring state.
+	Neighbor(s S, rng *stats.RNG) S
+	// Clone returns an independent deep copy of s.
+	Clone(s S) S
+}
+
+// Options tunes the annealing schedule. The zero value is replaced by
+// DefaultOptions.
+type Options struct {
+	// InitialTemp is the starting temperature; it should be on the order
+	// of typical cost differences between neighbors.
+	InitialTemp float64
+	// Cooling is the geometric cooling factor in (0, 1); the temperature
+	// is multiplied by it after every plateau.
+	Cooling float64
+	// PlateauSteps is the number of proposals evaluated per temperature.
+	PlateauSteps int
+	// MinTemp ends the search once the temperature falls below it.
+	MinTemp float64
+	// MaxSteps caps the total number of proposals regardless of
+	// temperature (0 = no cap).
+	MaxSteps int
+	// Seed drives the proposal and acceptance randomness.
+	Seed int64
+}
+
+// DefaultOptions returns a schedule that converges well on paper-sized
+// instances (hundreds of videos, up to tens of servers).
+func DefaultOptions() Options {
+	return Options{
+		InitialTemp:  1.0,
+		Cooling:      0.95,
+		PlateauSteps: 200,
+		MinTemp:      1e-4,
+		MaxSteps:     200_000,
+	}
+}
+
+func (o Options) normalized() (Options, error) {
+	if o.InitialTemp == 0 && o.Cooling == 0 && o.PlateauSteps == 0 {
+		def := DefaultOptions()
+		def.Seed = o.Seed
+		return def, nil
+	}
+	if o.InitialTemp <= 0 {
+		return o, fmt.Errorf("anneal: InitialTemp must be positive, got %g", o.InitialTemp)
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		return o, fmt.Errorf("anneal: Cooling must be in (0,1), got %g", o.Cooling)
+	}
+	if o.PlateauSteps <= 0 {
+		return o, fmt.Errorf("anneal: PlateauSteps must be positive, got %d", o.PlateauSteps)
+	}
+	if o.MinTemp <= 0 {
+		return o, fmt.Errorf("anneal: MinTemp must be positive, got %g", o.MinTemp)
+	}
+	return o, nil
+}
+
+// Result reports the outcome of one annealing run.
+type Result[S any] struct {
+	// Best is the lowest-cost state seen and BestCost its cost.
+	Best     S
+	BestCost float64
+	// Steps is the number of proposals evaluated and Accepted how many
+	// were taken.
+	Steps    int
+	Accepted int
+	// CostTrace samples the current cost once per plateau, for convergence
+	// plots.
+	CostTrace []float64
+}
+
+// Minimize runs simulated annealing from the given initial state.
+func Minimize[S any](p Problem[S], initial S, opts Options) (Result[S], error) {
+	var zero Result[S]
+	o, err := opts.normalized()
+	if err != nil {
+		return zero, err
+	}
+	rng := stats.NewRNG(o.Seed)
+	cur := p.Clone(initial)
+	curCost := p.Cost(cur)
+	res := Result[S]{Best: p.Clone(cur), BestCost: curCost}
+
+	temp := o.InitialTemp
+	for temp >= o.MinTemp {
+		for i := 0; i < o.PlateauSteps; i++ {
+			if o.MaxSteps > 0 && res.Steps >= o.MaxSteps {
+				return res, nil
+			}
+			res.Steps++
+			cand := p.Neighbor(cur, rng)
+			candCost := p.Cost(cand)
+			if accept(curCost, candCost, temp, rng) {
+				cur, curCost = cand, candCost
+				res.Accepted++
+				if curCost < res.BestCost {
+					res.Best, res.BestCost = p.Clone(cur), curCost
+				}
+			}
+		}
+		res.CostTrace = append(res.CostTrace, curCost)
+		temp *= o.Cooling
+	}
+	return res, nil
+}
+
+// accept implements the Metropolis criterion.
+func accept(cur, cand, temp float64, rng *stats.RNG) bool {
+	if cand <= cur {
+		return true
+	}
+	return rng.Float64() < math.Exp((cur-cand)/temp)
+}
+
+// MinimizeParallel runs chains independent annealing searches with derived
+// seeds in parallel and returns the best result. It replaces the parsa
+// library's parallelism with the simplest strategy that preserves the
+// paper's semantics: independent restarts.
+func MinimizeParallel[S any](p Problem[S], initial S, opts Options, chains int) (Result[S], error) {
+	var zero Result[S]
+	if chains <= 0 {
+		return zero, fmt.Errorf("anneal: need at least one chain, got %d", chains)
+	}
+	o, err := opts.normalized()
+	if err != nil {
+		return zero, err
+	}
+	results := make([]Result[S], chains)
+	errs := make([]error, chains)
+	root := stats.NewRNG(o.Seed)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > chains {
+		workers = chains
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				co := o
+				co.Seed = root.Derive(int64(i)).Seed()
+				results[i], errs[i] = Minimize(p, p.Clone(initial), co)
+			}
+		}()
+	}
+	for i := 0; i < chains; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return zero, fmt.Errorf("anneal: chain %d: %w", i, err)
+		}
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.BestCost < best.BestCost {
+			best = r
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,147 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+
+	"vodcluster/internal/stats"
+)
+
+// quadratic is a toy 1-D problem: minimize (x − 7)² over integer steps.
+type quadratic struct{}
+
+func (quadratic) Cost(x float64) float64 { return (x - 7) * (x - 7) }
+
+func (quadratic) Neighbor(x float64, rng *stats.RNG) float64 {
+	if rng.Bernoulli(0.5) {
+		return x + 1
+	}
+	return x - 1
+}
+
+func (quadratic) Clone(x float64) float64 { return x }
+
+func TestMinimizeConvergesOnToyProblem(t *testing.T) {
+	opts := Options{InitialTemp: 10, Cooling: 0.9, PlateauSteps: 50, MinTemp: 1e-3, Seed: 1}
+	res, err := Minimize[float64](quadratic{}, 100, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Best-7) > 1 {
+		t.Fatalf("annealer ended at %g, want ≈ 7", res.Best)
+	}
+	if res.BestCost > 1 {
+		t.Fatalf("best cost %g", res.BestCost)
+	}
+	if res.Steps == 0 || res.Accepted == 0 || len(res.CostTrace) == 0 {
+		t.Fatalf("bookkeeping empty: %+v", res)
+	}
+	if res.Accepted > res.Steps {
+		t.Fatal("accepted more proposals than evaluated")
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	opts := Options{InitialTemp: 5, Cooling: 0.9, PlateauSteps: 20, MinTemp: 1e-2, Seed: 3}
+	a, err := Minimize[float64](quadratic{}, 50, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Minimize[float64](quadratic{}, 50, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != b.Best || a.Steps != b.Steps || a.Accepted != b.Accepted {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestMinimizeMaxStepsCap(t *testing.T) {
+	opts := Options{InitialTemp: 10, Cooling: 0.999, PlateauSteps: 100, MinTemp: 1e-9, MaxSteps: 500, Seed: 1}
+	res, err := Minimize[float64](quadratic{}, 100, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 500 {
+		t.Fatalf("steps = %d, want exactly the cap", res.Steps)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{InitialTemp: -1, Cooling: 0.9, PlateauSteps: 10, MinTemp: 1e-3},
+		{InitialTemp: 1, Cooling: 0, PlateauSteps: 10, MinTemp: 1e-3},
+		{InitialTemp: 1, Cooling: 1, PlateauSteps: 10, MinTemp: 1e-3},
+		{InitialTemp: 1, Cooling: 0.9, PlateauSteps: 0, MinTemp: 1e-3},
+		{InitialTemp: 1, Cooling: 0.9, PlateauSteps: 10, MinTemp: 0},
+	}
+	for i, o := range bad {
+		if _, err := Minimize[float64](quadratic{}, 0, o); err == nil {
+			t.Fatalf("bad options %d accepted", i)
+		}
+	}
+	// Zero value falls back to defaults.
+	if _, err := Minimize[float64](quadratic{}, 0, Options{Seed: 2}); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+}
+
+func TestDefaultOptionsValid(t *testing.T) {
+	if _, err := DefaultOptions().normalized(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+}
+
+func TestMinimizeParallelPicksBest(t *testing.T) {
+	opts := Options{InitialTemp: 10, Cooling: 0.9, PlateauSteps: 30, MinTemp: 1e-3, Seed: 5}
+	res, err := MinimizeParallel[float64](quadratic{}, 200, opts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Minimize[float64](quadratic{}, 200, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost > single.BestCost+1e-9 {
+		t.Fatalf("best-of-6 (%g) worse than single chain (%g)", res.BestCost, single.BestCost)
+	}
+	if _, err := MinimizeParallel[float64](quadratic{}, 0, opts, 0); err == nil {
+		t.Fatal("zero chains accepted")
+	}
+}
+
+func TestMinimizeParallelDeterministic(t *testing.T) {
+	opts := Options{InitialTemp: 10, Cooling: 0.9, PlateauSteps: 30, MinTemp: 1e-3, Seed: 5}
+	a, err := MinimizeParallel[float64](quadratic{}, 200, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinimizeParallel[float64](quadratic{}, 200, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestCost != b.BestCost {
+		t.Fatal("parallel chains not deterministic")
+	}
+}
+
+// plateauProblem has a flat cost, so every proposal is accepted; used to
+// check acceptance bookkeeping.
+type plateauProblem struct{}
+
+func (plateauProblem) Cost(float64) float64 { return 1 }
+func (plateauProblem) Neighbor(x float64, rng *stats.RNG) float64 {
+	return x + 1
+}
+func (plateauProblem) Clone(x float64) float64 { return x }
+
+func TestFlatCostAcceptsEverything(t *testing.T) {
+	opts := Options{InitialTemp: 1, Cooling: 0.5, PlateauSteps: 10, MinTemp: 0.4, Seed: 1}
+	res, err := Minimize[float64](plateauProblem{}, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != res.Steps {
+		t.Fatalf("flat landscape: accepted %d of %d", res.Accepted, res.Steps)
+	}
+}

@@ -1,0 +1,407 @@
+package anneal
+
+import (
+	"fmt"
+	"math"
+
+	"vodcluster/internal/core"
+	"vodcluster/internal/stats"
+)
+
+// BitRateLayout is the simulated-annealing state for the scalable-bit-rate
+// problem (§4.3): which servers hold a copy of each video and at which
+// encoding rate. Unlike the fixed-rate Layout, different copies of one video
+// may be encoded at different rates — the flexibility the paper's conclusion
+// highlights for serving heterogeneous clients.
+type BitRateLayout struct {
+	// RateIdx[v][s] is the index into the problem's RateSet of the copy of
+	// video v on server s, or -1 when s holds no copy of v.
+	RateIdx [][]int16
+}
+
+// NewBitRateLayout returns an empty layout for m videos and n servers.
+func NewBitRateLayout(m, n int) *BitRateLayout {
+	l := &BitRateLayout{RateIdx: make([][]int16, m)}
+	for v := range l.RateIdx {
+		l.RateIdx[v] = make([]int16, n)
+		for s := range l.RateIdx[v] {
+			l.RateIdx[v][s] = -1
+		}
+	}
+	return l
+}
+
+// Copies returns how many servers hold video v.
+func (l *BitRateLayout) Copies(v int) int {
+	c := 0
+	for _, ri := range l.RateIdx[v] {
+		if ri >= 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// TotalCopies returns the number of (video, server) placements.
+func (l *BitRateLayout) TotalCopies() int {
+	total := 0
+	for v := range l.RateIdx {
+		total += l.Copies(v)
+	}
+	return total
+}
+
+// clone deep-copies the layout.
+func (l *BitRateLayout) clone() *BitRateLayout {
+	c := &BitRateLayout{RateIdx: make([][]int16, len(l.RateIdx))}
+	for v := range l.RateIdx {
+		c.RateIdx[v] = append([]int16(nil), l.RateIdx[v]...)
+	}
+	return c
+}
+
+// BitRateProblem is the §4.3 optimization: choose copies and their discrete
+// encoding rates to maximize the Eq. 1 objective under storage and outgoing
+// bandwidth constraints. It implements Problem[*BitRateLayout] with
+// Cost = −O plus a large penalty for any constraint violation (the
+// neighborhood keeps states feasible by repair, so the penalty only guards
+// against misuse).
+type BitRateProblem struct {
+	// P supplies the cluster, catalog popularities, durations, and
+	// workload; the catalog's own BitRate fields are ignored.
+	P *core.Problem
+	// RateSet lists the admissible encoding rates in bits/s, ascending.
+	// The paper's example set for MPEG-2 material is {2, 4, 6, 8} Mb/s.
+	RateSet []float64
+	// Obj weights the objective terms; the zero value means
+	// core.DefaultObjective.
+	Obj core.Objective
+}
+
+// Validate checks the problem parameters.
+func (bp *BitRateProblem) Validate() error {
+	if bp.P == nil {
+		return fmt.Errorf("anneal: BitRateProblem needs a core problem")
+	}
+	if err := bp.P.Validate(); err != nil {
+		return err
+	}
+	if len(bp.RateSet) == 0 {
+		return fmt.Errorf("anneal: empty rate set")
+	}
+	for i, r := range bp.RateSet {
+		if r <= 0 {
+			return fmt.Errorf("anneal: rate %d is non-positive (%g)", i, r)
+		}
+		if i > 0 && r <= bp.RateSet[i-1] {
+			return fmt.Errorf("anneal: rate set must be strictly ascending")
+		}
+	}
+	return nil
+}
+
+func (bp *BitRateProblem) objective() core.Objective {
+	if bp.Obj == (core.Objective{}) {
+		return core.DefaultObjective()
+	}
+	return bp.Obj
+}
+
+// copySizeBytes returns the storage of one copy of video v at rate index ri.
+func (bp *BitRateProblem) copySizeBytes(v int, ri int16) float64 {
+	return bp.RateSet[ri] * bp.P.Catalog[v].Duration / 8
+}
+
+// InitialSolution implements the paper's starting point: every video gets one
+// copy at the lowest rate, dealt round-robin across servers. It returns an
+// error if even that does not fit.
+func (bp *BitRateProblem) InitialSolution() (*BitRateLayout, error) {
+	if err := bp.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := bp.P.M(), bp.P.N()
+	l := NewBitRateLayout(m, n)
+	used := make([]float64, n)
+	for v := 0; v < m; v++ {
+		s := v % n
+		size := bp.copySizeBytes(v, 0)
+		if used[s]+size > bp.P.StorageOf(s) {
+			return nil, fmt.Errorf("anneal: initial solution does not fit: server %d full at video %d", s, v)
+		}
+		l.RateIdx[v][s] = 0
+		used[s] += size
+	}
+	return l, nil
+}
+
+// Eval describes a state's objective components and feasibility.
+type Eval struct {
+	// MeanRateMbps is the catalog-average of each video's mean copy rate.
+	MeanRateMbps float64
+	// Degree is the average number of copies per video.
+	Degree float64
+	// Imbalance is the Eq. 2 load imbalance of expected bandwidth demand.
+	Imbalance float64
+	// Objective is the Eq. 1 value (higher is better).
+	Objective float64
+	// StorageViolation and BandwidthViolation are the total capacity
+	// excesses in bytes and bits/s; both are 0 for feasible states.
+	StorageViolation   float64
+	BandwidthViolation float64
+	// Orphans counts videos with no copy at all (always infeasible).
+	Orphans int
+}
+
+// Feasible reports whether the state satisfies every constraint.
+func (e Eval) Feasible() bool {
+	return e.StorageViolation == 0 && e.BandwidthViolation == 0 && e.Orphans == 0
+}
+
+// Evaluate scores a state.
+func (bp *BitRateProblem) Evaluate(l *BitRateLayout) Eval {
+	var e Eval
+	p := bp.P
+	m, n := p.M(), p.N()
+	peak := p.PeakRequests()
+	storage := make([]float64, n)
+	demand := make([]float64, n)
+	totalCopies := 0
+	for v := 0; v < m; v++ {
+		copies := 0
+		rateSum := 0.0
+		for s := 0; s < n; s++ {
+			if l.RateIdx[v][s] >= 0 {
+				copies++
+				rateSum += bp.RateSet[l.RateIdx[v][s]]
+			}
+		}
+		if copies == 0 {
+			e.Orphans++
+			continue
+		}
+		totalCopies += copies
+		e.MeanRateMbps += rateSum / float64(copies) / core.Mbps
+		w := p.Catalog[v].Popularity * peak / float64(copies)
+		for s := 0; s < n; s++ {
+			ri := l.RateIdx[v][s]
+			if ri < 0 {
+				continue
+			}
+			storage[s] += bp.copySizeBytes(v, ri)
+			demand[s] += w * bp.RateSet[ri]
+		}
+	}
+	e.MeanRateMbps /= float64(m)
+	e.Degree = float64(totalCopies) / float64(m)
+	for s := 0; s < n; s++ {
+		if over := storage[s] - p.StorageOf(s); over > 0 {
+			e.StorageViolation += over
+		}
+		if over := demand[s] - p.BandwidthOf(s); over > 0 {
+			e.BandwidthViolation += over
+		}
+	}
+	e.Imbalance = core.ImbalanceMax(demand)
+	obj := bp.objective()
+	e.Objective = e.MeanRateMbps + obj.Alpha*e.Degree - obj.Beta*e.Imbalance
+	return e
+}
+
+// Cost implements Problem: the negated objective plus severe penalties for
+// violated constraints.
+func (bp *BitRateProblem) Cost(l *BitRateLayout) float64 {
+	e := bp.Evaluate(l)
+	penalty := 0.0
+	if !e.Feasible() {
+		n := float64(bp.P.N())
+		penalty = 1e6 +
+			e.StorageViolation/(bp.P.TotalStorage()/n) +
+			e.BandwidthViolation/(bp.P.TotalBandwidth()/n) +
+			float64(e.Orphans)
+	}
+	return -e.Objective + penalty
+}
+
+// Clone implements Problem.
+func (bp *BitRateProblem) Clone(l *BitRateLayout) *BitRateLayout { return l.clone() }
+
+// Neighbor implements Problem with the paper's move structure: pick a random
+// server; either raise the rate of one of its copies or add a new video copy
+// at the lowest rate; then, while the server violates storage or bandwidth,
+// lower the rates of its copies and finally evict lowest-rate copies — never
+// a video's cluster-wide last copy.
+func (bp *BitRateProblem) Neighbor(l *BitRateLayout, rng *stats.RNG) *BitRateLayout {
+	nl := l.clone()
+	p := bp.P
+	m, n := p.M(), p.N()
+	s := rng.Intn(n)
+
+	onServer := make([]int, 0, m)
+	offServer := make([]int, 0, m)
+	for v := 0; v < m; v++ {
+		if nl.RateIdx[v][s] >= 0 {
+			onServer = append(onServer, v)
+		} else {
+			offServer = append(offServer, v)
+		}
+	}
+
+	grow := rng.Bernoulli(0.5)
+	switch {
+	case (grow || len(onServer) == 0) && len(offServer) > 0:
+		v := offServer[rng.Intn(len(offServer))]
+		nl.RateIdx[v][s] = 0
+	case len(onServer) > 0:
+		v := onServer[rng.Intn(len(onServer))]
+		if int(nl.RateIdx[v][s]) < len(bp.RateSet)-1 {
+			nl.RateIdx[v][s]++
+		} else if len(offServer) > 0 { // already at max: add instead
+			v = offServer[rng.Intn(len(offServer))]
+			nl.RateIdx[v][s] = 0
+		}
+	default:
+		return nl // fully packed server with every rate at max
+	}
+
+	bp.repair(nl, rng)
+	return nl
+}
+
+// serverLoad computes server s's storage use and expected peak bandwidth
+// demand under layout l.
+func (bp *BitRateProblem) serverLoad(l *BitRateLayout, s int) (storage, demand float64) {
+	p := bp.P
+	peak := p.PeakRequests()
+	for v := 0; v < p.M(); v++ {
+		ri := l.RateIdx[v][s]
+		if ri < 0 {
+			continue
+		}
+		storage += bp.copySizeBytes(v, ri)
+		w := p.Catalog[v].Popularity * peak / float64(l.Copies(v))
+		demand += w * bp.RateSet[ri]
+	}
+	return storage, demand
+}
+
+// repair restores feasibility after a move by repeatedly applying one
+// reduction action — lowering a raised copy's rate or evicting a lowest-rate
+// copy that is not its video's last — on a violated server. The action is
+// chosen uniformly at random so annealing can trade replicas for quality and
+// vice versa; a deterministic highest-rate-first policy locks the search
+// into all-copies states. Repair is global, not per-server: evicting a copy
+// raises the communication weight of the video's remaining copies and can
+// push *other* servers over their bandwidth limit, so the scan loops until
+// no server is violated. Every action strictly reduces Σ(rate indices) +
+// Σ(copies), so the loop terminates; in the rare state where a violated
+// server has nothing reducible, the cost penalty takes over.
+func (bp *BitRateProblem) repair(l *BitRateLayout, rng *stats.RNG) {
+	p := bp.P
+	m, n := p.M(), p.N()
+	lowerable := make([]int, 0, m)
+	evictable := make([]int, 0, m)
+	// Upper bound on reduction actions: every copy can be lowered through
+	// the whole rate ladder and then evicted once.
+	maxActions := m*n*len(bp.RateSet) + m*n
+	for action := 0; action < maxActions; action++ {
+		violated := -1
+		for s := 0; s < n; s++ {
+			storage, demand := bp.serverLoad(l, s)
+			if storage > p.StorageOf(s) || demand > p.BandwidthOf(s) {
+				violated = s
+				break
+			}
+		}
+		if violated == -1 {
+			return
+		}
+		lowerable = lowerable[:0]
+		evictable = evictable[:0]
+		for v := 0; v < m; v++ {
+			ri := l.RateIdx[v][violated]
+			if ri < 0 {
+				continue
+			}
+			if ri > 0 {
+				lowerable = append(lowerable, v)
+			} else if l.Copies(v) > 1 {
+				evictable = append(evictable, v)
+			}
+		}
+		total := len(lowerable) + len(evictable)
+		if total == 0 {
+			return // nothing reducible; Cost's penalty handles the rest
+		}
+		k := rng.Intn(total)
+		if k < len(lowerable) {
+			l.RateIdx[lowerable[k]][violated]--
+		} else {
+			l.RateIdx[evictable[k-len(lowerable)]][violated] = -1
+		}
+	}
+}
+
+var _ Problem[*BitRateLayout] = (*BitRateProblem)(nil)
+
+// Optimize runs the full §4.3 pipeline: initial solution, annealing, and a
+// final evaluation. chains > 1 runs parallel independent searches.
+func (bp *BitRateProblem) Optimize(opts Options, chains int) (*BitRateLayout, Eval, error) {
+	init, err := bp.InitialSolution()
+	if err != nil {
+		return nil, Eval{}, err
+	}
+	var res Result[*BitRateLayout]
+	if chains <= 1 {
+		res, err = Minimize[*BitRateLayout](bp, init, opts)
+	} else {
+		res, err = MinimizeParallel[*BitRateLayout](bp, init, opts, chains)
+	}
+	if err != nil {
+		return nil, Eval{}, err
+	}
+	e := bp.Evaluate(res.Best)
+	if math.IsNaN(e.Objective) {
+		return nil, Eval{}, fmt.Errorf("anneal: objective is NaN")
+	}
+	return res.Best, e, nil
+}
+
+// Runtime converts an annealed scalable-bit-rate layout into the simulator's
+// inputs: a core.Layout listing where copies live and the per-copy rate
+// matrix for cluster.WithCopyRates. The §4.3 result can then be simulated
+// end to end instead of only evaluated analytically.
+func (bp *BitRateProblem) Runtime(l *BitRateLayout) (*core.Layout, [][]float64, error) {
+	if err := bp.Validate(); err != nil {
+		return nil, nil, err
+	}
+	m, n := bp.P.M(), bp.P.N()
+	if len(l.RateIdx) != m {
+		return nil, nil, fmt.Errorf("anneal: layout covers %d videos; problem has %d", len(l.RateIdx), m)
+	}
+	layout := core.NewLayout(m)
+	rates := make([][]float64, m)
+	for v := 0; v < m; v++ {
+		if len(l.RateIdx[v]) != n {
+			return nil, nil, fmt.Errorf("anneal: video %d covers %d servers; want %d", v, len(l.RateIdx[v]), n)
+		}
+		rates[v] = make([]float64, n)
+		for s := 0; s < n; s++ {
+			ri := l.RateIdx[v][s]
+			if ri < 0 {
+				continue
+			}
+			if int(ri) >= len(bp.RateSet) {
+				return nil, nil, fmt.Errorf("anneal: video %d on server %d has rate index %d of %d", v, s, ri, len(bp.RateSet))
+			}
+			if err := layout.Place(v, s); err != nil {
+				return nil, nil, err
+			}
+			layout.Replicas[v]++
+			rates[v][s] = bp.RateSet[ri]
+		}
+		if layout.Replicas[v] == 0 {
+			return nil, nil, fmt.Errorf("anneal: video %d has no copy", v)
+		}
+	}
+	return layout, rates, nil
+}

@@ -1,0 +1,293 @@
+package apportion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vodcluster/internal/stats"
+)
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestMethodStrings(t *testing.T) {
+	cases := map[Method]string{
+		Adams: "adams", Jefferson: "jefferson", Webster: "webster",
+		Hill: "hill", Hamilton: "hamilton", Method(99): "method(99)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestApportionValidation(t *testing.T) {
+	if _, err := Apportion(nil, 3, Adams); err == nil {
+		t.Fatal("no parties accepted")
+	}
+	if _, err := Apportion([]float64{1, 2}, -1, Webster); err == nil {
+		t.Fatal("negative seats accepted")
+	}
+	if _, err := Apportion([]float64{1, 0}, 2, Webster); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := Apportion([]float64{1, math.NaN()}, 2, Webster); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	if _, err := Apportion([]float64{1, math.Inf(1)}, 2, Webster); err == nil {
+		t.Fatal("infinite weight accepted")
+	}
+	if _, err := Apportion([]float64{1, 2, 3}, 2, Adams); err == nil {
+		t.Fatal("Adams with seats < parties accepted")
+	}
+}
+
+func TestAdamsGivesEveryoneASeat(t *testing.T) {
+	got, err := Apportion([]float64{1000, 1, 1, 1}, 4, Adams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range got {
+		if s < 1 {
+			t.Fatalf("party %d got %d seats under Adams", i, s)
+		}
+	}
+	if sum(got) != 4 {
+		t.Fatalf("seats sum to %d", sum(got))
+	}
+}
+
+func TestAdamsMinimizesMaxShare(t *testing.T) {
+	// Adams awards seats to the party with the greatest weight/seats, so it
+	// minimizes max_i w_i/s_i. Check against exhaustive search.
+	weights := []float64{0.5, 0.25, 0.15, 0.1}
+	for seats := 4; seats <= 10; seats++ {
+		got, err := Apportion(weights, seats, Adams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestVal := math.Inf(1)
+		var rec func(i, left int, cur []int)
+		rec = func(i, left int, cur []int) {
+			if i == len(weights) {
+				if left != 0 {
+					return
+				}
+				v := 0.0
+				for j, s := range cur {
+					v = math.Max(v, weights[j]/float64(s))
+				}
+				bestVal = math.Min(bestVal, v)
+				return
+			}
+			for s := 1; s <= left-(len(weights)-i-1); s++ {
+				cur[i] = s
+				rec(i+1, left-s, cur)
+			}
+		}
+		rec(0, seats, make([]int, len(weights)))
+		gotVal := 0.0
+		for j, s := range got {
+			gotVal = math.Max(gotVal, weights[j]/float64(s))
+		}
+		if math.Abs(gotVal-bestVal) > 1e-12 {
+			t.Fatalf("seats=%d: Adams max share %g, optimal %g (alloc %v)", seats, gotVal, bestVal, got)
+		}
+	}
+}
+
+func TestJeffersonFavorsLarge(t *testing.T) {
+	// D'Hondt with weights 6:1 over 7 seats: large party takes 6.
+	got, err := Apportion([]float64{6, 1}, 7, Jefferson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 || got[1] != 1 {
+		t.Fatalf("Jefferson 6:1 over 7 = %v, want [6 1]", got)
+	}
+}
+
+func TestWebsterKnownCase(t *testing.T) {
+	// Sainte-Laguë with 53:24:23 over 10 seats gives 5:3:2... verify quota
+	// adherence instead of memorized numbers: each allocation within 1 of
+	// exact quota for this benign instance.
+	weights := []float64{53, 24, 23}
+	got, err := Apportion(weights, 10, Webster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(got) != 10 {
+		t.Fatalf("sum = %d", sum(got))
+	}
+	for i, w := range weights {
+		quota := w / 100 * 10
+		if math.Abs(float64(got[i])-quota) > 1 {
+			t.Fatalf("Webster seat %d = %d, quota %g", i, got[i], quota)
+		}
+	}
+}
+
+func TestHillRankFunction(t *testing.T) {
+	// d(k) = sqrt(k(k+1)): first seat priority infinite, so everyone seated
+	// first when seats ≥ parties.
+	got, err := Apportion([]float64{10, 1}, 2, Hill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("Hill must seat both parties first: %v", got)
+	}
+}
+
+func TestHamiltonQuotaRule(t *testing.T) {
+	// Hamilton satisfies quota: each allocation is floor(q) or ceil(q).
+	f := func(raw []uint16, seatsRaw uint8) bool {
+		weights := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			if r > 0 {
+				weights = append(weights, float64(r))
+			}
+		}
+		if len(weights) == 0 {
+			return true
+		}
+		seats := int(seatsRaw)
+		got, err := Apportion(weights, seats, Hamilton)
+		if err != nil {
+			return false
+		}
+		if sum(got) != seats {
+			return false
+		}
+		total := 0.0
+		for _, w := range weights {
+			total += w
+		}
+		for i, w := range weights {
+			q := w / total * float64(seats)
+			if float64(got[i]) < math.Floor(q)-1e-9 || float64(got[i]) > math.Ceil(q)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDivisorHouseMonotone: divisor methods never take a seat away when the
+// house grows — the property that makes Adams usable for incremental
+// replication (no replica is ever "un-created" as storage grows).
+func TestDivisorHouseMonotone(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64() + 0.01
+		}
+		for _, m := range []Method{Adams, Jefferson, Webster, Hill} {
+			start := 0
+			if m == Adams {
+				start = n
+			}
+			prev, err := Apportion(weights, start, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seats := start + 1; seats <= start+12; seats++ {
+				next, err := Apportion(weights, seats, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range next {
+					if next[i] < prev[i] {
+						t.Fatalf("%s not house-monotone: seats %d→%d shrank party %d (%v → %v)",
+							m, seats-1, seats, i, prev, next)
+					}
+				}
+				prev = next
+			}
+		}
+	}
+}
+
+func TestBoundedDivisorCaps(t *testing.T) {
+	weights := []float64{100, 1, 1}
+	caps := []int{2, 5, 5}
+	got, err := BoundedDivisor(weights, 6, Adams, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("cap violated: %v", got)
+	}
+	if sum(got) != 6 {
+		t.Fatalf("sum = %d", sum(got))
+	}
+}
+
+func TestBoundedDivisorValidation(t *testing.T) {
+	if _, err := BoundedDivisor([]float64{1, 2}, 2, Hamilton, nil); err == nil {
+		t.Fatal("Hamilton accepted as divisor method")
+	}
+	if _, err := BoundedDivisor([]float64{1, 2}, 2, Adams, []int{1}); err == nil {
+		t.Fatal("wrong caps length accepted")
+	}
+	if _, err := BoundedDivisor([]float64{1, 2}, 2, Adams, []int{-1, 3}); err == nil {
+		t.Fatal("negative cap accepted")
+	}
+	if _, err := BoundedDivisor([]float64{1, 2}, 5, Adams, []int{2, 2}); err == nil {
+		t.Fatal("unreachable target accepted")
+	}
+}
+
+func TestBoundedDivisorZeroCapParty(t *testing.T) {
+	got, err := BoundedDivisor([]float64{5, 5}, 3, Jefferson, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 3 {
+		t.Fatalf("zero-cap party seated: %v", got)
+	}
+}
+
+func TestTieBreakDeterminism(t *testing.T) {
+	// Equal weights: ties must resolve toward the lower index, every time.
+	for trial := 0; trial < 10; trial++ {
+		got, err := Apportion([]float64{1, 1, 1}, 4, Webster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 2 || got[1] != 1 || got[2] != 1 {
+			t.Fatalf("tie-break changed: %v", got)
+		}
+	}
+}
+
+func BenchmarkBoundedAdams1000x10000(b *testing.B) {
+	rng := stats.NewRNG(1)
+	weights := make([]float64, 1000)
+	for i := range weights {
+		weights[i] = rng.Float64() + 0.001
+	}
+	caps := make([]int, len(weights))
+	for i := range caps {
+		caps[i] = 16
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BoundedDivisor(weights, 10000, Adams, caps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

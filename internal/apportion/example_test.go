@@ -1,0 +1,27 @@
+package apportion_test
+
+import (
+	"fmt"
+	"log"
+
+	"vodcluster/internal/apportion"
+)
+
+// Adams' method (divisor d(k) = k) gives every party a seat before any party
+// gets a second one and then awards seats to the largest weight-per-seat —
+// exactly the rule the paper's optimal replication uses, with videos as
+// parties and replicas as seats.
+func ExampleApportion() {
+	weights := []float64{0.5, 0.25, 0.15, 0.1}
+	for _, method := range []apportion.Method{apportion.Adams, apportion.Jefferson, apportion.Hamilton} {
+		seats, err := apportion.Apportion(weights, 8, method)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %v\n", method, seats)
+	}
+	// Output:
+	// adams     [4 2 1 1]
+	// jefferson [5 2 1 0]
+	// hamilton  [4 2 1 1]
+}

@@ -1,0 +1,38 @@
+package apportion
+
+import (
+	"testing"
+)
+
+// FuzzApportion: for arbitrary weights and seat counts, no method may panic,
+// and every successful apportionment distributes exactly the requested seats
+// with non-negative allocations.
+func FuzzApportion(f *testing.F) {
+	f.Add(uint16(3), uint8(10), uint8(0))
+	f.Add(uint16(1), uint8(0), uint8(4))
+	f.Add(uint16(8), uint8(200), uint8(2))
+	f.Fuzz(func(t *testing.T, nRaw uint16, seatsRaw, methodRaw uint8) {
+		n := int(nRaw%64) + 1
+		seats := int(seatsRaw)
+		method := Method(methodRaw % 5)
+		weights := make([]float64, n)
+		for i := range weights {
+			// Deterministic spread of weights, including near-ties.
+			weights[i] = 1 + float64((i*2654435761)%1000)/100
+		}
+		got, err := Apportion(weights, seats, method)
+		if err != nil {
+			return // Adams with seats < n, for example
+		}
+		total := 0
+		for i, s := range got {
+			if s < 0 {
+				t.Fatalf("%v: negative seats for party %d", method, i)
+			}
+			total += s
+		}
+		if total != seats {
+			t.Fatalf("%v: distributed %d of %d seats", method, total, seats)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runtime layout mutation: the operations dynamic replication (paper §4.1.2
+// "the replication algorithms can be applied for dynamic replication during
+// run-time") needs to add and remove replicas while streams are in flight.
+// Active streams are never disturbed — removing a replica only stops future
+// requests from being scheduled onto it.
+
+// StorageUsed returns the bytes of content stored on server s.
+func (st *State) StorageUsed(s int) float64 { return st.storageUsed[s] }
+
+// StorageFree returns the remaining content storage of server s.
+func (st *State) StorageFree(s int) float64 {
+	return st.p.StorageOf(s) - st.storageUsed[s]
+}
+
+// Replicas returns the current number of replicas of video v.
+func (st *State) Replicas(v int) int { return len(st.holders[v]) }
+
+// AddReplica places a new replica of video v on server s at runtime. The
+// server must be up, must not already hold the video, and must have storage
+// room. The cursor arithmetic of the static round-robin scheduler adapts
+// automatically to the longer holder list.
+func (st *State) AddReplica(v, s int) error {
+	if v < 0 || v >= st.p.M() {
+		return fmt.Errorf("cluster: no video %d", v)
+	}
+	if s < 0 || s >= st.p.N() {
+		return fmt.Errorf("cluster: no server %d", s)
+	}
+	if !st.up[s] {
+		return fmt.Errorf("cluster: server %d is down", s)
+	}
+	holders := st.holders[v]
+	i := sort.SearchInts(holders, s)
+	if i < len(holders) && holders[i] == s {
+		return fmt.Errorf("cluster: server %d already holds video %d", s, v)
+	}
+	size := st.p.Catalog[v].SizeBytes()
+	if st.StorageFree(s) < size-1e-6 {
+		return fmt.Errorf("cluster: server %d lacks %g bytes for video %d", s, size, v)
+	}
+	holders = append(holders, 0)
+	copy(holders[i+1:], holders[i:])
+	holders[i] = s
+	st.holders[v] = holders
+	st.storageUsed[s] += size
+	return nil
+}
+
+// RemoveReplica evicts the replica of video v from server s. The video's
+// last replica can never be removed (constraint Eq. 7 keeps every video
+// present). Streams currently served from s continue; only future
+// scheduling is affected.
+func (st *State) RemoveReplica(v, s int) error {
+	if v < 0 || v >= st.p.M() {
+		return fmt.Errorf("cluster: no video %d", v)
+	}
+	holders := st.holders[v]
+	i := sort.SearchInts(holders, s)
+	if i >= len(holders) || holders[i] != s {
+		return fmt.Errorf("cluster: server %d does not hold video %d", s, v)
+	}
+	if len(holders) == 1 {
+		return fmt.Errorf("cluster: refusing to remove the last replica of video %d", v)
+	}
+	st.holders[v] = append(holders[:i], holders[i+1:]...)
+	st.storageUsed[s] -= st.p.Catalog[v].SizeBytes()
+	if st.storageUsed[s] < 0 {
+		st.storageUsed[s] = 0
+	}
+	return nil
+}
+
+// ReserveBackbone claims bps of internal backbone bandwidth (e.g. for a
+// replica migration) and reports whether it fit.
+func (st *State) ReserveBackbone(bps float64) bool {
+	if bps <= 0 {
+		return false
+	}
+	if st.BackboneFree() < bps-1e-6 {
+		return false
+	}
+	st.backboneUsed += bps
+	return true
+}
+
+// ReleaseBackbone returns previously reserved backbone bandwidth.
+func (st *State) ReleaseBackbone(bps float64) {
+	st.backboneUsed -= bps
+	if st.backboneUsed < 0 {
+		st.backboneUsed = 0
+	}
+}

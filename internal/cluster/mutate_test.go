@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"testing"
+
+	"vodcluster/internal/core"
+)
+
+func TestAddReplicaRuntime(t *testing.T) {
+	st := newState(t, 0)
+	// Layout: v0 on {0,1}, v1 on {0}, v2 on {1}; each server holds 2 of 2.
+	if err := st.AddReplica(1, 1); err == nil {
+		t.Fatal("add beyond storage capacity accepted")
+	}
+	// Free a slot first.
+	if err := st.RemoveReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Replicas(0) != 1 {
+		t.Fatalf("replicas of v0 = %d", st.Replicas(0))
+	}
+	if err := st.AddReplica(1, 1); err != nil {
+		t.Fatalf("add after eviction failed: %v", err)
+	}
+	if st.Replicas(1) != 2 {
+		t.Fatalf("replicas of v1 = %d", st.Replicas(1))
+	}
+	holders := st.Holders(1)
+	if len(holders) != 2 || holders[0] != 0 || holders[1] != 1 {
+		t.Fatalf("holders of v1 = %v", holders)
+	}
+	// Round-robin over the grown holder set reaches the new replica.
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		if id, ok := st.Admit(1, StaticRoundRobin{}); ok {
+			s, _ := st.Lookup(id)
+			seen[s.Server] = true
+			if err := st.Release(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("scheduler never used the new replica: %v", seen)
+	}
+}
+
+func TestAddReplicaValidation(t *testing.T) {
+	st := newState(t, 0)
+	if err := st.AddReplica(-1, 0); err == nil {
+		t.Fatal("negative video accepted")
+	}
+	if err := st.AddReplica(0, 9); err == nil {
+		t.Fatal("bad server accepted")
+	}
+	if err := st.AddReplica(0, 0); err == nil {
+		t.Fatal("duplicate replica accepted (Eq. 6)")
+	}
+	st.FailServer(1)
+	if err := st.AddReplica(1, 1); err == nil {
+		t.Fatal("add to down server accepted")
+	}
+}
+
+func TestRemoveReplicaValidation(t *testing.T) {
+	st := newState(t, 0)
+	if err := st.RemoveReplica(1, 1); err == nil {
+		t.Fatal("removing a replica the server lacks accepted")
+	}
+	if err := st.RemoveReplica(1, 0); err == nil {
+		t.Fatal("removing the last replica accepted (Eq. 7)")
+	}
+	if err := st.RemoveReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RemoveReplica(9, 0); err == nil {
+		t.Fatal("bad video accepted")
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	st := newState(t, 0)
+	size := st.Problem().Catalog[0].SizeBytes()
+	if st.StorageFree(0) > 1e-6 {
+		t.Fatalf("full server reports %g bytes free", st.StorageFree(0))
+	}
+	if err := st.RemoveReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.StorageFree(0); got < size-1e-6 {
+		t.Fatalf("free after eviction %g, want %g", got, size)
+	}
+	if got := st.StorageUsed(0); got < size-1e-6 || got > size+1e-6 {
+		t.Fatalf("used after eviction %g, want %g", got, size)
+	}
+}
+
+func TestBackboneReservation(t *testing.T) {
+	st := newState(t, 10*core.Mbps)
+	if st.ReserveBackbone(0) {
+		t.Fatal("zero reservation accepted")
+	}
+	if !st.ReserveBackbone(6 * core.Mbps) {
+		t.Fatal("reservation within capacity refused")
+	}
+	if st.ReserveBackbone(6 * core.Mbps) {
+		t.Fatal("over-reservation accepted")
+	}
+	st.ReleaseBackbone(6 * core.Mbps)
+	if st.BackboneFree() != 10*core.Mbps {
+		t.Fatalf("backbone free %g after release", st.BackboneFree())
+	}
+	st.ReleaseBackbone(100 * core.Mbps) // over-release clamps to zero usage
+	if st.BackboneFree() != 10*core.Mbps {
+		t.Fatal("over-release corrupted accounting")
+	}
+}

@@ -1,0 +1,88 @@
+package cluster
+
+// Scheduler chooses which replica (if any) serves a request for a video.
+// Implementations may keep per-video state inside the State (the static
+// round-robin cursor) but must not mutate bandwidth accounting; Admit does
+// that after the decision.
+type Scheduler interface {
+	// Schedule returns the admission decision for one request for video v.
+	Schedule(st *State, v int) Decision
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// StaticRoundRobin is the paper's scheduling model (§3.2): requests for a
+// video rotate over its replicas in fixed order, regardless of load, so each
+// replica receives w_i = p_i·λ·T/r_i expected requests. If the designated
+// server lacks outgoing bandwidth the request is rejected — the paper's
+// simple admission control. The cursor advances on every request, accepted
+// or not, to preserve the rotation.
+type StaticRoundRobin struct{}
+
+// Name implements Scheduler.
+func (StaticRoundRobin) Name() string { return "static-rr" }
+
+// Schedule implements Scheduler.
+func (StaticRoundRobin) Schedule(st *State, v int) Decision {
+	holders := st.holders[v]
+	if len(holders) == 0 {
+		return Reject
+	}
+	k := st.rrNext[v] % len(holders)
+	st.rrNext[v] = (k + 1) % len(holders)
+	s := holders[k]
+	if !st.CanServe(s, v) {
+		return Reject
+	}
+	return Direct(s)
+}
+
+// FirstAvailable rotates like StaticRoundRobin but, when the designated
+// replica's server is saturated, tries the video's remaining replicas before
+// rejecting. This is the natural "retry" refinement of the paper's policy and
+// quantifies how much of the replication benefit static scheduling leaves on
+// the table.
+type FirstAvailable struct{}
+
+// Name implements Scheduler.
+func (FirstAvailable) Name() string { return "first-available" }
+
+// Schedule implements Scheduler.
+func (FirstAvailable) Schedule(st *State, v int) Decision {
+	holders := st.holders[v]
+	if len(holders) == 0 {
+		return Reject
+	}
+	k := st.rrNext[v] % len(holders)
+	st.rrNext[v] = (k + 1) % len(holders)
+	for probe := 0; probe < len(holders); probe++ {
+		s := holders[(k+probe)%len(holders)]
+		if st.CanServe(s, v) {
+			return Direct(s)
+		}
+	}
+	return Reject
+}
+
+// LeastLoaded serves each request from the replica holder with the most free
+// outgoing bandwidth — the strongest dynamic policy available without
+// redirection, used as the upper-bound control in scheduling ablations.
+type LeastLoaded struct{}
+
+// Name implements Scheduler.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Schedule implements Scheduler.
+func (LeastLoaded) Schedule(st *State, v int) Decision {
+	best := -1
+	bestFree := 0.0
+	for _, s := range st.holders[v] {
+		if free := st.FreeBandwidth(s); free > bestFree {
+			best, bestFree = s, free
+		}
+	}
+	if best == -1 || !st.CanServe(best, v) {
+		return Reject
+	}
+	return Direct(best)
+}

@@ -1,0 +1,170 @@
+// Package config defines the JSON scenario format consumed by the command
+// line tools and the paper-default parameters reconstructed from the
+// evaluation section (§5): 8 homogeneous servers with 1.8 Gb/s outgoing
+// links, 100 videos of 90 minutes encoded at the MPEG-2 rate of 4 Mb/s
+// (2.7 GB each), Zipf-like popularity, Poisson arrivals with a peak rate of
+// 40 requests/minute (the rate that exactly consumes the cluster's
+// 3600-stream capacity over the 90-minute peak period), and a simple
+// bandwidth-only admission control.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"vodcluster/internal/core"
+)
+
+// Scenario is the serializable description of one experiment setup. Units
+// are the human-friendly ones the paper uses; Problem() converts to the SI
+// units of the core model.
+type Scenario struct {
+	// Servers is N.
+	Servers int `json:"servers"`
+	// StorageGB is each server's storage in gigabytes. Zero means "derive
+	// from Degree": just enough cluster storage for Degree replicas per
+	// video, the way the paper varies storage to sweep the replication
+	// degree.
+	StorageGB float64 `json:"storage_gb"`
+	// BandwidthGbps is each server's outgoing bandwidth in Gb/s.
+	BandwidthGbps float64 `json:"bandwidth_gbps"`
+	// BackboneGbps is the cluster-internal backbone bandwidth for request
+	// redirection; zero disables redirection.
+	BackboneGbps float64 `json:"backbone_gbps,omitempty"`
+	// ServerStorageGB and ServerBandwidthGbps optionally give per-server
+	// capacities for heterogeneous clusters; when set they must have
+	// Servers entries and override the scalar fields.
+	ServerStorageGB     []float64 `json:"server_storage_gb,omitempty"`
+	ServerBandwidthGbps []float64 `json:"server_bandwidth_gbps,omitempty"`
+
+	// Videos is M and Theta the Zipf skew.
+	Videos int     `json:"videos"`
+	Theta  float64 `json:"theta"`
+	// BitRateMbps is the fixed encoding rate in Mb/s.
+	BitRateMbps float64 `json:"bitrate_mbps"`
+	// DurationMin is the video length in minutes.
+	DurationMin float64 `json:"duration_min"`
+
+	// LambdaPerMin is the peak arrival rate in requests/minute; PeakMin
+	// the peak-period length in minutes (zero means DurationMin).
+	LambdaPerMin float64 `json:"lambda_per_min"`
+	PeakMin      float64 `json:"peak_min,omitempty"`
+
+	// Degree is the target replication degree (average replicas/video).
+	Degree float64 `json:"degree"`
+	// Replicator, Placer, Scheduler select algorithms by name:
+	// adams | zipf | classification | uniform;
+	// slf | roundrobin | greedy | random;
+	// static-rr | first-available | least-loaded.
+	Replicator string `json:"replicator"`
+	Placer     string `json:"placer"`
+	Scheduler  string `json:"scheduler,omitempty"`
+
+	// Runs is the number of simulation replications; Seed the master seed.
+	Runs int   `json:"runs"`
+	Seed int64 `json:"seed"`
+}
+
+// Paper returns the reconstructed paper-default scenario. The figure axes in
+// the available text are OCR-damaged; EXPERIMENTS.md records which values
+// were reconstructed and how.
+func Paper() Scenario {
+	return Scenario{
+		Servers:       8,
+		BandwidthGbps: 1.8,
+		Videos:        100,
+		Theta:         0.75,
+		BitRateMbps:   4,
+		DurationMin:   90,
+		LambdaPerMin:  40,
+		Degree:        1.2,
+		Replicator:    "zipf",
+		Placer:        "slf",
+		Scheduler:     "static-rr",
+		Runs:          20,
+		Seed:          42,
+	}
+}
+
+// Problem converts the scenario into a core problem.
+func (s Scenario) Problem() (*core.Problem, error) {
+	if s.Videos <= 0 {
+		return nil, fmt.Errorf("config: videos must be positive")
+	}
+	catalog, err := core.NewCatalog(s.Videos, s.Theta, s.BitRateMbps*core.Mbps, s.DurationMin*core.Minute)
+	if err != nil {
+		return nil, err
+	}
+	peak := s.PeakMin
+	if peak == 0 {
+		peak = s.DurationMin
+	}
+	storage := s.StorageGB * core.GB
+	if storage == 0 {
+		if s.Degree < 1 {
+			return nil, fmt.Errorf("config: need StorageGB or Degree ≥ 1 to size storage")
+		}
+		// Smallest per-server storage (in whole replicas) that admits
+		// Degree replicas per video across the cluster.
+		videoSize := catalog[0].SizeBytes()
+		perServer := math.Ceil(s.Degree * float64(s.Videos) / float64(s.Servers))
+		storage = perServer * videoSize
+	}
+	p := &core.Problem{
+		Catalog:            catalog,
+		NumServers:         s.Servers,
+		StoragePerServer:   storage,
+		BandwidthPerServer: s.BandwidthGbps * core.Gbps,
+		ArrivalRate:        s.LambdaPerMin / core.Minute,
+		PeakPeriod:         peak * core.Minute,
+		BackboneBandwidth:  s.BackboneGbps * core.Gbps,
+	}
+	if s.ServerStorageGB != nil {
+		p.ServerStorage = make([]float64, len(s.ServerStorageGB))
+		for i, g := range s.ServerStorageGB {
+			p.ServerStorage[i] = g * core.GB
+		}
+	}
+	if s.ServerBandwidthGbps != nil {
+		p.ServerBandwidth = make([]float64, len(s.ServerBandwidthGbps))
+		for i, g := range s.ServerBandwidthGbps {
+			p.ServerBandwidth[i] = g * core.Gbps
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Save writes the scenario as indented JSON.
+func (s Scenario) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Load parses a scenario from JSON, filling unset algorithm names with the
+// paper defaults.
+func Load(r io.Reader) (Scenario, error) {
+	s := Scenario{}
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return s, fmt.Errorf("config: decoding scenario: %w", err)
+	}
+	def := Paper()
+	if s.Replicator == "" {
+		s.Replicator = def.Replicator
+	}
+	if s.Placer == "" {
+		s.Placer = def.Placer
+	}
+	if s.Scheduler == "" {
+		s.Scheduler = def.Scheduler
+	}
+	if s.Runs == 0 {
+		s.Runs = def.Runs
+	}
+	return s, nil
+}

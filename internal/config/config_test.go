@@ -1,0 +1,181 @@
+package config
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vodcluster/internal/core"
+)
+
+func TestPaperScenarioProblem(t *testing.T) {
+	p, err := Paper().Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 8 || p.M() != 100 {
+		t.Fatalf("N=%d M=%d", p.N(), p.M())
+	}
+	// Saturation of the paper cluster: 40 requests/minute.
+	sat, err := p.SaturationArrivalRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sat * core.Minute; math.Abs(got-40) > 1e-9 {
+		t.Fatalf("saturation %g/min, want 40", got)
+	}
+	if math.Abs(p.ArrivalRate*core.Minute-40) > 1e-9 {
+		t.Fatalf("arrival rate %g/min", p.ArrivalRate*core.Minute)
+	}
+	if p.PeakPeriod != 90*core.Minute {
+		t.Fatalf("peak %g", p.PeakPeriod)
+	}
+}
+
+func TestStorageDerivedFromDegree(t *testing.T) {
+	s := Paper()
+	s.Degree = 1.2
+	p, err := s.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capPer, err := p.ReplicaCapacityPerServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.2 × 100 / 8 = 15 replicas per server.
+	if capPer != 15 {
+		t.Fatalf("derived capacity %d, want 15", capPer)
+	}
+	total, err := p.TargetTotalReplicas(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 120 {
+		t.Fatalf("target %d, want 120", total)
+	}
+}
+
+func TestExplicitStorageWins(t *testing.T) {
+	s := Paper()
+	s.StorageGB = 67.5
+	p, err := s.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.StoragePerServer-67.5*core.GB) > 1 {
+		t.Fatalf("storage %g", p.StoragePerServer)
+	}
+}
+
+func TestScenarioValidationErrors(t *testing.T) {
+	s := Paper()
+	s.Videos = 0
+	if _, err := s.Problem(); err == nil {
+		t.Fatal("zero videos accepted")
+	}
+	s = Paper()
+	s.Degree = 0
+	s.StorageGB = 0
+	if _, err := s.Problem(); err == nil {
+		t.Fatal("no storage and no degree accepted")
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	s := Paper()
+	s.BackboneGbps = 2
+	s.Degree = 1.6
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("roundtrip changed scenario:\n%+v\n%+v", s, got)
+	}
+}
+
+func TestHeterogeneousScenario(t *testing.T) {
+	s := Paper()
+	s.Servers = 4
+	s.LambdaPerMin = 20
+	s.ServerStorageGB = []float64{67.5, 67.5, 33.75, 33.75}
+	s.ServerBandwidthGbps = []float64{2.4, 2.4, 1.2, 1.2}
+	p, err := s.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Homogeneous() {
+		t.Fatal("heterogeneous scenario produced homogeneous problem")
+	}
+	if p.BandwidthOf(0) != 2.4*core.Gbps || p.BandwidthOf(3) != 1.2*core.Gbps {
+		t.Fatal("per-server bandwidth lost in conversion")
+	}
+	if p.StorageOf(2) != 33.75*core.GB {
+		t.Fatal("per-server storage lost in conversion")
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatal("heterogeneous roundtrip lost data")
+	}
+	// Mismatched lengths must be rejected by problem validation.
+	s.ServerStorageGB = []float64{67.5}
+	if _, err := s.Problem(); err == nil {
+		t.Fatal("mismatched ServerStorageGB accepted")
+	}
+}
+
+func TestLoadFillsDefaults(t *testing.T) {
+	got, err := Load(strings.NewReader(`{"servers":4,"videos":50,"theta":0.5,
+		"bitrate_mbps":4,"duration_min":90,"lambda_per_min":20,"degree":1.2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := Paper()
+	if got.Replicator != def.Replicator || got.Placer != def.Placer ||
+		got.Scheduler != def.Scheduler || got.Runs != def.Runs {
+		t.Fatalf("defaults not filled: %+v", got)
+	}
+	if got.Servers != 4 || got.Videos != 50 {
+		t.Fatal("explicit values overridden")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPeakDefaultsToDuration(t *testing.T) {
+	s := Paper()
+	s.PeakMin = 0
+	p, err := s.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PeakPeriod != p.Catalog[0].Duration {
+		t.Fatal("peak did not default to the video duration")
+	}
+	s.PeakMin = 60
+	p, err = s.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PeakPeriod != 60*core.Minute {
+		t.Fatal("explicit peak ignored")
+	}
+}

@@ -1,0 +1,34 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad: arbitrary bytes must never panic the scenario parser, and any
+// scenario that parses and converts must produce a validated problem.
+func FuzzLoad(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Paper().Save(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{}`)
+	f.Add(`{"servers":-1}`)
+	f.Add(`{"servers":8,"videos":100,"theta":0.75,"bitrate_mbps":4,"duration_min":90,"lambda_per_min":40,"degree":1.2}`)
+	f.Add(`{"server_storage_gb":[1,2],"server_bandwidth_gbps":[0.5]}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		s, err := Load(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		p, err := s.Problem()
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Problem() returned an invalid problem: %v", err)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vodcluster/internal/core"
+)
+
+// planFixture computes a tiny valid layout by hand.
+func planFixture(t *testing.T) (Scenario, *core.Layout) {
+	t.Helper()
+	s := Paper()
+	s.Videos = 4
+	s.Servers = 2
+	s.LambdaPerMin = 10
+	s.Degree = 1.5
+	layout := core.NewLayout(4)
+	layout.Replicas = []int{2, 2, 1, 1}
+	for _, pl := range []struct{ v, sv int }{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {3, 1}} {
+		if err := layout.Place(pl.v, pl.sv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, layout
+}
+
+func TestPlanRoundtrip(t *testing.T) {
+	s, layout := planFixture(t)
+	plan := NewPlan(s, layout)
+	var buf bytes.Buffer
+	if err := plan.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problem, restored, err := got.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problem.M() != 4 || restored.TotalReplicas() != 6 {
+		t.Fatalf("restored M=%d replicas=%d", problem.M(), restored.TotalReplicas())
+	}
+	for v := range layout.Servers {
+		for k := range layout.Servers[v] {
+			if restored.Servers[v][k] != layout.Servers[v][k] {
+				t.Fatal("placement corrupted in roundtrip")
+			}
+		}
+	}
+}
+
+func TestPlanDeepCopies(t *testing.T) {
+	s, layout := planFixture(t)
+	plan := NewPlan(s, layout)
+	plan.Replicas[0] = 99
+	plan.Servers[0][0] = 99
+	if layout.Replicas[0] == 99 || layout.Servers[0][0] == 99 {
+		t.Fatal("NewPlan shares slices with the layout")
+	}
+}
+
+func TestLoadPlanRejectsBadInput(t *testing.T) {
+	if _, err := LoadPlan(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Wrong version.
+	s, layout := planFixture(t)
+	plan := NewPlan(s, layout)
+	plan.Version = 99
+	var buf bytes.Buffer
+	if err := plan.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(&buf); err == nil {
+		t.Fatal("future version accepted")
+	}
+	// Layout inconsistent with scenario (replica on a server that does not
+	// exist in the declared cluster).
+	plan = NewPlan(s, layout)
+	plan.Servers[0] = []int{0, 7}
+	buf.Reset()
+	if err := plan.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(&buf); err == nil {
+		t.Fatal("invalid placement accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "math"
+
+// ImbalanceMax computes the paper's Eq. 2 load imbalance degree:
+//
+//	L = max_j (l_j − l̄) / l̄
+//
+// the relative excess of the most loaded server over the mean. It is 0 for
+// perfectly balanced loads and for an all-zero load vector, and grows toward
+// N−1 when one server carries everything.
+func ImbalanceMax(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, l := range loads {
+		mean += l
+	}
+	mean /= float64(len(loads))
+	if mean == 0 {
+		return 0
+	}
+	max := loads[0]
+	for _, l := range loads[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return (max - mean) / mean
+}
+
+// ImbalanceStd computes the paper's Eq. 3 load imbalance degree:
+//
+//	L = sqrt( Σ_j (l_j − l̄)² / N )
+//
+// the population standard deviation of the server loads. Unlike Eq. 2 it is
+// not scale-free; ImbalanceCV divides it by the mean when a relative figure
+// is needed.
+func ImbalanceStd(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, l := range loads {
+		mean += l
+	}
+	mean /= float64(len(loads))
+	sum := 0.0
+	for _, l := range loads {
+		d := l - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(loads)))
+}
+
+// ImbalanceCV returns the coefficient of variation of the loads — Eq. 3
+// normalized by the mean — or 0 for an all-zero vector.
+func ImbalanceCV(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, l := range loads {
+		mean += l
+	}
+	mean /= float64(len(loads))
+	if mean == 0 {
+		return 0
+	}
+	return ImbalanceStd(loads) / mean
+}

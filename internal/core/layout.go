@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Layout is a candidate solution: how many replicas each video has and which
+// servers hold them. Layouts returned by the placement algorithms always
+// satisfy the hard constraints (storage Eq. 4, distinct servers Eq. 6, replica
+// bounds Eq. 7); Validate re-checks them.
+type Layout struct {
+	// Replicas[i] is r_i, the number of replicas of video i.
+	Replicas []int
+	// Servers[i] lists the servers holding video i, sorted ascending;
+	// len(Servers[i]) == Replicas[i].
+	Servers [][]int
+}
+
+// NewLayout allocates an empty layout for m videos: one slot per video, no
+// placements yet, Replicas all zero.
+func NewLayout(m int) *Layout {
+	return &Layout{Replicas: make([]int, m), Servers: make([][]int, m)}
+}
+
+// FromReplicaVector builds a layout shell with the given replica counts and
+// no server assignments (placement algorithms fill Servers).
+func FromReplicaVector(replicas []int) *Layout {
+	l := NewLayout(len(replicas))
+	copy(l.Replicas, replicas)
+	return l
+}
+
+// Clone returns a deep copy of the layout.
+func (l *Layout) Clone() *Layout {
+	c := &Layout{
+		Replicas: append([]int(nil), l.Replicas...),
+		Servers:  make([][]int, len(l.Servers)),
+	}
+	for i, s := range l.Servers {
+		c.Servers[i] = append([]int(nil), s...)
+	}
+	return c
+}
+
+// TotalReplicas returns Σ r_i.
+func (l *Layout) TotalReplicas() int {
+	sum := 0
+	for _, r := range l.Replicas {
+		sum += r
+	}
+	return sum
+}
+
+// ReplicationDegree returns the average number of replicas per video.
+func (l *Layout) ReplicationDegree() float64 {
+	if len(l.Replicas) == 0 {
+		return 0
+	}
+	return float64(l.TotalReplicas()) / float64(len(l.Replicas))
+}
+
+// Place records that server s holds a replica of video v, keeping Servers[v]
+// sorted. It returns an error if the server already holds the video
+// (constraint Eq. 6).
+func (l *Layout) Place(v, s int) error {
+	list := l.Servers[v]
+	i := sort.SearchInts(list, s)
+	if i < len(list) && list[i] == s {
+		return fmt.Errorf("core: server %d already holds video %d", s, v)
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = s
+	l.Servers[v] = list
+	return nil
+}
+
+// Holds reports whether server s holds a replica of video v.
+func (l *Layout) Holds(v, s int) bool {
+	list := l.Servers[v]
+	i := sort.SearchInts(list, s)
+	return i < len(list) && list[i] == s
+}
+
+// Weights returns the communication weight of each video's replicas under
+// problem p: w_i = p_i · λ · T / r_i, the expected number of peak-period
+// requests each replica serves with static round-robin scheduling (paper
+// §3.2). Videos with zero replicas get weight 0 (they serve nothing; such
+// layouts fail Validate anyway).
+func (l *Layout) Weights(p *Problem) []float64 {
+	peak := p.PeakRequests()
+	w := make([]float64, len(l.Replicas))
+	for i, r := range l.Replicas {
+		if r > 0 {
+			w[i] = p.Catalog[i].Popularity * peak / float64(r)
+		}
+	}
+	return w
+}
+
+// ServerLoads returns l_j for each server: the expected number of peak-period
+// requests it serves, i.e. the sum of the communication weights of the
+// replicas it holds.
+func (l *Layout) ServerLoads(p *Problem) []float64 {
+	loads := make([]float64, p.NumServers)
+	w := l.Weights(p)
+	for v, servers := range l.Servers {
+		for _, s := range servers {
+			loads[s] += w[v]
+		}
+	}
+	return loads
+}
+
+// ServerBandwidthDemand returns the expected concurrent outgoing bandwidth on
+// each server in bits/s: Σ over its replicas of w_i · b_i · (duration/peak).
+// With duration == peak period (the paper's conservative model) this is
+// simply Σ w_i · b_i.
+func (l *Layout) ServerBandwidthDemand(p *Problem) []float64 {
+	demand := make([]float64, p.NumServers)
+	w := l.Weights(p)
+	for v, servers := range l.Servers {
+		overlap := p.Catalog[v].Duration / p.PeakPeriod
+		if overlap > 1 {
+			overlap = 1
+		}
+		for _, s := range servers {
+			demand[s] += w[v] * p.Catalog[v].BitRate * overlap
+		}
+	}
+	return demand
+}
+
+// ServerStorageUsed returns the bytes of storage each server uses.
+func (l *Layout) ServerStorageUsed(p *Problem) []float64 {
+	used := make([]float64, p.NumServers)
+	for v, servers := range l.Servers {
+		size := p.Catalog[v].SizeBytes()
+		for _, s := range servers {
+			used[s] += size
+		}
+	}
+	return used
+}
+
+// Validate checks the hard constraints of the formulation against problem p:
+//
+//   - every video has 1 ≤ r_i ≤ N replicas (Eq. 7),
+//   - Servers[i] lists exactly r_i distinct servers in range (Eq. 6),
+//   - no server's storage capacity is exceeded (Eq. 4).
+//
+// The outgoing-bandwidth constraint (Eq. 5) is soft under a fixed encoding
+// bit rate — the paper notes it may be violated when offered load exceeds
+// cluster bandwidth — so it is checked separately by BandwidthFeasible.
+func (l *Layout) Validate(p *Problem) error {
+	if err := l.ValidateStructure(p); err != nil {
+		return err
+	}
+	used := l.ServerStorageUsed(p)
+	for s, u := range used {
+		if u > p.StorageOf(s)*(1+1e-9) {
+			return fmt.Errorf("core: server %d uses %.0f bytes of %.0f available (Eq. 4)", s, u, p.StorageOf(s))
+		}
+	}
+	return nil
+}
+
+// ValidateStructure checks every hard constraint except storage (Eqs. 6–7
+// and shape). Callers that account storage with per-copy sizes — the
+// scalable-bit-rate runtime, where copies of one video differ in size — use
+// this and perform their own Eq. 4 check.
+func (l *Layout) ValidateStructure(p *Problem) error {
+	if len(l.Replicas) != p.M() {
+		return fmt.Errorf("core: layout covers %d videos; problem has %d", len(l.Replicas), p.M())
+	}
+	for v, r := range l.Replicas {
+		if r < 1 || r > p.NumServers {
+			return fmt.Errorf("core: video %d has %d replicas; want 1..%d (Eq. 7)", v, r, p.NumServers)
+		}
+		servers := l.Servers[v]
+		if len(servers) != r {
+			return fmt.Errorf("core: video %d declares %d replicas but lists %d servers", v, r, len(servers))
+		}
+		for k, s := range servers {
+			if s < 0 || s >= p.NumServers {
+				return fmt.Errorf("core: video %d placed on invalid server %d", v, s)
+			}
+			if k > 0 && servers[k-1] >= s {
+				return fmt.Errorf("core: video %d server list not strictly increasing (duplicate placement violates Eq. 6)", v)
+			}
+		}
+	}
+	return nil
+}
+
+// BandwidthFeasible reports whether the expected peak bandwidth demand of
+// every server fits within its outgoing link (Eq. 5), and returns the
+// worst-case utilization (demand / capacity).
+func (l *Layout) BandwidthFeasible(p *Problem) (worst float64, ok bool) {
+	demand := l.ServerBandwidthDemand(p)
+	for s, d := range demand {
+		u := d / p.BandwidthOf(s)
+		if u > worst {
+			worst = u
+		}
+	}
+	return worst, worst <= 1+1e-9
+}

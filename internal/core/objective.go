@@ -1,0 +1,57 @@
+package core
+
+// Objective is the combinatorial optimization objective of the paper (Eq. 1):
+//
+//	O = (1/M) Σ_i b_i  +  α (1/M) Σ_i r_i  −  β L
+//
+// maximize average encoding bit rate plus α times the replication degree
+// minus β times the load imbalance degree. Alpha and Beta are the paper's
+// relative weighting factors. Bit rates enter in Mb/s so that the three terms
+// have comparable magnitudes (a 4 Mb/s catalog contributes 4.0, a replication
+// degree contributes 1–N, and L is typically below 1 under Eq. 2).
+type Objective struct {
+	// Alpha weights the replication-degree term.
+	Alpha float64
+	// Beta weights the load-imbalance penalty.
+	Beta float64
+	// UseStdImbalance selects Eq. 3 (population std-dev, normalized by the
+	// mean load so the penalty stays scale-free) instead of the default
+	// Eq. 2 (relative max excess).
+	UseStdImbalance bool
+}
+
+// DefaultObjective returns the weighting used throughout the evaluation:
+// equal unit weights on quality and availability and a unit imbalance
+// penalty.
+func DefaultObjective() Objective { return Objective{Alpha: 1, Beta: 1} }
+
+// Components breaks an objective value into its three terms.
+type Components struct {
+	// MeanBitRateMbps is (1/M) Σ b_i in Mb/s.
+	MeanBitRateMbps float64
+	// ReplicationDegree is (1/M) Σ r_i.
+	ReplicationDegree float64
+	// Imbalance is L under the selected definition.
+	Imbalance float64
+	// Value is the combined objective.
+	Value float64
+}
+
+// Evaluate scores a layout against problem p.
+func (o Objective) Evaluate(p *Problem, l *Layout) Components {
+	var c Components
+	m := float64(p.M())
+	for _, v := range p.Catalog {
+		c.MeanBitRateMbps += v.BitRate / Mbps
+	}
+	c.MeanBitRateMbps /= m
+	c.ReplicationDegree = l.ReplicationDegree()
+	loads := l.ServerLoads(p)
+	if o.UseStdImbalance {
+		c.Imbalance = ImbalanceCV(loads)
+	} else {
+		c.Imbalance = ImbalanceMax(loads)
+	}
+	c.Value = c.MeanBitRateMbps + o.Alpha*c.ReplicationDegree - o.Beta*c.Imbalance
+	return c
+}

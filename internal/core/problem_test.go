@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// paperProblem builds the evaluation cluster: 8 servers, 1.8 Gb/s out,
+// storage for `cap` replicas each, 100 videos at 4 Mb/s / 90 min, peak
+// λ = 40/min.
+func paperProblem(t testing.TB, capReplicas int) *Problem {
+	t.Helper()
+	c, err := NewCatalog(100, 0.75, 4*Mbps, 90*Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{
+		Catalog:            c,
+		NumServers:         8,
+		StoragePerServer:   float64(capReplicas) * c[0].SizeBytes(),
+		BandwidthPerServer: 1.8 * Gbps,
+		ArrivalRate:        40.0 / Minute,
+		PeakPeriod:         90 * Minute,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProblemDerivedQuantities(t *testing.T) {
+	p := paperProblem(t, 15)
+	if p.M() != 100 || p.N() != 8 {
+		t.Fatalf("M=%d N=%d", p.M(), p.N())
+	}
+	capPer, err := p.ReplicaCapacityPerServer()
+	if err != nil || capPer != 15 {
+		t.Fatalf("replica capacity = %d, %v", capPer, err)
+	}
+	total, err := p.ClusterReplicaCapacity()
+	if err != nil || total != 120 {
+		t.Fatalf("cluster capacity = %d, %v", total, err)
+	}
+	streams, err := p.StreamCapacityPerServer()
+	if err != nil || streams != 450 {
+		t.Fatalf("stream capacity = %d, %v (1.8 Gb/s / 4 Mb/s = 450)", streams, err)
+	}
+	// Saturation: 8 × 450 streams over 90 min = 40 requests/minute.
+	sat, err := p.SaturationArrivalRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sat * Minute; math.Abs(got-40) > 1e-9 {
+		t.Fatalf("saturation rate = %g/min, want 40", got)
+	}
+	if got := p.PeakRequests(); math.Abs(got-3600) > 1e-9 {
+		t.Fatalf("peak requests = %g, want 3600", got)
+	}
+}
+
+func TestProblemValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Problem)
+		want   string
+	}{
+		{"no servers", func(p *Problem) { p.NumServers = 0 }, "server"},
+		{"no storage", func(p *Problem) { p.StoragePerServer = 0 }, "storage"},
+		{"no bandwidth", func(p *Problem) { p.BandwidthPerServer = 0 }, "bandwidth"},
+		{"negative arrivals", func(p *Problem) { p.ArrivalRate = -1 }, "arrival"},
+		{"no peak", func(p *Problem) { p.PeakPeriod = 0 }, "peak"},
+		{"negative backbone", func(p *Problem) { p.BackboneBandwidth = -1 }, "backbone"},
+		{"video too large", func(p *Problem) { p.StoragePerServer = GB }, "bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := paperProblem(t, 15)
+			tc.mutate(p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReplicaCapacityMixedRates(t *testing.T) {
+	p := paperProblem(t, 15)
+	p.Catalog[0].BitRate = 8 * Mbps
+	if _, err := p.ReplicaCapacityPerServer(); err == nil {
+		t.Fatal("mixed-rate catalog must not have a replica capacity")
+	}
+	if _, err := p.StreamCapacityPerServer(); err == nil {
+		t.Fatal("mixed-rate catalog must not have a stream capacity")
+	}
+	if _, err := p.SaturationArrivalRate(); err == nil {
+		t.Fatal("mixed-rate catalog must not have a saturation rate")
+	}
+}
+
+func TestTargetTotalReplicas(t *testing.T) {
+	p := paperProblem(t, 15) // capacity 120
+	cases := []struct {
+		degree float64
+		want   int
+	}{
+		{1.0, 100},
+		{1.2, 120},
+		{1.5, 120}, // clamped by storage capacity
+		{9.0, 120}, // clamped by capacity before N·M
+	}
+	for _, tc := range cases {
+		got, err := p.TargetTotalReplicas(tc.degree)
+		if err != nil {
+			t.Fatalf("degree %g: %v", tc.degree, err)
+		}
+		if got != tc.want {
+			t.Fatalf("degree %g: got %d replicas, want %d", tc.degree, got, tc.want)
+		}
+	}
+	if _, err := p.TargetTotalReplicas(0.5); err == nil {
+		t.Fatal("degree < 1 accepted")
+	}
+	// Clamp by N·M: a big cluster with 2 videos.
+	q := paperProblem(t, 15)
+	q.Catalog = q.Catalog[:2]
+	q.Catalog[0].Popularity = 0.6
+	q.Catalog[1].Popularity = 0.4
+	got, err := q.TargetTotalReplicas(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2*q.NumServers {
+		t.Fatalf("degree 100 with M=2: got %d, want N·M = %d", got, 2*q.NumServers)
+	}
+}
+
+func TestTargetTotalReplicasInsufficientStorage(t *testing.T) {
+	c, _ := NewCatalog(10, 0.5, 4*Mbps, 90*Minute)
+	p := &Problem{
+		Catalog:            c,
+		NumServers:         2,
+		StoragePerServer:   3 * c[0].SizeBytes(), // cluster holds 6 < 10
+		BandwidthPerServer: Gbps,
+		ArrivalRate:        1.0 / Minute,
+		PeakPeriod:         90 * Minute,
+	}
+	if _, err := p.TargetTotalReplicas(1); err == nil {
+		t.Fatal("cluster smaller than catalog accepted")
+	}
+}
+
+func TestProblemClone(t *testing.T) {
+	p := paperProblem(t, 15)
+	q := p.Clone()
+	q.ArrivalRate = 99
+	q.Catalog[0].Popularity = 0.5
+	if p.ArrivalRate == 99 {
+		t.Fatal("Clone shares scalar fields")
+	}
+	if p.Catalog[0].Popularity == 0.5 {
+		t.Fatal("Clone shares the catalog")
+	}
+}
+
+func TestHeterogeneousAccessors(t *testing.T) {
+	p := paperProblem(t, 15)
+	if !p.Homogeneous() {
+		t.Fatal("scalar problem must be homogeneous")
+	}
+	if p.StorageOf(3) != p.StoragePerServer || p.BandwidthOf(5) != p.BandwidthPerServer {
+		t.Fatal("accessors must fall back to scalars")
+	}
+	if got, want := p.TotalBandwidth(), 8*1.8*Gbps; math.Abs(got-want) > 1 {
+		t.Fatalf("total bandwidth %g, want %g", got, want)
+	}
+
+	p.ServerBandwidth = []float64{2.4 * Gbps, 2.4 * Gbps, 2.4 * Gbps, 2.4 * Gbps, 1.2 * Gbps, 1.2 * Gbps, 1.2 * Gbps, 1.2 * Gbps}
+	if p.Homogeneous() {
+		t.Fatal("per-server bandwidth vector not detected")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.BandwidthOf(0) != 2.4*Gbps || p.BandwidthOf(7) != 1.2*Gbps {
+		t.Fatal("per-server bandwidth not honored")
+	}
+	// Per-server stream capacity helpers refuse heterogeneous clusters...
+	if _, err := p.StreamCapacityPerServer(); err == nil {
+		t.Fatal("StreamCapacityPerServer must fail on heterogeneous clusters")
+	}
+	// ...but the aggregate saturation rate still works: (4·600 + 4·300)/90min.
+	sat, err := p.SaturationArrivalRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sat * Minute; math.Abs(got-40) > 1e-9 {
+		t.Fatalf("hetero saturation %g/min, want 40", got)
+	}
+}
+
+func TestHeterogeneousValidation(t *testing.T) {
+	p := paperProblem(t, 15)
+	p.ServerBandwidth = []float64{Gbps} // wrong length
+	if err := p.Validate(); err == nil {
+		t.Fatal("wrong-length bandwidth vector accepted")
+	}
+	p = paperProblem(t, 15)
+	p.ServerStorage = make([]float64, 8)
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero per-server storage accepted")
+	}
+	p = paperProblem(t, 15)
+	p.ServerStorage = []float64{GB, GB, GB, GB, GB, GB, GB, 100 * GB}
+	// Videos are 2.7 GB: only the last server can host one, which is fine.
+	if err := p.Validate(); err != nil {
+		t.Fatalf("video fits on one server; validation should pass: %v", err)
+	}
+	for i := range p.ServerStorage {
+		p.ServerStorage[i] = GB
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("video fitting nowhere accepted")
+	}
+}
+
+func TestHeterogeneousCapacities(t *testing.T) {
+	p := paperProblem(t, 15)
+	size := p.Catalog[0].SizeBytes()
+	p.ServerStorage = []float64{20 * size, 20 * size, 10 * size, 10 * size, 10 * size, 10 * size, 10 * size, 10 * size}
+	c0, err := p.ReplicaCapacityOf(0)
+	if err != nil || c0 != 20 {
+		t.Fatalf("capacity of big server = %d, %v", c0, err)
+	}
+	total, err := p.ClusterReplicaCapacity()
+	if err != nil || total != 100 {
+		t.Fatalf("cluster capacity = %d, %v; want 100", total, err)
+	}
+	if _, err := p.ReplicaCapacityPerServer(); err == nil {
+		t.Fatal("per-server capacity must fail on heterogeneous clusters")
+	}
+	q := p.Clone()
+	q.ServerStorage[0] = size
+	if p.ServerStorage[0] == size {
+		t.Fatal("Clone shares per-server capacity slices")
+	}
+}
+
+func TestReplicaCapacityMixedDurations(t *testing.T) {
+	p := paperProblem(t, 15)
+	p.Catalog[0].Duration = 60 * Minute
+	if _, err := p.ReplicaCapacityPerServer(); err == nil {
+		t.Fatal("mixed-duration catalog must not have a replica capacity")
+	}
+	if _, err := p.TargetTotalReplicas(1.2); err == nil {
+		t.Fatal("replica budgeting must refuse mixed durations")
+	}
+	// The saturation rate only depends on bit rates and still works.
+	if _, err := p.SaturationArrivalRate(); err != nil {
+		t.Fatalf("saturation should be duration-independent: %v", err)
+	}
+}

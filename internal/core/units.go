@@ -1,0 +1,32 @@
+// Package core models the video replication and placement problem of
+// Zhou & Xu (ICPP 2002): a cluster of N homogeneous distributed-storage VoD
+// servers, a catalog of M videos with Zipf-like popularities, and layouts
+// that assign each video a number of whole-video replicas placed on distinct
+// servers, subject to per-server storage and outgoing-bandwidth constraints.
+//
+// The package provides the problem description (Problem), candidate solutions
+// (Layout), constraint validation (Eqs. 4–7 of the paper), communication
+// weights, the two load-imbalance definitions (Eqs. 2 and 3), and the
+// combinatorial objective (Eq. 1).
+package core
+
+// Unit helpers. All bandwidths and encoding rates in this repository are in
+// bits per second, storage in bytes, and time in seconds; these constants
+// keep call sites readable.
+const (
+	// Kbps is one kilobit per second.
+	Kbps = 1e3
+	// Mbps is one megabit per second.
+	Mbps = 1e6
+	// Gbps is one gigabit per second.
+	Gbps = 1e9
+
+	// KB, MB, GB are decimal storage units in bytes.
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+
+	// Minute and Hour are durations in seconds.
+	Minute = 60.0
+	Hour   = 3600.0
+)

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"vodcluster/internal/zipf"
+)
+
+// Video describes one title in the catalog. Videos are identified by their
+// popularity rank: ID 0 is the most popular title. Popularities across a
+// catalog sum to 1.
+type Video struct {
+	// ID is the popularity rank, 0-based.
+	ID int
+	// Popularity is the probability that an incoming request targets this
+	// video.
+	Popularity float64
+	// BitRate is the encoding bit rate in bits/s. Every replica of a video
+	// is encoded at the same rate (paper §3.2); the scalable-bit-rate
+	// optimizer changes this field per video.
+	BitRate float64
+	// Duration is the playback length in seconds.
+	Duration float64
+}
+
+// SizeBytes returns the storage required by one replica of the video:
+// BitRate × Duration, converted from bits to bytes.
+func (v Video) SizeBytes() float64 { return v.BitRate * v.Duration / 8 }
+
+// Catalog is an ordered set of videos, most popular first.
+type Catalog []Video
+
+// NewCatalog builds a catalog of m videos with Zipf-like popularity skew
+// theta, all encoded at bitRate bits/s with the given duration in seconds.
+// This matches the paper's synthetic workload setup (§5).
+func NewCatalog(m int, theta, bitRate, duration float64) (Catalog, error) {
+	if bitRate <= 0 {
+		return nil, fmt.Errorf("core: bit rate must be positive, got %g", bitRate)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("core: duration must be positive, got %g", duration)
+	}
+	d, err := zipf.New(m, theta)
+	if err != nil {
+		return nil, fmt.Errorf("core: building catalog: %w", err)
+	}
+	c := make(Catalog, m)
+	for i := 0; i < m; i++ {
+		c[i] = Video{ID: i, Popularity: d.Prob(i), BitRate: bitRate, Duration: duration}
+	}
+	return c, nil
+}
+
+// Popularities returns the popularity vector of the catalog, most popular
+// first.
+func (c Catalog) Popularities() []float64 {
+	p := make([]float64, len(c))
+	for i, v := range c {
+		p[i] = v.Popularity
+	}
+	return p
+}
+
+// TotalSizeBytes returns the storage needed to hold one replica of every
+// video.
+func (c Catalog) TotalSizeBytes() float64 {
+	sum := 0.0
+	for _, v := range c {
+		sum += v.SizeBytes()
+	}
+	return sum
+}
+
+// FixedBitRate reports whether every video shares one encoding bit rate and,
+// if so, returns it. An empty catalog reports false.
+func (c Catalog) FixedBitRate() (rate float64, ok bool) {
+	if len(c) == 0 {
+		return 0, false
+	}
+	rate = c[0].BitRate
+	for _, v := range c[1:] {
+		if v.BitRate != rate {
+			return 0, false
+		}
+	}
+	return rate, true
+}
+
+// FixedDuration reports whether every video shares one playback duration
+// and, if so, returns it. The fixed-rate capacity helpers require it, since
+// "storage capacity in replicas" (paper §4.1) only makes sense when replicas
+// share a size.
+func (c Catalog) FixedDuration() (duration float64, ok bool) {
+	if len(c) == 0 {
+		return 0, false
+	}
+	duration = c[0].Duration
+	for _, v := range c[1:] {
+		if v.Duration != duration {
+			return 0, false
+		}
+	}
+	return duration, true
+}
+
+// Validate checks internal consistency: IDs are 0..M-1 in order,
+// popularities are positive, non-increasing, and sum to 1 (within tolerance),
+// and rates/durations are positive.
+func (c Catalog) Validate() error {
+	if len(c) == 0 {
+		return fmt.Errorf("core: catalog is empty")
+	}
+	sum := 0.0
+	for i, v := range c {
+		if v.ID != i {
+			return fmt.Errorf("core: video at position %d has ID %d; want rank order", i, v.ID)
+		}
+		if v.Popularity <= 0 {
+			return fmt.Errorf("core: video %d has non-positive popularity %g", i, v.Popularity)
+		}
+		if i > 0 && v.Popularity > c[i-1].Popularity+1e-12 {
+			return fmt.Errorf("core: popularity of video %d (%g) exceeds that of video %d (%g); catalog must be sorted most popular first",
+				i, v.Popularity, i-1, c[i-1].Popularity)
+		}
+		if v.BitRate <= 0 {
+			return fmt.Errorf("core: video %d has non-positive bit rate %g", i, v.BitRate)
+		}
+		if v.Duration <= 0 {
+			return fmt.Errorf("core: video %d has non-positive duration %g", i, v.Duration)
+		}
+		sum += v.Popularity
+	}
+	if sum < 1-1e-6 || sum > 1+1e-6 {
+		return fmt.Errorf("core: catalog popularities sum to %g; want 1", sum)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewCatalogPaperNumbers(t *testing.T) {
+	// The paper's example: a 90-minute MPEG-2 video at 4 Mb/s needs 2.7 GB.
+	c, err := NewCatalog(100, 0.75, 4*Mbps, 90*Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c[0].SizeBytes(), 2.7*GB; math.Abs(got-want) > 1e-3 {
+		t.Fatalf("video size = %g bytes, want %g", got, want)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("paper catalog invalid: %v", err)
+	}
+	if rate, ok := c.FixedBitRate(); !ok || rate != 4*Mbps {
+		t.Fatalf("FixedBitRate = %g, %v", rate, ok)
+	}
+	if got, want := c.TotalSizeBytes(), 270*GB; math.Abs(got-want) > 1 {
+		t.Fatalf("total catalog size = %g, want %g", got, want)
+	}
+}
+
+func TestNewCatalogValidation(t *testing.T) {
+	if _, err := NewCatalog(10, 0.5, 0, 90*Minute); err == nil {
+		t.Fatal("zero bit rate accepted")
+	}
+	if _, err := NewCatalog(10, 0.5, Mbps, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := NewCatalog(0, 0.5, Mbps, Minute); err == nil {
+		t.Fatal("empty catalog accepted")
+	}
+	if _, err := NewCatalog(10, -1, Mbps, Minute); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+}
+
+func TestCatalogPopularities(t *testing.T) {
+	c, _ := NewCatalog(5, 1, Mbps, Minute)
+	p := c.Popularities()
+	sum := 0.0
+	for i, v := range p {
+		if v != c[i].Popularity {
+			t.Fatal("Popularities mismatch")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("popularities sum to %g", sum)
+	}
+	p[0] = 0.9
+	if c[0].Popularity == 0.9 {
+		t.Fatal("Popularities exposed internal state")
+	}
+}
+
+func TestCatalogValidateErrors(t *testing.T) {
+	base := func() Catalog {
+		c, _ := NewCatalog(3, 0.5, Mbps, Minute)
+		return c
+	}
+	cases := []struct {
+		name   string
+		mutate func(Catalog) Catalog
+		want   string
+	}{
+		{"empty", func(Catalog) Catalog { return nil }, "empty"},
+		{"bad id", func(c Catalog) Catalog { c[1].ID = 5; return c }, "ID"},
+		{"zero popularity", func(c Catalog) Catalog { c[2].Popularity = 0; return c }, "popularity"},
+		{"unsorted", func(c Catalog) Catalog {
+			c[0].Popularity, c[1].Popularity = c[1].Popularity, c[0].Popularity
+			return c
+		}, "sorted"},
+		{"zero rate", func(c Catalog) Catalog { c[0].BitRate = 0; return c }, "bit rate"},
+		{"zero duration", func(c Catalog) Catalog { c[0].Duration = 0; return c }, "duration"},
+		{"not normalized", func(c Catalog) Catalog { c[0].Popularity *= 3; return c }, "sum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.mutate(base()).Validate()
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFixedBitRateMixed(t *testing.T) {
+	c, _ := NewCatalog(3, 0.5, Mbps, Minute)
+	c[1].BitRate = 2 * Mbps
+	if _, ok := c.FixedBitRate(); ok {
+		t.Fatal("mixed catalog reported a fixed rate")
+	}
+	var empty Catalog
+	if _, ok := empty.FixedBitRate(); ok {
+		t.Fatal("empty catalog reported a fixed rate")
+	}
+}
+
+func TestFixedDuration(t *testing.T) {
+	c, _ := NewCatalog(3, 0.5, Mbps, 90*Minute)
+	if d, ok := c.FixedDuration(); !ok || d != 90*Minute {
+		t.Fatalf("FixedDuration = %g, %v", d, ok)
+	}
+	c[1].Duration = 60 * Minute
+	if _, ok := c.FixedDuration(); ok {
+		t.Fatal("mixed durations reported fixed")
+	}
+	var empty Catalog
+	if _, ok := empty.FixedDuration(); ok {
+		t.Fatal("empty catalog reported a fixed duration")
+	}
+}

@@ -1,0 +1,277 @@
+// Package disk models the storage subsystem inside each VoD server: a disk
+// array with a striping scheme, round-based stream retrieval, and failure /
+// degraded-mode behavior.
+//
+// The paper's cluster places whole-video replicas per server and notes that
+// "data striping and recovery schemes can be employed within the servers to
+// enhance availability" (§1), citing the classic streaming-RAID literature
+// (Tobagi et al., Berson et al.). This package supplies that substrate: it
+// answers how many concurrent streams a server's array can sustain, how much
+// usable storage a scheme leaves, and what happens when a disk dies. The
+// cluster runtime consumes it as an optional per-server concurrent-stream
+// limit, which lets the simulator check the paper's modeling assumption that
+// the outgoing network link — not disk I/O — is the binding resource.
+//
+// The retrieval model is the standard round-based one: time is divided into
+// rounds of length T and each active stream consumes bitRate·T bits per
+// round. How that chunk maps to disks depends on the striping granularity:
+//
+//   - Coarse-grained striping reads the whole round-chunk from a single
+//     disk, rotating across disks round by round. Each disk pays one
+//     seek+transfer per stream it serves that round, so the array capacity
+//     is dataDisks × floor(T / (overhead + chunkBits/transferRate)) —
+//     linear in the disk count.
+//   - Fine-grained striping splits every chunk across all data disks, which
+//     operate in lockstep: every stream costs every disk a seek each round.
+//     Capacity is floor(T / (overhead + chunkBits/dataDisks/transferRate)),
+//     which saturates at T/overhead no matter how many disks are added —
+//     the "striping doesn't scale" effect of Chou et al. that motivates the
+//     paper's whole-video replication across servers.
+package disk
+
+import (
+	"fmt"
+	"math"
+)
+
+// Disk describes one mechanical disk.
+type Disk struct {
+	// CapacityBytes is the formatted capacity.
+	CapacityBytes float64
+	// SeekMs is the average positioning overhead (seek + rotational
+	// latency) paid once per chunk retrieval, in milliseconds.
+	SeekMs float64
+	// TransferMBps is the sustained sequential transfer rate in
+	// megabytes per second.
+	TransferMBps float64
+}
+
+// Validate checks the disk parameters.
+func (d Disk) Validate() error {
+	if d.CapacityBytes <= 0 {
+		return fmt.Errorf("disk: capacity must be positive, got %g", d.CapacityBytes)
+	}
+	if d.SeekMs < 0 {
+		return fmt.Errorf("disk: seek must be non-negative, got %g", d.SeekMs)
+	}
+	if d.TransferMBps <= 0 {
+		return fmt.Errorf("disk: transfer rate must be positive, got %g", d.TransferMBps)
+	}
+	return nil
+}
+
+// Scheme is the array's striping / redundancy organization.
+type Scheme int
+
+const (
+	// RAID0 stripes data across all disks with no redundancy: full
+	// capacity and bandwidth, but a single disk failure takes the whole
+	// array (and so the server's content) offline.
+	RAID0 Scheme = iota
+	// RAID5 stripes data with one rotating parity disk's worth of
+	// capacity: usable capacity (n−1)/n, and a single failure is survived
+	// in degraded mode, where every read of the failed disk's data costs a
+	// full-stripe reconstruction.
+	RAID5
+	// Mirrored pairs disks (RAID-1): half the capacity, failures survived
+	// by the twin, read bandwidth halved while a twin rebuilds.
+	Mirrored
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case RAID0:
+		return "raid0"
+	case RAID5:
+		return "raid5"
+	case Mirrored:
+		return "mirrored"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Granularity selects how stream chunks are striped across the data disks.
+type Granularity int
+
+const (
+	// CoarseGrained reads each stream's whole per-round chunk from one
+	// disk, rotating across disks: seeks are amortized over large
+	// transfers and capacity scales linearly with disks.
+	CoarseGrained Granularity = iota
+	// FineGrained splits every chunk across all data disks: per-stream
+	// seek cost is paid on every disk, so capacity saturates at
+	// round/overhead regardless of the disk count.
+	FineGrained
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	if g == FineGrained {
+		return "fine"
+	}
+	return "coarse"
+}
+
+// Array is a homogeneous disk array with a striping scheme. The zero value
+// is not usable; construct with NewArray.
+type Array struct {
+	disk   Disk
+	n      int
+	scheme Scheme
+	gran   Granularity
+	failed int // index of the failed disk, or -1
+}
+
+// SetGranularity selects the striping granularity (default CoarseGrained).
+func (a *Array) SetGranularity(g Granularity) { a.gran = g }
+
+// Granularity returns the striping granularity.
+func (a *Array) Granularity() Granularity { return a.gran }
+
+// NewArray builds an array of n identical disks under the given scheme with
+// coarse-grained striping.
+func NewArray(d Disk, n int, scheme Scheme) (*Array, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("disk: array needs at least one disk, got %d", n)
+	}
+	switch scheme {
+	case RAID0:
+	case RAID5:
+		if n < 3 {
+			return nil, fmt.Errorf("disk: RAID5 needs at least 3 disks, got %d", n)
+		}
+	case Mirrored:
+		if n < 2 || n%2 != 0 {
+			return nil, fmt.Errorf("disk: mirroring needs an even disk count ≥ 2, got %d", n)
+		}
+	default:
+		return nil, fmt.Errorf("disk: unknown scheme %v", scheme)
+	}
+	return &Array{disk: d, n: n, scheme: scheme, failed: -1}, nil
+}
+
+// Disks returns the number of disks in the array.
+func (a *Array) Disks() int { return a.n }
+
+// Scheme returns the striping scheme.
+func (a *Array) Scheme() Scheme { return a.scheme }
+
+// Degraded reports whether a disk is currently failed.
+func (a *Array) Degraded() bool { return a.failed >= 0 }
+
+// Fail marks disk i failed. Only a single simultaneous failure is modeled;
+// failing a second disk is an error (for RAID5 and RAID0 it would mean data
+// loss anyway).
+func (a *Array) Fail(i int) error {
+	if i < 0 || i >= a.n {
+		return fmt.Errorf("disk: no disk %d in a %d-disk array", i, a.n)
+	}
+	if a.failed >= 0 {
+		return fmt.Errorf("disk: disk %d already failed", a.failed)
+	}
+	a.failed = i
+	return nil
+}
+
+// Repair restores the failed disk.
+func (a *Array) Repair() {
+	a.failed = -1
+}
+
+// DataDisks returns the number of disks holding (non-redundant) data.
+func (a *Array) DataDisks() int {
+	switch a.scheme {
+	case RAID0:
+		return a.n
+	case RAID5:
+		return a.n - 1
+	case Mirrored:
+		return a.n / 2
+	}
+	return 0
+}
+
+// UsableBytes returns the array's usable storage capacity under its scheme.
+func (a *Array) UsableBytes() float64 {
+	return float64(a.DataDisks()) * a.disk.CapacityBytes
+}
+
+// Online reports whether the array can serve data at all. RAID0 goes offline
+// on any failure; the redundant schemes survive one.
+func (a *Array) Online() bool {
+	return !a.Degraded() || a.scheme != RAID0
+}
+
+// perChunkSeconds returns the disk time to retrieve one stream's per-round
+// share from one disk under the array's striping granularity.
+func (a *Array) perChunkSeconds(bitRate, roundSeconds float64) float64 {
+	chunkBytes := bitRate * roundSeconds / 8
+	if a.gran == FineGrained {
+		chunkBytes /= float64(a.DataDisks())
+	}
+	transfer := chunkBytes / (a.disk.TransferMBps * 1e6)
+	return a.disk.SeekMs/1e3 + transfer
+}
+
+// StreamCapacity returns the number of concurrent streams of the given bit
+// rate (bits/s) the array sustains with retrieval rounds of roundSeconds,
+// accounting for striping granularity and degraded mode:
+//
+//   - Coarse-grained: dataDisks × perDisk streams; fine-grained: every
+//     stream occupies every data disk, so the per-disk count IS the array
+//     capacity.
+//   - RAID0: zero when failed.
+//   - RAID5 degraded: every chunk that would have come from the failed disk
+//     is reconstructed by reading all n−1 survivors, which effectively
+//     doubles the survivors' load for that share; the standard capacity
+//     model halves the array's sustained rate.
+//   - Mirrored degraded: the failed twin's reads all land on its partner,
+//     halving capacity.
+func (a *Array) StreamCapacity(bitRate, roundSeconds float64) int {
+	if bitRate <= 0 || roundSeconds <= 0 {
+		return 0
+	}
+	if !a.Online() {
+		return 0
+	}
+	perDisk := int(roundSeconds / a.perChunkSeconds(bitRate, roundSeconds))
+	capacity := perDisk
+	if a.gran == CoarseGrained {
+		capacity *= a.DataDisks()
+	}
+	if a.Degraded() {
+		capacity /= 2
+	}
+	return capacity
+}
+
+// RebuildSeconds estimates the time to rebuild a replaced disk at the given
+// fraction (0..1] of its sequential bandwidth — reading the survivors and
+// writing the replacement proceed at the replacement's write rate.
+func (a *Array) RebuildSeconds(bandwidthFraction float64) (float64, error) {
+	if bandwidthFraction <= 0 || bandwidthFraction > 1 {
+		return 0, fmt.Errorf("disk: rebuild bandwidth fraction must be in (0,1], got %g", bandwidthFraction)
+	}
+	if a.scheme == RAID0 {
+		return 0, fmt.Errorf("disk: RAID0 cannot rebuild; contents are lost")
+	}
+	rate := a.disk.TransferMBps * 1e6 * bandwidthFraction
+	return a.disk.CapacityBytes / rate, nil
+}
+
+// BottleneckStreams compares the array's stream capacity against an outgoing
+// network link for the same bit rate and reports the binding constraint:
+// the sustainable stream count and whether the disk (true) or the network
+// (false) limits it.
+func BottleneckStreams(a *Array, networkBps, bitRate, roundSeconds float64) (streams int, diskBound bool) {
+	diskCap := a.StreamCapacity(bitRate, roundSeconds)
+	netCap := int(math.Floor(networkBps / bitRate))
+	if diskCap < netCap {
+		return diskCap, true
+	}
+	return netCap, false
+}

@@ -1,0 +1,281 @@
+package disk
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// seagate is a plausible early-2000s streaming disk: 36 GB, 8 ms positioning,
+// 40 MB/s sustained.
+var seagate = Disk{CapacityBytes: 36e9, SeekMs: 8, TransferMBps: 40}
+
+func TestDiskValidate(t *testing.T) {
+	if err := seagate.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Disk{
+		{CapacityBytes: 0, SeekMs: 8, TransferMBps: 40},
+		{CapacityBytes: 1e9, SeekMs: -1, TransferMBps: 40},
+		{CapacityBytes: 1e9, SeekMs: 8, TransferMBps: 0},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Fatalf("bad disk %d accepted", i)
+		}
+	}
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray(seagate, 0, RAID0); err == nil {
+		t.Fatal("empty array accepted")
+	}
+	if _, err := NewArray(seagate, 2, RAID5); err == nil {
+		t.Fatal("RAID5 with 2 disks accepted")
+	}
+	if _, err := NewArray(seagate, 3, Mirrored); err == nil {
+		t.Fatal("odd mirrored array accepted")
+	}
+	if _, err := NewArray(seagate, 4, Scheme(9)); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := NewArray(Disk{}, 4, RAID0); err == nil {
+		t.Fatal("invalid disk accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if RAID0.String() != "raid0" || RAID5.String() != "raid5" || Mirrored.String() != "mirrored" {
+		t.Fatal("scheme names changed")
+	}
+	if !strings.Contains(Scheme(7).String(), "7") {
+		t.Fatal("unknown scheme string")
+	}
+}
+
+func TestUsableBytesPerScheme(t *testing.T) {
+	cases := []struct {
+		scheme Scheme
+		n      int
+		want   float64
+	}{
+		{RAID0, 8, 8 * 36e9},
+		{RAID5, 8, 7 * 36e9},
+		{Mirrored, 8, 4 * 36e9},
+	}
+	for _, c := range cases {
+		a, err := NewArray(seagate, c.n, c.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := a.UsableBytes(); got != c.want {
+			t.Fatalf("%v usable = %g, want %g", c.scheme, got, c.want)
+		}
+	}
+}
+
+func TestStreamCapacityArithmetic(t *testing.T) {
+	// One disk, RAID0, 4 Mb/s streams, 1 s rounds: chunk = 0.5 MB,
+	// transfer = 0.0125 s, +8 ms seek = 0.0205 s → 48 streams.
+	a, err := NewArray(seagate, 1, RAID0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.StreamCapacity(4e6, 1); got != 48 {
+		t.Fatalf("capacity = %d, want 48", got)
+	}
+	// Larger rounds amortize seeks: capacity per disk grows toward
+	// transfer-bound 80 streams.
+	big := a.StreamCapacity(4e6, 10)
+	if big <= 48 {
+		t.Fatalf("longer rounds should amortize seeks: %d", big)
+	}
+	if limit := int(40e6 * 8 / 4e6); big > limit {
+		t.Fatalf("capacity %d exceeds transfer bound %d", big, limit)
+	}
+}
+
+func TestCoarseStripingScalesLinearly(t *testing.T) {
+	one, _ := NewArray(seagate, 1, RAID0)
+	eight, _ := NewArray(seagate, 8, RAID0)
+	c1 := one.StreamCapacity(4e6, 1)
+	c8 := eight.StreamCapacity(4e6, 1)
+	if c8 != 8*c1 {
+		t.Fatalf("coarse striping must scale linearly: %d vs 8×%d", c8, c1)
+	}
+}
+
+func TestFineStripingSaturates(t *testing.T) {
+	// "Striping doesn't scale": fine-grained capacity is capped by
+	// round/seek no matter how many disks join the array.
+	round := 1.0
+	seekBound := int(round / (seagate.SeekMs / 1e3)) // 125
+	prev := 0
+	for _, n := range []int{2, 8, 32, 128} {
+		a, err := NewArray(seagate, n, RAID0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.SetGranularity(FineGrained)
+		c := a.StreamCapacity(4e6, round)
+		if c > seekBound {
+			t.Fatalf("n=%d: fine-grained capacity %d exceeds seek bound %d", n, c, seekBound)
+		}
+		if c < prev {
+			t.Fatalf("n=%d: capacity fell from %d to %d", n, prev, c)
+		}
+		prev = c
+	}
+	// And the asymptote is approached: at 128 disks, within 20% of it.
+	if prev < seekBound*4/5 {
+		t.Fatalf("fine-grained capacity %d far from seek bound %d", prev, seekBound)
+	}
+	// Coarse-grained with the same 128 disks blows far past the bound.
+	coarse, _ := NewArray(seagate, 128, RAID0)
+	if coarse.StreamCapacity(4e6, round) <= seekBound {
+		t.Fatal("coarse striping unexpectedly seek-bound")
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if CoarseGrained.String() != "coarse" || FineGrained.String() != "fine" {
+		t.Fatal("granularity names changed")
+	}
+	a, _ := NewArray(seagate, 4, RAID0)
+	if a.Granularity() != CoarseGrained {
+		t.Fatal("default granularity must be coarse")
+	}
+	a.SetGranularity(FineGrained)
+	if a.Granularity() != FineGrained {
+		t.Fatal("SetGranularity ignored")
+	}
+}
+
+func TestStreamCapacityEdgeCases(t *testing.T) {
+	a, _ := NewArray(seagate, 4, RAID0)
+	if a.StreamCapacity(0, 1) != 0 || a.StreamCapacity(4e6, 0) != 0 {
+		t.Fatal("degenerate inputs must yield zero capacity")
+	}
+}
+
+func TestFailureSemantics(t *testing.T) {
+	r0, _ := NewArray(seagate, 4, RAID0)
+	r5, _ := NewArray(seagate, 4, RAID5)
+	mir, _ := NewArray(seagate, 4, Mirrored)
+
+	if err := r0.Fail(9); err == nil {
+		t.Fatal("failing a non-existent disk accepted")
+	}
+	for _, a := range []*Array{r0, r5, mir} {
+		if a.Degraded() {
+			t.Fatal("fresh array degraded")
+		}
+		if err := a.Fail(1); err != nil {
+			t.Fatal(err)
+		}
+		if !a.Degraded() {
+			t.Fatal("Fail did not degrade")
+		}
+		if err := a.Fail(2); err == nil {
+			t.Fatal("double failure accepted")
+		}
+	}
+	if r0.Online() {
+		t.Fatal("RAID0 survived a disk failure")
+	}
+	if !r5.Online() || !mir.Online() {
+		t.Fatal("redundant scheme went offline on single failure")
+	}
+	if r0.StreamCapacity(4e6, 1) != 0 {
+		t.Fatal("offline RAID0 still serves")
+	}
+
+	healthy, _ := NewArray(seagate, 4, RAID5)
+	if r5.StreamCapacity(4e6, 1) != healthy.StreamCapacity(4e6, 1)/2 {
+		t.Fatalf("degraded RAID5 capacity %d, healthy %d: want half",
+			r5.StreamCapacity(4e6, 1), healthy.StreamCapacity(4e6, 1))
+	}
+
+	r5.Repair()
+	if r5.Degraded() {
+		t.Fatal("Repair did not clear the failure")
+	}
+	if r5.StreamCapacity(4e6, 1) != healthy.StreamCapacity(4e6, 1) {
+		t.Fatal("capacity not restored after repair")
+	}
+}
+
+func TestRebuildSeconds(t *testing.T) {
+	r5, _ := NewArray(seagate, 4, RAID5)
+	secs, err := r5.RebuildSeconds(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 36 GB at 20 MB/s = 1800 s.
+	if math.Abs(secs-1800) > 1e-9 {
+		t.Fatalf("rebuild = %g s, want 1800", secs)
+	}
+	if _, err := r5.RebuildSeconds(0); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, err := r5.RebuildSeconds(1.5); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	r0, _ := NewArray(seagate, 4, RAID0)
+	if _, err := r0.RebuildSeconds(0.5); err == nil {
+		t.Fatal("RAID0 rebuild accepted")
+	}
+}
+
+func TestBottleneckStreams(t *testing.T) {
+	// The paper's server: 1.8 Gb/s out. A big healthy array outruns the
+	// link, so the network binds — the paper's modeling assumption.
+	a, _ := NewArray(seagate, 16, RAID5)
+	streams, diskBound := BottleneckStreams(a, 1.8e9, 4e6, 2)
+	if diskBound {
+		t.Fatalf("16-disk array should outrun a 1.8 Gb/s link (disk cap %d)",
+			a.StreamCapacity(4e6, 2))
+	}
+	if streams != 450 {
+		t.Fatalf("network-bound streams = %d, want 450", streams)
+	}
+	// A tiny array flips the bottleneck.
+	small, _ := NewArray(seagate, 1, RAID0)
+	streams, diskBound = BottleneckStreams(small, 1.8e9, 4e6, 1)
+	if !diskBound {
+		t.Fatal("single disk should bind before a 1.8 Gb/s link")
+	}
+	if streams != small.StreamCapacity(4e6, 1) {
+		t.Fatal("bottleneck stream count wrong")
+	}
+}
+
+// TestCapacityMonotonicity: stream capacity never increases with bit rate
+// and never decreases with round length (seek amortization), for arbitrary
+// parameters.
+func TestCapacityMonotonicity(t *testing.T) {
+	f := func(rateRaw, roundRaw uint8) bool {
+		a, err := NewArray(seagate, 4, RAID5)
+		if err != nil {
+			return false
+		}
+		rate := 1e6 + float64(rateRaw)*1e5
+		round := 0.5 + float64(roundRaw)/64
+		c1 := a.StreamCapacity(rate, round)
+		c2 := a.StreamCapacity(rate+1e6, round)
+		c3 := a.StreamCapacity(rate, round*2)
+		return c2 <= c1 && c3 >= c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStreamCapacity(b *testing.B) {
+	a, _ := NewArray(seagate, 8, RAID5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.StreamCapacity(4e6, 2)
+	}
+}

@@ -1,0 +1,267 @@
+package dynrep
+
+import (
+	"testing"
+
+	"vodcluster/internal/cluster"
+	"vodcluster/internal/core"
+	"vodcluster/internal/place"
+	"vodcluster/internal/replicate"
+)
+
+// shiftProblem builds a small cluster with backbone bandwidth for
+// migrations.
+func shiftProblem(t testing.TB) (*core.Problem, *core.Layout) {
+	t.Helper()
+	c, err := core.NewCatalog(20, 0.9, 4*core.Mbps, 90*core.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Problem{
+		Catalog:            c,
+		NumServers:         4,
+		StoragePerServer:   7 * c[0].SizeBytes(),
+		BandwidthPerServer: 0.5 * core.Gbps,
+		ArrivalRate:        5.0 / core.Minute,
+		PeakPeriod:         90 * core.Minute,
+		BackboneBandwidth:  core.Gbps,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	budget, err := p.TargetTotalReplicas(1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := replicate.BoundedAdams{}.Replicate(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := place.SmallestLoadFirst{}.Place(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, layout
+}
+
+// fakeScheduler collects scheduled callbacks so tests can fire them at will.
+type fakeScheduler struct {
+	fns []func(now float64)
+}
+
+func (f *fakeScheduler) schedule(delay float64, fn func(now float64)) {
+	f.fns = append(f.fns, fn)
+}
+
+func (f *fakeScheduler) fireAll(now float64) {
+	fns := f.fns
+	f.fns = nil
+	for _, fn := range fns {
+		fn(now)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	p, _ := shiftProblem(t)
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+	if _, err := New(p, Options{Decay: 1.5}); err == nil {
+		t.Fatal("decay ≥ 1 accepted")
+	}
+	if _, err := New(p, Options{IntervalSec: -5}); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+	if _, err := New(p, Options{MigrationRate: -1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := New(p, Options{MaxPerTick: -1}); err == nil {
+		t.Fatal("negative MaxPerTick accepted")
+	}
+	m, err := New(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Interval() != 300 {
+		t.Fatalf("default interval %g", m.Interval())
+	}
+}
+
+func TestNoObservationsNoAction(t *testing.T) {
+	p, layout := shiftProblem(t)
+	st, err := cluster.New(p, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs fakeScheduler
+	m.Tick(0, st, fs.schedule)
+	if len(fs.fns) != 0 || m.Migrations() != 0 {
+		t.Fatal("manager acted without demand data")
+	}
+}
+
+func TestShiftTriggersMigrationTowardNewHotVideo(t *testing.T) {
+	p, layout := shiftProblem(t)
+	st, err := cluster.New(p, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Options{MaxPerTick: 8, IntervalSec: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The coldest video suddenly takes all the traffic.
+	hot := p.M() - 1
+	before := st.Replicas(hot)
+	for i := 0; i < 500; i++ {
+		m.Observe(hot)
+	}
+	var fs fakeScheduler
+	for round := 0; round < 6 && st.Replicas(hot) <= before; round++ {
+		// Re-observe each round: decay would otherwise wash the signal out.
+		for i := 0; i < 500; i++ {
+			m.Observe(hot)
+		}
+		m.Tick(float64(round)*60, st, fs.schedule)
+		fs.fireAll(float64(round)*60 + 30)
+	}
+	if st.Replicas(hot) <= before {
+		t.Fatalf("hot video still has %d replicas after sustained demand", st.Replicas(hot))
+	}
+	if m.Migrations() == 0 {
+		t.Fatal("migration counter did not move")
+	}
+}
+
+func TestMigrationRespectsBackbone(t *testing.T) {
+	p, layout := shiftProblem(t)
+	q := p.Clone()
+	q.BackboneBandwidth = 0 // no backbone: the manager must stand down
+	st, err := cluster.New(q, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(q, Options{MaxPerTick: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		m.Observe(q.M() - 1)
+	}
+	var fs fakeScheduler
+	m.Tick(0, st, fs.schedule)
+	if len(fs.fns) != 0 {
+		t.Fatal("manager scheduled migrations without a backbone")
+	}
+}
+
+func TestBackboneReservedDuringCopy(t *testing.T) {
+	p, layout := shiftProblem(t)
+	st, err := cluster.New(p, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := 100 * core.Mbps
+	m, err := New(p, Options{MaxPerTick: 1, MigrationRate: rate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		m.Observe(p.M() - 1)
+	}
+	var fs fakeScheduler
+	m.Tick(0, st, fs.schedule)
+	if len(fs.fns) != 1 {
+		t.Fatalf("expected exactly one migration, got %d", len(fs.fns))
+	}
+	if got := st.BackboneFree(); got != p.BackboneBandwidth-rate {
+		t.Fatalf("backbone free %g during copy, want %g", got, p.BackboneBandwidth-rate)
+	}
+	fs.fireAll(100)
+	if got := st.BackboneFree(); got != p.BackboneBandwidth {
+		t.Fatalf("backbone not released after copy: %g", got)
+	}
+	if m.Migrations() != 1 {
+		t.Fatalf("migrations %d", m.Migrations())
+	}
+}
+
+func TestEvictionMakesRoom(t *testing.T) {
+	// Fill storage completely so a new replica requires an eviction.
+	c, err := core.NewCatalog(8, 0.9, 4*core.Mbps, 90*core.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Problem{
+		Catalog:            c,
+		NumServers:         2,
+		StoragePerServer:   8 * c[0].SizeBytes(),
+		BandwidthPerServer: 0.5 * core.Gbps,
+		ArrivalRate:        5.0 / core.Minute,
+		PeakPeriod:         90 * core.Minute,
+		BackboneBandwidth:  core.Gbps,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := replicate.BoundedAdams{}.Replicate(p, 16) // saturate: every video everywhere
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := place.SmallestLoadFirst{}.Place(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cluster.New(p, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Options{MaxPerTick: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With storage saturated and every video fully replicated there are no
+	// deficits: the manager must do nothing rather than thrash.
+	for i := 0; i < 300; i++ {
+		m.Observe(7)
+	}
+	var fs fakeScheduler
+	m.Tick(0, st, fs.schedule)
+	fs.fireAll(120)
+	if m.Migrations() != 0 {
+		t.Fatal("fully replicated cluster still migrated")
+	}
+	for v := 0; v < p.M(); v++ {
+		if st.Replicas(v) < 1 {
+			t.Fatal("a video lost its last replica")
+		}
+	}
+}
+
+func TestCountersAndDecay(t *testing.T) {
+	p, layout := shiftProblem(t)
+	st, err := cluster.New(p, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Options{Decay: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(0)
+	m.Observe(0)
+	m.Observe(-5)        // out of range: ignored
+	m.Observe(p.M() + 3) // out of range: ignored
+	if m.counts[0] != 2 {
+		t.Fatalf("counts[0] = %g", m.counts[0])
+	}
+	var fs fakeScheduler
+	m.Tick(0, st, fs.schedule)
+	if m.counts[0] != 0.5 {
+		t.Fatalf("decay not applied: %g", m.counts[0])
+	}
+}

@@ -1,0 +1,303 @@
+package hierarchy
+
+import (
+	"math"
+	"testing"
+
+	"vodcluster/internal/anneal"
+	"vodcluster/internal/core"
+	"vodcluster/internal/stats"
+)
+
+// testProblem: root + 2 mid + 4 leaves, 20 videos, leaves with modest cache
+// space so locality has to be earned.
+func testProblem(t testing.TB, leafReplicas int) *Problem {
+	t.Helper()
+	c, err := core.NewCatalog(20, 0.8, 4*core.Mbps, 90*core.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := c[0].SizeBytes()
+	topo, err := NewUniformTree(2, []Node{
+		{StorageBytes: 25 * size, StreamBW: 10 * core.Gbps, UplinkBW: 0},
+		{StorageBytes: 8 * size, StreamBW: 2 * core.Gbps, UplinkBW: 2 * core.Gbps},
+		{StorageBytes: float64(leafReplicas) * size, StreamBW: 2 * core.Gbps, UplinkBW: core.Gbps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{
+		Topo:     topo,
+		Catalog:  c,
+		LeafRate: []float64{2.0 / core.Minute, 2.0 / core.Minute, 2.0 / core.Minute, 2.0 / core.Minute},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTopologyConstruction(t *testing.T) {
+	topo, err := NewUniformTree(2, []Node{
+		{StorageBytes: 1, StreamBW: 1},
+		{StorageBytes: 1, StreamBW: 1, UplinkBW: 1},
+		{StorageBytes: 1, StreamBW: 1, UplinkBW: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Len() != 7 {
+		t.Fatalf("1+2+4 = 7 nodes, got %d", topo.Len())
+	}
+	if len(topo.Leaves()) != 4 {
+		t.Fatalf("leaves = %v", topo.Leaves())
+	}
+	for _, leaf := range topo.Leaves() {
+		if topo.Depth(leaf) != 2 {
+			t.Fatalf("leaf %d at depth %d", leaf, topo.Depth(leaf))
+		}
+		path := topo.Path(leaf)
+		if len(path) != 3 || path[len(path)-1] != 0 {
+			t.Fatalf("path %v", path)
+		}
+	}
+	if len(topo.Children(0)) != 2 {
+		t.Fatalf("root children %v", topo.Children(0))
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := NewTopology(nil); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+	if _, err := NewTopology([]Node{{Parent: 0}}); err == nil {
+		t.Fatal("root with parent accepted")
+	}
+	if _, err := NewTopology([]Node{
+		{Parent: -1, StorageBytes: 1, StreamBW: 1},
+		{Parent: 5, StorageBytes: 1, StreamBW: 1, UplinkBW: 1},
+	}); err == nil {
+		t.Fatal("forward parent reference accepted")
+	}
+	if _, err := NewTopology([]Node{
+		{Parent: -1, StorageBytes: 1, StreamBW: 0},
+	}); err == nil {
+		t.Fatal("zero stream bandwidth accepted")
+	}
+	if _, err := NewTopology([]Node{
+		{Parent: -1, StorageBytes: 1, StreamBW: 1},
+		{Parent: 0, StorageBytes: 1, StreamBW: 1, UplinkBW: 0},
+	}); err == nil {
+		t.Fatal("zero uplink accepted")
+	}
+	if _, err := NewUniformTree(0, []Node{{StorageBytes: 1, StreamBW: 1}}); err == nil {
+		t.Fatal("zero fanout accepted")
+	}
+	if _, err := NewUniformTree(2, nil); err == nil {
+		t.Fatal("no levels accepted")
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	p := testProblem(t, 3)
+	bad := *p
+	bad.LeafRate = bad.LeafRate[:2]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("wrong leaf-rate length accepted")
+	}
+	bad = *p
+	bad.LeafRate = []float64{-1, 1, 1, 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	bad = *p
+	bad.LeafPopularity = make([][]float64, 2)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("wrong popularity shape accepted")
+	}
+	// Root too small for the catalog.
+	c := p.Catalog
+	smallRoot, err := NewUniformTree(2, []Node{
+		{StorageBytes: c[0].SizeBytes(), StreamBW: core.Gbps},
+		{StorageBytes: c[0].SizeBytes(), StreamBW: core.Gbps, UplinkBW: core.Gbps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = *p
+	bad.Topo = smallRoot
+	bad.LeafRate = []float64{1, 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("undersized root accepted")
+	}
+}
+
+func TestRootOnlyMappingServesEverythingRemotely(t *testing.T) {
+	p := testProblem(t, 3)
+	m := NewMapping(p)
+	e := p.Evaluate(m)
+	if e.LocalHitRatio != 0 {
+		t.Fatalf("root-only mapping has local hits: %g", e.LocalHitRatio)
+	}
+	if math.Abs(e.MeanHops-2) > 1e-9 {
+		t.Fatalf("mean hops %g, want 2 (leaf depth)", e.MeanHops)
+	}
+	if e.StorageViolation != 0 {
+		t.Fatal("root-only mapping violates storage")
+	}
+}
+
+func TestFullLeafMappingIsAllLocal(t *testing.T) {
+	p := testProblem(t, 20) // leaves hold the whole catalog
+	m := NewMapping(p)
+	for _, leaf := range p.Topo.Leaves() {
+		for v := range p.Catalog {
+			m.Placed[leaf][v] = true
+		}
+	}
+	e := p.Evaluate(m)
+	if math.Abs(e.LocalHitRatio-1) > 1e-9 || e.MeanHops != 0 {
+		t.Fatalf("full leaf caches: hit %g hops %g", e.LocalHitRatio, e.MeanHops)
+	}
+	if e.MaxLinkUtil != 0 {
+		t.Fatalf("no traffic should cross links: %g", e.MaxLinkUtil)
+	}
+}
+
+func TestGreedyMappingProperties(t *testing.T) {
+	p := testProblem(t, 3)
+	m := GreedyMapping(p)
+	e := p.Evaluate(m)
+	if e.StorageViolation != 0 {
+		t.Fatal("greedy mapping violates storage")
+	}
+	// Leaves hold the top-3 videos → the head of the Zipf mass is local.
+	if e.LocalHitRatio <= 0.2 {
+		t.Fatalf("greedy local hit ratio %g suspiciously low", e.LocalHitRatio)
+	}
+	rootOnly := p.Evaluate(NewMapping(p))
+	if e.MeanHops >= rootOnly.MeanHops {
+		t.Fatal("greedy caching did not reduce mean hops")
+	}
+	// Every leaf holds exactly the 3 hottest videos.
+	for _, leaf := range p.Topo.Leaves() {
+		for v := 0; v < 3; v++ {
+			if !m.Placed[leaf][v] {
+				t.Fatalf("leaf %d missing hot video %d", leaf, v)
+			}
+		}
+	}
+}
+
+func TestOptimizeImprovesOnGreedy(t *testing.T) {
+	p := testProblem(t, 3)
+	greedy := p.Evaluate(GreedyMapping(p))
+	opts := anneal.Options{InitialTemp: 0.5, Cooling: 0.92, PlateauSteps: 120, MinTemp: 1e-3, Seed: 5}
+	best, e, err := Optimize(p, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.StorageViolation != 0 {
+		t.Fatal("optimized mapping violates storage")
+	}
+	if e.MeanHops > greedy.MeanHops+1e-9 {
+		t.Fatalf("SA mean hops %g worse than greedy %g", e.MeanHops, greedy.MeanHops)
+	}
+	// Root copies must never be dropped.
+	for v := range p.Catalog {
+		if !best.Placed[0][v] {
+			t.Fatalf("root lost video %d", v)
+		}
+	}
+}
+
+func TestOptimizeExploitsRegionalTaste(t *testing.T) {
+	// Give each leaf a disjoint hot set: the optimizer should specialize
+	// leaf caches and beat the one-size-fits-all greedy mapping clearly.
+	p := testProblem(t, 3)
+	m := len(p.Catalog)
+	leaves := len(p.Topo.Leaves())
+	pops := make([][]float64, leaves)
+	for li := range pops {
+		pops[li] = make([]float64, m)
+		for v := 0; v < m; v++ {
+			// Rotate the global ranking per leaf.
+			pops[li][v] = p.Catalog[(v+li*5)%m].Popularity
+		}
+	}
+	p.LeafPopularity = pops
+	greedy := p.Evaluate(GreedyMapping(p))
+	opts := anneal.Options{InitialTemp: 0.5, Cooling: 0.92, PlateauSteps: 150, MinTemp: 1e-3, Seed: 7}
+	_, e, err := Optimize(p, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MeanHops >= greedy.MeanHops {
+		t.Fatalf("SA (%g hops) failed to beat popularity-blind greedy (%g) under regional taste",
+			e.MeanHops, greedy.MeanHops)
+	}
+	if e.LocalHitRatio <= greedy.LocalHitRatio {
+		t.Fatalf("SA hit ratio %g not above greedy %g", e.LocalHitRatio, greedy.LocalHitRatio)
+	}
+}
+
+func TestNeighborKeepsRootPinned(t *testing.T) {
+	p := testProblem(t, 3)
+	sp := saProblem{p: p}
+	m := GreedyMapping(p)
+	rng := stats.NewRNG(3)
+	for i := 0; i < 2000; i++ {
+		m = sp.Neighbor(m, rng)
+		for v := range p.Catalog {
+			if !m.Placed[0][v] {
+				t.Fatalf("step %d: root lost video %d", i, v)
+			}
+		}
+	}
+	// Storage is maintained by construction.
+	for n := 1; n < p.Topo.Len(); n++ {
+		if m.StorageUsed(p, n) > p.Topo.Node(n).StorageBytes+1e-6 {
+			t.Fatalf("node %d over storage after random walk", n)
+		}
+	}
+}
+
+func TestMappingClone(t *testing.T) {
+	p := testProblem(t, 3)
+	m := GreedyMapping(p)
+	c := m.Clone()
+	c.Placed[1][0] = !c.Placed[1][0]
+	if m.Placed[1][0] == c.Placed[1][0] {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func BenchmarkEvaluateMapping(b *testing.B) {
+	c, err := core.NewCatalog(200, 0.8, 4*core.Mbps, 90*core.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := c[0].SizeBytes()
+	topo, err := NewUniformTree(4, []Node{
+		{StorageBytes: 220 * size, StreamBW: 20 * core.Gbps},
+		{StorageBytes: 40 * size, StreamBW: 4 * core.Gbps, UplinkBW: 4 * core.Gbps},
+		{StorageBytes: 20 * size, StreamBW: 2 * core.Gbps, UplinkBW: 2 * core.Gbps},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates := make([]float64, len(topo.Leaves()))
+	for i := range rates {
+		rates[i] = 1.0 / core.Minute
+	}
+	p := &Problem{Topo: topo, Catalog: c, LeafRate: rates}
+	if err := p.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	m := GreedyMapping(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Evaluate(m)
+	}
+}

@@ -1,0 +1,211 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"vodcluster/internal/core"
+)
+
+// Problem is one instance of the media mapping problem: a server tree, a
+// catalog, and per-leaf demand.
+type Problem struct {
+	// Topo is the server tree.
+	Topo *Topology
+	// Catalog supplies video sizes, bit rates, durations, and the global
+	// popularity ranking.
+	Catalog core.Catalog
+	// LeafRate is the request arrival rate (requests/s) at each leaf, in
+	// Topo.Leaves() order.
+	LeafRate []float64
+	// LeafPopularity optionally gives each leaf its own popularity vector
+	// (per leaf, per video) — regional taste. Nil means every leaf follows
+	// the catalog's global popularities.
+	LeafPopularity [][]float64
+}
+
+// Validate checks the instance.
+func (p *Problem) Validate() error {
+	if p.Topo == nil {
+		return fmt.Errorf("hierarchy: nil topology")
+	}
+	if err := p.Catalog.Validate(); err != nil {
+		return err
+	}
+	if len(p.LeafRate) != len(p.Topo.Leaves()) {
+		return fmt.Errorf("hierarchy: %d leaf rates for %d leaves", len(p.LeafRate), len(p.Topo.Leaves()))
+	}
+	for i, r := range p.LeafRate {
+		if r < 0 {
+			return fmt.Errorf("hierarchy: leaf %d has negative rate", i)
+		}
+	}
+	if p.LeafPopularity != nil {
+		if len(p.LeafPopularity) != len(p.Topo.Leaves()) {
+			return fmt.Errorf("hierarchy: %d leaf popularity vectors for %d leaves",
+				len(p.LeafPopularity), len(p.Topo.Leaves()))
+		}
+		for i, pops := range p.LeafPopularity {
+			if len(pops) != len(p.Catalog) {
+				return fmt.Errorf("hierarchy: leaf %d popularity covers %d of %d videos", i, len(pops), len(p.Catalog))
+			}
+		}
+	}
+	// The root must be able to hold the whole catalog (archive tier).
+	if p.Topo.Node(0).StorageBytes < p.Catalog.TotalSizeBytes() {
+		return fmt.Errorf("hierarchy: root storage %.0f below catalog size %.0f",
+			p.Topo.Node(0).StorageBytes, p.Catalog.TotalSizeBytes())
+	}
+	return nil
+}
+
+// popularityAt returns video v's popularity at leaf index li.
+func (p *Problem) popularityAt(li, v int) float64 {
+	if p.LeafPopularity != nil {
+		return p.LeafPopularity[li][v]
+	}
+	return p.Catalog[v].Popularity
+}
+
+// Mapping assigns videos to nodes: Placed[n][v] reports whether node n holds
+// a copy of video v. Node 0 (the root) always holds everything.
+type Mapping struct {
+	Placed [][]bool
+}
+
+// NewMapping returns the minimal valid mapping: only the root holds content.
+func NewMapping(p *Problem) *Mapping {
+	m := &Mapping{Placed: make([][]bool, p.Topo.Len())}
+	for n := range m.Placed {
+		m.Placed[n] = make([]bool, len(p.Catalog))
+	}
+	for v := range p.Catalog {
+		m.Placed[0][v] = true
+	}
+	return m
+}
+
+// Clone deep-copies the mapping.
+func (m *Mapping) Clone() *Mapping {
+	c := &Mapping{Placed: make([][]bool, len(m.Placed))}
+	for n := range m.Placed {
+		c.Placed[n] = append([]bool(nil), m.Placed[n]...)
+	}
+	return c
+}
+
+// StorageUsed returns the bytes node n's mapped videos occupy.
+func (m *Mapping) StorageUsed(p *Problem, n int) float64 {
+	used := 0.0
+	for v, placed := range m.Placed[n] {
+		if placed {
+			used += p.Catalog[v].SizeBytes()
+		}
+	}
+	return used
+}
+
+// Eval is the analytic score of a mapping.
+type Eval struct {
+	// LocalHitRatio is the demand fraction served at the client's own leaf.
+	LocalHitRatio float64
+	// MeanHops is the demand-weighted mean tree distance to the serving
+	// node (0 = local).
+	MeanHops float64
+	// MaxLinkUtil and MaxNodeUtil are the worst link and node utilizations
+	// in [0, ∞); values above 1 are overloads.
+	MaxLinkUtil float64
+	MaxNodeUtil float64
+	// StorageViolation is the total bytes mapped beyond node capacities.
+	StorageViolation float64
+}
+
+// Feasible reports whether capacities are respected.
+func (e Eval) Feasible() bool {
+	return e.StorageViolation == 0 && e.MaxLinkUtil <= 1+1e-9 && e.MaxNodeUtil <= 1+1e-9
+}
+
+// Evaluate computes the expected steady-state behavior of a mapping: every
+// leaf's demand for each video is served by the nearest ancestor holding it,
+// loading that node's streaming capacity and every link on the way down.
+func (p *Problem) Evaluate(m *Mapping) Eval {
+	var e Eval
+	nodeLoad := make([]float64, p.Topo.Len())
+	linkLoad := make([]float64, p.Topo.Len()) // link i = edge (i, parent(i))
+	totalDemand := 0.0
+	localDemand := 0.0
+	hopDemand := 0.0
+
+	for li, leaf := range p.Topo.Leaves() {
+		rate := p.LeafRate[li]
+		if rate == 0 {
+			continue
+		}
+		path := p.Topo.Path(leaf)
+		for v := range p.Catalog {
+			// Expected concurrent bandwidth of this (leaf, video) flow:
+			// arrival rate × popularity × duration × bit rate.
+			demand := rate * p.popularityAt(li, v) * p.Catalog[v].Duration * p.Catalog[v].BitRate
+			if demand == 0 {
+				continue
+			}
+			totalDemand += demand
+			serving := -1
+			hops := 0
+			for h, n := range path {
+				if m.Placed[n][v] {
+					serving, hops = n, h
+					break
+				}
+			}
+			if serving == -1 {
+				serving, hops = 0, len(path)-1 // root fallback (pinned anyway)
+			}
+			nodeLoad[serving] += demand
+			for h := 0; h < hops; h++ {
+				linkLoad[path[h]] += demand
+			}
+			hopDemand += float64(hops) * demand
+			if hops == 0 {
+				localDemand += demand
+			}
+		}
+	}
+
+	if totalDemand > 0 {
+		e.LocalHitRatio = localDemand / totalDemand
+		e.MeanHops = hopDemand / totalDemand
+	}
+	for n := 0; n < p.Topo.Len(); n++ {
+		if u := nodeLoad[n] / p.Topo.Node(n).StreamBW; u > e.MaxNodeUtil {
+			e.MaxNodeUtil = u
+		}
+		if n > 0 {
+			if u := linkLoad[n] / p.Topo.Node(n).UplinkBW; u > e.MaxLinkUtil {
+				e.MaxLinkUtil = u
+			}
+		}
+		if over := m.StorageUsed(p, n) - p.Topo.Node(n).StorageBytes; over > 0 {
+			e.StorageViolation += over
+		}
+	}
+	return e
+}
+
+// GreedyMapping is the baseline: every non-root node independently caches
+// the globally most popular videos that fit its storage (the root keeps the
+// full catalog). It ignores what ancestors already hold, so popular titles
+// are duplicated along every path — the inefficiency the SA mapping removes.
+func GreedyMapping(p *Problem) *Mapping {
+	m := NewMapping(p)
+	for n := 1; n < p.Topo.Len(); n++ {
+		free := p.Topo.Node(n).StorageBytes
+		for v := range p.Catalog { // catalog is sorted most popular first
+			size := p.Catalog[v].SizeBytes()
+			if size <= free {
+				m.Placed[n][v] = true
+				free -= size
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,110 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"vodcluster/internal/anneal"
+	"vodcluster/internal/stats"
+)
+
+// saProblem adapts the media mapping problem to the generic annealer —
+// exactly how the predecessor paper attacked it, with MinimizeParallel
+// standing in for parsa's parallel chains.
+type saProblem struct {
+	p *Problem
+}
+
+// Cost is the demand-weighted mean hop count plus heavy penalties for
+// capacity violations. Lower is better; a perfect mapping serves everything
+// locally at cost 0.
+func (s saProblem) Cost(m *Mapping) float64 {
+	e := s.p.Evaluate(m)
+	cost := e.MeanHops
+	if over := e.MaxLinkUtil - 1; over > 0 {
+		cost += 100 * over
+	}
+	if over := e.MaxNodeUtil - 1; over > 0 {
+		cost += 100 * over
+	}
+	if e.StorageViolation > 0 {
+		cost += 1e6
+	}
+	return cost
+}
+
+// Clone implements anneal.Problem.
+func (s saProblem) Clone(m *Mapping) *Mapping { return m.Clone() }
+
+// Neighbor implements anneal.Problem: pick a random non-root node and either
+// cache one more video there (evicting the least locally useful videos until
+// it fits) or drop one. The root's full catalog is never touched.
+func (s saProblem) Neighbor(m *Mapping, rng *stats.RNG) *Mapping {
+	nm := m.Clone()
+	p := s.p
+	if p.Topo.Len() < 2 {
+		return nm
+	}
+	n := 1 + rng.Intn(p.Topo.Len()-1)
+
+	placed := make([]int, 0, len(p.Catalog))
+	absent := make([]int, 0, len(p.Catalog))
+	for v := range p.Catalog {
+		if nm.Placed[n][v] {
+			placed = append(placed, v)
+		} else {
+			absent = append(absent, v)
+		}
+	}
+
+	if (rng.Bernoulli(0.6) || len(placed) == 0) && len(absent) > 0 {
+		v := absent[rng.Intn(len(absent))]
+		nm.Placed[n][v] = true
+		// Evict the coldest residents until the node fits again.
+		free := p.Topo.Node(n).StorageBytes - nm.StorageUsed(p, n)
+		for free < 0 {
+			coldest := -1
+			for _, pv := range placed {
+				if !nm.Placed[n][pv] || pv == v {
+					continue
+				}
+				if coldest == -1 || p.Catalog[pv].Popularity < p.Catalog[coldest].Popularity {
+					coldest = pv
+				}
+			}
+			if coldest == -1 {
+				nm.Placed[n][v] = false // the new video alone does not fit
+				break
+			}
+			nm.Placed[n][coldest] = false
+			free += p.Catalog[coldest].SizeBytes()
+		}
+	} else if len(placed) > 0 {
+		nm.Placed[n][placed[rng.Intn(len(placed))]] = false
+	}
+	return nm
+}
+
+var _ anneal.Problem[*Mapping] = saProblem{}
+
+// Optimize runs the simulated-annealing mapping search from the greedy
+// baseline, with chains parallel restarts (chains ≤ 1 runs one chain).
+func Optimize(p *Problem, opts anneal.Options, chains int) (*Mapping, Eval, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Eval{}, err
+	}
+	initial := GreedyMapping(p)
+	sp := saProblem{p: p}
+	var (
+		res anneal.Result[*Mapping]
+		err error
+	)
+	if chains <= 1 {
+		res, err = anneal.Minimize[*Mapping](sp, initial, opts)
+	} else {
+		res, err = anneal.MinimizeParallel[*Mapping](sp, initial, opts, chains)
+	}
+	if err != nil {
+		return nil, Eval{}, fmt.Errorf("hierarchy: %w", err)
+	}
+	return res.Best, p.Evaluate(res.Best), nil
+}

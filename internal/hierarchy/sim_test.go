@@ -1,0 +1,131 @@
+package hierarchy
+
+import (
+	"math"
+	"testing"
+
+	"vodcluster/internal/core"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(SimConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	p := testProblem(t, 3)
+	badMapping := &Mapping{Placed: make([][]bool, 2)}
+	if _, err := Simulate(SimConfig{Problem: p, Mapping: badMapping}); err == nil {
+		t.Fatal("wrong-shape mapping accepted")
+	}
+	zeroRates := *p
+	zeroRates.LeafRate = make([]float64, len(p.LeafRate))
+	if _, err := Simulate(SimConfig{Problem: &zeroRates, Mapping: NewMapping(p)}); err == nil {
+		t.Fatal("all-zero leaf rates accepted")
+	}
+}
+
+// TestSimulateMatchesAnalyticLightLoad: with capacities far above demand the
+// simulated hit ratio and hop count must converge to the analytic Evaluate.
+func TestSimulateMatchesAnalyticLightLoad(t *testing.T) {
+	p := testProblem(t, 3)
+	m := GreedyMapping(p)
+	e := p.Evaluate(m)
+
+	var hitSum, hopSum float64
+	runs := 8
+	for i := 0; i < runs; i++ {
+		res, err := Simulate(SimConfig{Problem: p, Mapping: m, Duration: 4 * p.Catalog[0].Duration, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rejected != 0 {
+			t.Fatalf("light load rejected %d", res.Rejected)
+		}
+		hitSum += res.LocalHitRatio
+		hopSum += res.MeanHops
+	}
+	hit := hitSum / float64(runs)
+	hop := hopSum / float64(runs)
+	if math.Abs(hit-e.LocalHitRatio) > 0.05 {
+		t.Fatalf("simulated hit ratio %.3f vs analytic %.3f", hit, e.LocalHitRatio)
+	}
+	if math.Abs(hop-e.MeanHops) > 0.1 {
+		t.Fatalf("simulated mean hops %.3f vs analytic %.3f", hop, e.MeanHops)
+	}
+}
+
+// TestSimulateRootOnlyMapping: everything crosses the whole tree.
+func TestSimulateRootOnlyMapping(t *testing.T) {
+	p := testProblem(t, 3)
+	res, err := Simulate(SimConfig{Problem: p, Mapping: NewMapping(p), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LocalHitRatio != 0 {
+		t.Fatalf("root-only mapping produced local hits: %g", res.LocalHitRatio)
+	}
+	if res.Requests > 0 && res.Rejected == 0 && math.Abs(res.MeanHops-2) > 1e-9 {
+		t.Fatalf("mean hops %g, want 2", res.MeanHops)
+	}
+}
+
+// TestSimulateSaturatedLinksReject: shrink the leaf uplinks so the root-only
+// mapping cannot carry the demand; rejections must appear, and the SA-style
+// local caching must relieve them.
+func TestSimulateSaturatedLinksReject(t *testing.T) {
+	c, err := core.NewCatalog(10, 0.8, 4*core.Mbps, 90*core.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := c[0].SizeBytes()
+	topo, err := NewUniformTree(2, []Node{
+		{StorageBytes: 12 * size, StreamBW: 10 * core.Gbps},
+		{StorageBytes: 4 * size, StreamBW: core.Gbps, UplinkBW: 100 * core.Mbps},
+		{StorageBytes: 4 * size, StreamBW: core.Gbps, UplinkBW: 40 * core.Mbps}, // 10 concurrent remote streams
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{
+		Topo:     topo,
+		Catalog:  c,
+		LeafRate: []float64{1.0 / core.Minute, 1.0 / core.Minute, 1.0 / core.Minute, 1.0 / core.Minute},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ~90 expected concurrent streams per leaf vs 10 remote slots.
+	rootOnly, err := Simulate(SimConfig{Problem: p, Mapping: NewMapping(p), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootOnly.RejectionRate < 0.5 {
+		t.Fatalf("starved uplinks rejected only %.2f", rootOnly.RejectionRate)
+	}
+	cached, err := Simulate(SimConfig{Problem: p, Mapping: GreedyMapping(p), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.RejectionRate >= rootOnly.RejectionRate {
+		t.Fatalf("leaf caching did not relieve the uplinks: %.2f vs %.2f",
+			cached.RejectionRate, rootOnly.RejectionRate)
+	}
+	if rootOnly.PeakLinkUtil > 1+1e-9 {
+		t.Fatalf("link capacity violated: %g", rootOnly.PeakLinkUtil)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := testProblem(t, 3)
+	m := GreedyMapping(p)
+	a, err := Simulate(SimConfig{Problem: p, Mapping: m, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(SimConfig{Problem: p, Mapping: m, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Requests != b.Requests || a.Rejected != b.Rejected || a.MeanHops != b.MeanHops {
+		t.Fatal("hierarchy simulation not deterministic")
+	}
+}

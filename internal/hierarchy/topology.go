@@ -1,0 +1,136 @@
+// Package hierarchy models the hierarchical server network of the paper's
+// predecessor work (Zhou, Lüling & Xie, ICPP 2000 — the "media mapping
+// problem" whose parallel simulated annealing the paper's §4.3 reuses), and
+// the geographically distributed deployment §1 mentions: a tree of video
+// servers with clients attached to the leaves. A request at a leaf is served
+// by the nearest node on the path to the root that holds the video; serving
+// from an ancestor consumes bandwidth on every tree link it crosses.
+//
+// The mapping problem assigns videos to nodes under per-node storage limits
+// (the root pins a copy of everything, as the archive tier) to maximize
+// locality: minimize expected hops per request, keep every link within its
+// bandwidth, and keep every node within its streaming capacity. The package
+// provides the analytic evaluation of a mapping, a greedy top-popularity
+// baseline, and a simulated-annealing optimizer built on internal/anneal.
+package hierarchy
+
+import (
+	"fmt"
+)
+
+// Node is one server in the tree.
+type Node struct {
+	// Parent is the parent node index, or -1 for the root.
+	Parent int
+	// StorageBytes limits the total size of videos mapped to the node.
+	StorageBytes float64
+	// StreamBW is the node's serving capacity in bits/s (streams it can
+	// originate, wherever the clients are).
+	StreamBW float64
+	// UplinkBW is the capacity of the link to the parent in bits/s;
+	// ignored for the root.
+	UplinkBW float64
+}
+
+// Topology is a rooted server tree. Build with NewTopology; the node slice
+// must place the root at index 0.
+type Topology struct {
+	nodes    []Node
+	children [][]int
+	leaves   []int
+	depth    []int
+}
+
+// NewTopology validates the node list (index 0 is the root; parents must
+// precede children) and computes the derived structure.
+func NewTopology(nodes []Node) (*Topology, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("hierarchy: empty topology")
+	}
+	if nodes[0].Parent != -1 {
+		return nil, fmt.Errorf("hierarchy: node 0 must be the root (Parent == -1)")
+	}
+	t := &Topology{
+		nodes:    append([]Node(nil), nodes...),
+		children: make([][]int, len(nodes)),
+		depth:    make([]int, len(nodes)),
+	}
+	for i, n := range nodes {
+		if i == 0 {
+			continue
+		}
+		if n.Parent < 0 || n.Parent >= i {
+			return nil, fmt.Errorf("hierarchy: node %d has parent %d; parents must precede children", i, n.Parent)
+		}
+		t.children[n.Parent] = append(t.children[n.Parent], i)
+		t.depth[i] = t.depth[n.Parent] + 1
+	}
+	for i, n := range nodes {
+		if n.StorageBytes < 0 || n.StreamBW <= 0 {
+			return nil, fmt.Errorf("hierarchy: node %d has invalid capacities", i)
+		}
+		if i > 0 && n.UplinkBW <= 0 {
+			return nil, fmt.Errorf("hierarchy: node %d has invalid uplink", i)
+		}
+		if len(t.children[i]) == 0 {
+			t.leaves = append(t.leaves, i)
+		}
+	}
+	return t, nil
+}
+
+// NewUniformTree builds a balanced tree with the given fanout and one spec
+// per level (level 0 = root). Every node at a level shares that level's
+// capacities.
+func NewUniformTree(fanout int, levels []Node) (*Topology, error) {
+	if fanout < 1 {
+		return nil, fmt.Errorf("hierarchy: fanout must be ≥ 1, got %d", fanout)
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("hierarchy: need at least one level")
+	}
+	var nodes []Node
+	prev := []int{-1}
+	for lvl, spec := range levels {
+		var cur []int
+		count := 1
+		if lvl > 0 {
+			count = fanout
+		}
+		for _, parent := range prev {
+			for k := 0; k < count; k++ {
+				n := spec
+				n.Parent = parent
+				nodes = append(nodes, n)
+				cur = append(cur, len(nodes)-1)
+			}
+		}
+		prev = cur
+	}
+	return NewTopology(nodes)
+}
+
+// Len returns the number of nodes.
+func (t *Topology) Len() int { return len(t.nodes) }
+
+// Node returns node i's spec.
+func (t *Topology) Node(i int) Node { return t.nodes[i] }
+
+// Children returns node i's children (shared slice; do not modify).
+func (t *Topology) Children(i int) []int { return t.children[i] }
+
+// Leaves returns the leaf node indices (shared slice; do not modify).
+func (t *Topology) Leaves() []int { return t.leaves }
+
+// Depth returns node i's distance from the root.
+func (t *Topology) Depth(i int) int { return t.depth[i] }
+
+// Path returns the node sequence from node i up to and including the root.
+func (t *Topology) Path(i int) []int {
+	var path []int
+	for i != -1 {
+		path = append(path, i)
+		i = t.nodes[i].Parent
+	}
+	return path
+}

@@ -1,0 +1,227 @@
+// Package metrics collects the performance measures the paper evaluates:
+// rejection rate, the load imbalance degree L under both of the paper's
+// definitions, per-server utilization, and cross-run aggregates with
+// confidence intervals.
+package metrics
+
+import (
+	"fmt"
+
+	"vodcluster/internal/core"
+	"vodcluster/internal/stats"
+)
+
+// Collector accumulates measurements during one simulation run.
+// Create with NewCollector; all methods are single-goroutine.
+type Collector struct {
+	numServers int
+	capacities []float64 // outgoing bits/s per server
+
+	requests  int
+	accepted  int
+	rejected  int
+	redirects int
+	dropped   int
+
+	servedPerServer []int
+
+	imbMax  stats.Summary // Eq. 2 on sampled outgoing bandwidth
+	imbCV   stats.Summary // Eq. 3 normalized by mean
+	imbCap  stats.Summary // capacity-normalized spread (max−mean)/capacity
+	peakImb float64
+
+	utilization    stats.Summary // mean server utilization per sample
+	peakConcurrent int
+	sessionRate    stats.Summary // encoding rate of accepted sessions (bits/s)
+}
+
+// NewCollector builds a collector for servers with the given outgoing
+// capacities in bits/s (one entry per server; heterogeneous clusters pass
+// their per-server values).
+func NewCollector(capacities []float64) *Collector {
+	n := len(capacities)
+	return &Collector{
+		numServers:      n,
+		capacities:      append([]float64(nil), capacities...),
+		servedPerServer: make([]int, n),
+	}
+}
+
+// NewUniformCollector builds a collector for n servers sharing one capacity.
+func NewUniformCollector(n int, capacity float64) *Collector {
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = capacity
+	}
+	return NewCollector(caps)
+}
+
+// Request records an arrival and its outcome. server is the outgoing server
+// for accepted requests and ignored otherwise.
+func (c *Collector) Request(acceptedBy int, accepted, redirected bool) {
+	c.requests++
+	if !accepted {
+		c.rejected++
+		return
+	}
+	c.accepted++
+	if redirected {
+		c.redirects++
+	}
+	if acceptedBy >= 0 && acceptedBy < c.numServers {
+		c.servedPerServer[acceptedBy]++
+	}
+}
+
+// Drop records n streams torn down mid-playback by a server failure.
+func (c *Collector) Drop(n int) {
+	c.dropped += n
+}
+
+// ObserveSessionRate records the encoding rate (bits/s) of an accepted
+// session — the delivered-quality metric of the scalable-bit-rate runtime.
+func (c *Collector) ObserveSessionRate(bps float64) {
+	c.sessionRate.Add(bps)
+}
+
+// SampleLoads records one snapshot of per-server outgoing bandwidth usage
+// (bits/s) and the number of concurrent streams.
+func (c *Collector) SampleLoads(usedBW []float64, concurrent int) {
+	l := core.ImbalanceMax(usedBW)
+	c.imbMax.Add(l)
+	if l > c.peakImb {
+		c.peakImb = l
+	}
+	c.imbCV.Add(core.ImbalanceCV(usedBW))
+	// Utilization-space spread: u_s = load_s / capacity_s; the
+	// capacity-normalized imbalance is max u − mean u, which reduces to
+	// (max l − l̄)/B on homogeneous clusters.
+	meanU := 0.0
+	maxU := 0.0
+	for s, l := range usedBW {
+		u := l / c.capacities[s]
+		meanU += u
+		if u > maxU {
+			maxU = u
+		}
+	}
+	meanU /= float64(len(usedBW))
+	c.imbCap.Add(maxU - meanU)
+	c.utilization.Add(meanU)
+	if concurrent > c.peakConcurrent {
+		c.peakConcurrent = concurrent
+	}
+}
+
+// Result freezes the collector into the per-run result record.
+func (c *Collector) Result() Result {
+	r := Result{
+		Requests:        c.requests,
+		Accepted:        c.accepted,
+		Rejected:        c.rejected,
+		Redirected:      c.redirects,
+		Dropped:         c.dropped,
+		ServedPerServer: append([]int(nil), c.servedPerServer...),
+		ImbalanceAvg:    c.imbMax.Mean(),
+		ImbalancePeak:   c.peakImb,
+		ImbalanceCVAvg:  c.imbCV.Mean(),
+		ImbalanceCapAvg: c.imbCap.Mean(),
+		MeanUtilization: c.utilization.Mean(),
+		PeakConcurrent:  c.peakConcurrent,
+	}
+	r.MeanSessionRateMbps = c.sessionRate.Mean() / 1e6
+	if c.requests > 0 {
+		r.RejectionRate = float64(c.rejected) / float64(c.requests)
+		// Failure rate counts both turned-away and torn-down sessions —
+		// the user-visible service failures.
+		r.FailureRate = float64(c.rejected+c.dropped) / float64(c.requests)
+	}
+	return r
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Requests, Accepted, Rejected count arrivals and their outcomes.
+	Requests, Accepted, Rejected int
+	// Redirected counts streams admitted over the backbone.
+	Redirected int
+	// Dropped counts streams torn down mid-playback by server failures.
+	Dropped int
+	// RejectionRate is Rejected / Requests.
+	RejectionRate float64
+	// FailureRate is (Rejected + Dropped) / Requests — every way a client
+	// fails to receive its full video.
+	FailureRate float64
+	// ServedPerServer counts accepted requests per outgoing server.
+	ServedPerServer []int
+	// ImbalanceAvg is the time-average of the Eq. 2 load imbalance degree
+	// sampled on outgoing bandwidth; ImbalancePeak its maximum sample.
+	ImbalanceAvg, ImbalancePeak float64
+	// ImbalanceCVAvg is the time-average of the Eq. 3 (std-dev) imbalance,
+	// normalized by the mean load.
+	ImbalanceCVAvg float64
+	// ImbalanceCapAvg is the time-average of the capacity-normalized load
+	// spread (max_j l_j − l̄) / capacity. Unlike the mean-relative Eq. 2, it
+	// is small both at light load (tiny absolute spread) and past
+	// saturation (every link pegged), peaking at mid load — the shape the
+	// paper's measured Figure 6 curves trace.
+	ImbalanceCapAvg float64
+	// MeanUtilization is the time-average of mean outgoing-link
+	// utilization across servers, in [0, 1].
+	MeanUtilization float64
+	// PeakConcurrent is the largest number of simultaneous streams seen.
+	PeakConcurrent int
+	// MeanSessionRateMbps is the average encoding rate of accepted
+	// sessions in Mb/s — constant under the paper's fixed-rate model,
+	// informative for scalable-bit-rate layouts where the served copy
+	// decides the quality.
+	MeanSessionRateMbps float64
+}
+
+// String summarizes the run.
+func (r Result) String() string {
+	return fmt.Sprintf("requests=%d rejected=%d (%.2f%%) redirected=%d L_avg=%.3f L_peak=%.3f util=%.2f",
+		r.Requests, r.Rejected, 100*r.RejectionRate, r.Redirected, r.ImbalanceAvg, r.ImbalancePeak, r.MeanUtilization)
+}
+
+// Aggregate summarizes the same metric across replicated runs.
+type Aggregate struct {
+	// RejectionRate, ImbalanceAvg, ImbalancePeak, MeanUtilization, and
+	// Redirected aggregate the per-run values of the same name.
+	RejectionRate   stats.Summary
+	FailureRate     stats.Summary
+	Dropped         stats.Summary
+	SessionRateMbps stats.Summary
+	ImbalanceAvg    stats.Summary
+	ImbalancePeak   stats.Summary
+	ImbalanceCVAvg  stats.Summary
+	ImbalanceCapAvg stats.Summary
+	MeanUtilization stats.Summary
+	Redirected      stats.Summary
+}
+
+// Add folds one run's result into the aggregate.
+func (a *Aggregate) Add(r Result) {
+	a.RejectionRate.Add(r.RejectionRate)
+	a.FailureRate.Add(r.FailureRate)
+	a.Dropped.Add(float64(r.Dropped))
+	a.SessionRateMbps.Add(r.MeanSessionRateMbps)
+	a.ImbalanceAvg.Add(r.ImbalanceAvg)
+	a.ImbalancePeak.Add(r.ImbalancePeak)
+	a.ImbalanceCVAvg.Add(r.ImbalanceCVAvg)
+	a.ImbalanceCapAvg.Add(r.ImbalanceCapAvg)
+	a.MeanUtilization.Add(r.MeanUtilization)
+	a.Redirected.Add(float64(r.Redirected))
+}
+
+// Runs returns the number of results aggregated.
+func (a *Aggregate) Runs() int { return a.RejectionRate.N() }
+
+// String reports mean rejection rate and imbalance with 95% CIs.
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("runs=%d reject=%.3f%%±%.3f L=%.3f±%.3f util=%.3f",
+		a.Runs(),
+		100*a.RejectionRate.Mean(), 100*a.RejectionRate.CI95(),
+		a.ImbalanceAvg.Mean(), a.ImbalanceAvg.CI95(),
+		a.MeanUtilization.Mean())
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vodcluster/internal/core"
+)
+
+func TestCollectorCountsOutcomes(t *testing.T) {
+	c := NewUniformCollector(2, core.Gbps)
+	c.Request(0, true, false)
+	c.Request(1, true, true)
+	c.Request(-1, false, false)
+	c.Request(0, true, false)
+	r := c.Result()
+	if r.Requests != 4 || r.Accepted != 3 || r.Rejected != 1 || r.Redirected != 1 {
+		t.Fatalf("result %+v", r)
+	}
+	if math.Abs(r.RejectionRate-0.25) > 1e-12 {
+		t.Fatalf("rejection rate %g", r.RejectionRate)
+	}
+	if r.ServedPerServer[0] != 2 || r.ServedPerServer[1] != 1 {
+		t.Fatalf("served %v", r.ServedPerServer)
+	}
+}
+
+func TestCollectorEmptyResult(t *testing.T) {
+	r := NewUniformCollector(3, core.Gbps).Result()
+	if r.RejectionRate != 0 || r.Requests != 0 {
+		t.Fatalf("empty result %+v", r)
+	}
+}
+
+func TestCollectorOutOfRangeServerIgnored(t *testing.T) {
+	c := NewUniformCollector(2, core.Gbps)
+	c.Request(7, true, false) // accepted but server index is bogus
+	r := c.Result()
+	if r.Accepted != 1 {
+		t.Fatal("accept lost")
+	}
+	if r.ServedPerServer[0] != 0 && r.ServedPerServer[1] != 0 {
+		t.Fatal("bogus server credited")
+	}
+}
+
+func TestCollectorSamples(t *testing.T) {
+	c := NewUniformCollector(2, 10)
+	c.SampleLoads([]float64{10, 0}, 3) // Eq.2 L = 1, mean util 0.5
+	c.SampleLoads([]float64{5, 5}, 7)  // L = 0, util 0.5
+	r := c.Result()
+	if math.Abs(r.ImbalanceAvg-0.5) > 1e-12 {
+		t.Fatalf("imbalance avg %g, want 0.5", r.ImbalanceAvg)
+	}
+	if r.ImbalancePeak != 1 {
+		t.Fatalf("imbalance peak %g", r.ImbalancePeak)
+	}
+	if math.Abs(r.MeanUtilization-0.5) > 1e-12 {
+		t.Fatalf("utilization %g", r.MeanUtilization)
+	}
+	if r.PeakConcurrent != 7 {
+		t.Fatalf("peak concurrent %d", r.PeakConcurrent)
+	}
+	// The CV average: CV of (10,0) = 1, of (5,5) = 0.
+	if math.Abs(r.ImbalanceCVAvg-0.5) > 1e-12 {
+		t.Fatalf("CV avg %g", r.ImbalanceCVAvg)
+	}
+	// Capacity-normalized spread: (10−5)/10 = 0.5, then (5−5)/10 = 0.
+	if math.Abs(r.ImbalanceCapAvg-0.25) > 1e-12 {
+		t.Fatalf("capacity-normalized avg %g", r.ImbalanceCapAvg)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	c := NewUniformCollector(1, 10)
+	c.Request(0, true, false)
+	c.Request(-1, false, false)
+	s := c.Result().String()
+	for _, frag := range []string{"requests=2", "rejected=1", "50.00%"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var a Aggregate
+	a.Add(Result{RejectionRate: 0.1, ImbalanceAvg: 0.2, MeanUtilization: 0.5, Redirected: 3})
+	a.Add(Result{RejectionRate: 0.3, ImbalanceAvg: 0.4, MeanUtilization: 0.7, Redirected: 5})
+	if a.Runs() != 2 {
+		t.Fatalf("runs %d", a.Runs())
+	}
+	if math.Abs(a.RejectionRate.Mean()-0.2) > 1e-12 {
+		t.Fatalf("mean rejection %g", a.RejectionRate.Mean())
+	}
+	if math.Abs(a.Redirected.Mean()-4) > 1e-12 {
+		t.Fatalf("mean redirected %g", a.Redirected.Mean())
+	}
+	if !strings.Contains(a.String(), "runs=2") {
+		t.Fatalf("String() = %q", a.String())
+	}
+}

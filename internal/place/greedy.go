@@ -1,0 +1,53 @@
+package place
+
+import (
+	"fmt"
+
+	"vodcluster/internal/core"
+)
+
+// Greedy is the classic longest-processing-time heuristic adapted to the
+// placement constraints: replicas in non-increasing weight order, each to the
+// feasible server with the smallest accumulated load, without the
+// round-of-N structure of SmallestLoadFirst. It usually matches SLF on load
+// balance but can skew storage use, since nothing forces servers to fill at
+// the same rate; it exists as an ablation of the round discipline.
+type Greedy struct{}
+
+// Name implements Placer.
+func (Greedy) Name() string { return "greedy" }
+
+// Place implements Placer.
+func (Greedy) Place(p *core.Problem, replicas []int) (*core.Layout, error) {
+	if err := checkReplicaVector(p, replicas); err != nil {
+		return nil, err
+	}
+	refs := sortedReplicas(p, replicas)
+	st := newState(p, replicas)
+	for _, ref := range refs {
+		best := -1
+		for sv := 0; sv < p.N(); sv++ {
+			if !st.canHost(sv, ref.video) {
+				continue
+			}
+			if best == -1 || st.loads[sv] < st.loads[best] {
+				best = sv
+			}
+		}
+		if best == -1 {
+			best = st.relocateFor(ref.video)
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("place: greedy cannot place a replica of video %d", ref.video)
+		}
+		if err := st.assign(best, ref.video, ref.weight); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.layout.Validate(p); err != nil {
+		return nil, fmt.Errorf("place: greedy produced invalid layout: %w", err)
+	}
+	return st.layout, nil
+}
+
+var _ Placer = Greedy{}

@@ -1,0 +1,182 @@
+package place
+
+import (
+	"fmt"
+	"math"
+
+	"vodcluster/internal/core"
+)
+
+// WeightedSLF generalizes smallest-load-first to heterogeneous clusters:
+// servers are ordered by *relative* load — accumulated communication weight
+// divided by the server's share of the cluster's outgoing bandwidth — so a
+// server with twice the bandwidth receives roughly twice the expected load.
+// On a homogeneous cluster it behaves exactly like SmallestLoadFirst.
+//
+// The round structure also adapts: instead of one replica per server per
+// round, servers keep receiving replicas as long as their storage is the
+// least-filled *in proportion to capacity*, so small servers fill at the
+// same relative rate as large ones.
+type WeightedSLF struct{}
+
+// Name implements Placer.
+func (WeightedSLF) Name() string { return "wslf" }
+
+// Place implements Placer.
+func (WeightedSLF) Place(p *core.Problem, replicas []int) (*core.Layout, error) {
+	if err := checkReplicaVector(p, replicas); err != nil {
+		return nil, err
+	}
+	refs := sortedReplicas(p, replicas)
+	st := newState(p, replicas)
+
+	// Bandwidth shares normalize the load comparison; storage shares
+	// normalize the fill comparison.
+	meanBW := p.TotalBandwidth() / float64(p.N())
+	bwShare := make([]float64, p.N())
+	for s := range bwShare {
+		bwShare[s] = p.BandwidthOf(s) / meanBW
+	}
+
+	for _, ref := range refs {
+		best := -1
+		var bestKey float64
+		for sv := 0; sv < p.N(); sv++ {
+			if !st.canHost(sv, ref.video) {
+				continue
+			}
+			key := st.loads[sv] / bwShare[sv]
+			if best == -1 || key < bestKey {
+				best, bestKey = sv, key
+			}
+		}
+		if best == -1 {
+			best = st.relocateFor(ref.video)
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("place: wslf cannot place a replica of video %d", ref.video)
+		}
+		if err := st.assign(best, ref.video, ref.weight); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.layout.Validate(p); err != nil {
+		return nil, fmt.Errorf("place: wslf produced invalid layout: %w", err)
+	}
+	return st.layout, nil
+}
+
+var _ Placer = WeightedSLF{}
+
+// BSR implements the bandwidth-to-space-ratio placement policy of Dan &
+// Sitaram (SIGMOD '95), which the paper's related-work section cites as the
+// classic online heuristic: every storage device has a bandwidth-to-space
+// ratio, every video has one too (its expected streaming bandwidth over its
+// size), and each placement keeps the device's *remaining* BSR as close as
+// possible to the cluster norm by matching hot (high-BSR) videos to servers
+// with relatively more spare bandwidth than spare space.
+//
+// Concretely, replicas are placed in descending weight order; each replica
+// has its own BSR (expected bandwidth demand over storage size) and goes to
+// the feasible server whose *remaining* free-bandwidth-to-free-space ratio
+// matches it most closely (compared in log space, so 2× too hot and 2× too
+// cold are equally bad). Servers without bandwidth headroom for the replica
+// are used only as a last resort. Unlike SLF it reasons about both resources
+// at once, which is its advantage on clusters where bandwidth and storage
+// are not proportional.
+type BSR struct{}
+
+// Name implements Placer.
+func (BSR) Name() string { return "bsr" }
+
+// Place implements Placer.
+func (BSR) Place(p *core.Problem, replicas []int) (*core.Layout, error) {
+	if err := checkReplicaVector(p, replicas); err != nil {
+		return nil, err
+	}
+	refs := sortedReplicas(p, replicas)
+	st := newState(p, replicas)
+
+	// Remaining expected bandwidth per server: capacity minus the demand of
+	// replicas placed so far (weight × bit rate × overlap ≈ weight × rate).
+	remBW := make([]float64, p.N())
+	for s := range remBW {
+		remBW[s] = p.BandwidthOf(s)
+	}
+
+	demandOf := func(ref replicaRef) float64 {
+		overlap := p.Catalog[ref.video].Duration / p.PeakPeriod
+		if overlap > 1 {
+			overlap = 1
+		}
+		return ref.weight * p.Catalog[ref.video].BitRate * overlap
+	}
+
+	const tiny = 1e-9
+	for _, ref := range refs {
+		size := p.Catalog[ref.video].SizeBytes()
+		demand := demandOf(ref)
+		videoBSR := demand / size
+		best := -1
+		bestRoom := false
+		bestBucket := 0
+		bestFree := 0.0
+		for sv := 0; sv < p.N(); sv++ {
+			if !st.canHost(sv, ref.video) {
+				continue
+			}
+			freeBW := remBW[sv]
+			if freeBW < tiny {
+				freeBW = tiny
+			}
+			serverBSR := freeBW / (st.storage[sv] + tiny)
+			diff := math.Abs(math.Log(videoBSR) - math.Log(serverBSR))
+			// Quantize the match quality so that near-equal BSR matches
+			// (e.g. the identical servers of one hardware tier) are broken
+			// by load instead of by index, which would pile hot replicas
+			// onto one box.
+			bucket := int(diff / 0.5)
+			room := remBW[sv] >= demand
+			// Tie-break on combined free fractions of both resources so
+			// cold replicas spread across a tier instead of stacking on
+			// whichever box happens to lead in one dimension.
+			freeFrac := remBW[sv]/p.BandwidthOf(sv) + st.storage[sv]/p.StorageOf(sv)
+			better := best == -1 ||
+				(room && !bestRoom) ||
+				(room == bestRoom && bucket < bestBucket) ||
+				(room == bestRoom && bucket == bestBucket && freeFrac > bestFree)
+			if better {
+				best, bestRoom, bestBucket, bestFree = sv, room, bucket, freeFrac
+			}
+		}
+		if best == -1 {
+			best = st.relocateFor(ref.video)
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("place: bsr cannot place a replica of video %d", ref.video)
+		}
+		if err := st.assign(best, ref.video, ref.weight); err != nil {
+			return nil, err
+		}
+		remBW[best] -= demand
+	}
+	if err := st.layout.Validate(p); err != nil {
+		return nil, fmt.Errorf("place: bsr produced invalid layout: %w", err)
+	}
+	return st.layout, nil
+}
+
+var _ Placer = BSR{}
+
+// RelativeImbalance measures load imbalance in utilization space for
+// heterogeneous clusters: max_s(load_s/bw_s) / mean_s(load_s/bw_s) − 1. It
+// reduces to core.ImbalanceMax on homogeneous clusters and is the metric the
+// heterogeneous placement experiments report.
+func RelativeImbalance(p *core.Problem, l *core.Layout) float64 {
+	demand := l.ServerBandwidthDemand(p)
+	utils := make([]float64, len(demand))
+	for s, d := range demand {
+		utils[s] = d / p.BandwidthOf(s)
+	}
+	return core.ImbalanceMax(utils)
+}

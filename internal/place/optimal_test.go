@@ -1,0 +1,102 @@
+package place
+
+import (
+	"testing"
+
+	"vodcluster/internal/core"
+	"vodcluster/internal/replicate"
+	"vodcluster/internal/stats"
+)
+
+// bruteForceBestImbalance exhaustively enumerates feasible placements of the
+// replica vector and returns the minimum Eq. 3 load imbalance. Exponential;
+// callers keep M·N tiny.
+func bruteForceBestImbalance(t *testing.T, p *core.Problem, replicas []int) float64 {
+	t.Helper()
+	n := p.N()
+	capLeft := make([]float64, n)
+	for s := range capLeft {
+		capLeft[s] = p.StorageOf(s)
+	}
+	peak := p.PeakRequests()
+	loads := make([]float64, n)
+	best := -1.0
+
+	var rec func(v int)
+	var choose func(v, start, left int, chosen []int)
+	rec = func(v int) {
+		if v == p.M() {
+			if l := core.ImbalanceStd(loads); best < 0 || l < best {
+				best = l
+			}
+			return
+		}
+		choose(v, 0, replicas[v], nil)
+	}
+	choose = func(v, start, left int, chosen []int) {
+		if left == 0 {
+			w := p.Catalog[v].Popularity * peak / float64(replicas[v])
+			size := p.Catalog[v].SizeBytes()
+			for _, s := range chosen {
+				loads[s] += w
+				capLeft[s] -= size
+			}
+			ok := true
+			for _, s := range chosen {
+				if capLeft[s] < -1e-6 {
+					ok = false
+				}
+			}
+			if ok {
+				rec(v + 1)
+			}
+			for _, s := range chosen {
+				loads[s] -= w
+				capLeft[s] += size
+			}
+			return
+		}
+		for s := start; s <= n-left; s++ {
+			choose(v, s+1, left-1, append(chosen, s))
+		}
+	}
+	rec(0)
+	if best < 0 {
+		t.Fatal("no feasible placement found by brute force")
+	}
+	return best
+}
+
+// TestSLFNearOptimalSmall compares smallest-load-first against the exhaustive
+// optimum on random tiny instances: SLF must stay within 2× of the best
+// possible Eq. 3 imbalance plus a small absolute slack, and of course within
+// its own theorem bound.
+func TestSLFNearOptimalSmall(t *testing.T) {
+	rng := stats.NewRNG(2024)
+	for trial := 0; trial < 25; trial++ {
+		m := 3 + rng.Intn(3) // 3..5 videos
+		n := 2 + rng.Intn(2) // 2..3 servers
+		capPer := (m+n-1)/n + 1
+		p := makeProblem(t, m, n, 0.3+rng.Float64()*0.7, capPer)
+		maxBudget := n * capPer
+		if maxBudget > m*n {
+			maxBudget = m * n
+		}
+		budget := m + rng.Intn(maxBudget-m+1)
+		r, err := replicate.BoundedAdams{}.Replicate(p, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layout, err := SmallestLoadFirst{}.Place(p, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := core.ImbalanceStd(layout.ServerLoads(p))
+		opt := bruteForceBestImbalance(t, p, r)
+		slack := 0.05 * p.PeakRequests() / float64(n)
+		if got > 2*opt+slack {
+			t.Fatalf("trial %d (m=%d n=%d budget=%d): SLF imbalance %.3f vs optimal %.3f",
+				trial, m, n, budget, got, opt)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package place
+
+import (
+	"fmt"
+
+	"vodcluster/internal/core"
+	"vodcluster/internal/stats"
+)
+
+// Random places each replica on a uniformly random feasible server. It is the
+// no-intelligence control for placement ablations and a stress generator for
+// the constraint validator. The same Seed always yields the same layout.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Placer.
+func (Random) Name() string { return "random" }
+
+// Place implements Placer.
+func (r Random) Place(p *core.Problem, replicas []int) (*core.Layout, error) {
+	if err := checkReplicaVector(p, replicas); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(r.Seed)
+	refs := groupedReplicas(p, replicas)
+	// Shuffle placement order so storage pressure is spread fairly.
+	rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+	st := newState(p, replicas)
+	feasible := make([]int, 0, p.N())
+	for _, ref := range refs {
+		feasible = feasible[:0]
+		for sv := 0; sv < p.N(); sv++ {
+			if st.canHost(sv, ref.video) {
+				feasible = append(feasible, sv)
+			}
+		}
+		if len(feasible) == 0 {
+			// All servers with room already hold the video; relocate some
+			// other replica to unblock, as the deterministic placers do.
+			if sf := st.relocateFor(ref.video); sf != -1 {
+				feasible = append(feasible, sf)
+			}
+		}
+		if len(feasible) == 0 {
+			return nil, fmt.Errorf("place: random placement stuck on video %d (retry with another seed or use slf)", ref.video)
+		}
+		sv := feasible[rng.Intn(len(feasible))]
+		if err := st.assign(sv, ref.video, ref.weight); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.layout.Validate(p); err != nil {
+		return nil, fmt.Errorf("place: random produced invalid layout: %w", err)
+	}
+	return st.layout, nil
+}
+
+var _ Placer = Random{}

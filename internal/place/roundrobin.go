@@ -1,0 +1,51 @@
+package place
+
+import (
+	"fmt"
+
+	"vodcluster/internal/core"
+)
+
+// RoundRobin is the baseline placement (paper §4.2): replicas are arranged in
+// groups in catalog order — v1's replicas, then v2's, and so on — and dealt
+// to servers cyclically. A server that already holds the video or lacks
+// storage is skipped. The paper shows this is optimal only when every replica
+// carries the same communication weight.
+type RoundRobin struct{}
+
+// Name implements Placer.
+func (RoundRobin) Name() string { return "roundrobin" }
+
+// Place implements Placer.
+func (RoundRobin) Place(p *core.Problem, replicas []int) (*core.Layout, error) {
+	if err := checkReplicaVector(p, replicas); err != nil {
+		return nil, err
+	}
+	refs := groupedReplicas(p, replicas)
+	st := newState(p, replicas)
+	n := p.N()
+	next := 0
+	for _, ref := range refs {
+		placed := false
+		for probe := 0; probe < n; probe++ {
+			sv := (next + probe) % n
+			if st.canHost(sv, ref.video) {
+				if err := st.assign(sv, ref.video, ref.weight); err != nil {
+					return nil, err
+				}
+				next = (sv + 1) % n
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("place: roundrobin cannot place a replica of video %d", ref.video)
+		}
+	}
+	if err := st.layout.Validate(p); err != nil {
+		return nil, fmt.Errorf("place: roundrobin produced invalid layout: %w", err)
+	}
+	return st.layout, nil
+}
+
+var _ Placer = RoundRobin{}

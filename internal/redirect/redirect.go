@@ -1,0 +1,77 @@
+// Package redirect implements the request redirection strategy the paper's
+// conclusion points to (ref. [29]): when the scheduled replica's server has
+// no outgoing bandwidth left, a server with spare outgoing capacity fetches
+// the video over the cluster's internal backbone from a replica holder and
+// streams it to the client itself. Redirection trades backbone bandwidth for
+// outgoing-traffic balance at runtime, complementing the conservative
+// placement computed for the peak period.
+package redirect
+
+import (
+	"vodcluster/internal/cluster"
+)
+
+// Scheduler decorates a base scheduler with backbone redirection. If the base
+// policy rejects a request, Scheduler looks for a (proxy, source) pair: the
+// source is a replica holder, the proxy is the server with the most free
+// outgoing bandwidth (possibly a holder itself), and the stream crosses the
+// backbone from source to proxy. The request is still rejected when no proxy
+// has room or the backbone itself is saturated.
+type Scheduler struct {
+	// Base makes the primary decision; StaticRoundRobin reproduces the
+	// paper's setup.
+	Base cluster.Scheduler
+	// redirected counts streams admitted via the backbone, for reporting.
+	redirected int64
+}
+
+// New returns a redirecting scheduler over base.
+func New(base cluster.Scheduler) *Scheduler { return &Scheduler{Base: base} }
+
+// Name implements cluster.Scheduler.
+func (r *Scheduler) Name() string { return r.Base.Name() + "+redirect" }
+
+// Redirected returns how many requests this scheduler admitted via the
+// backbone since creation.
+func (r *Scheduler) Redirected() int64 { return r.redirected }
+
+// Schedule implements cluster.Scheduler.
+func (r *Scheduler) Schedule(st *cluster.State, v int) cluster.Decision {
+	if d := r.Base.Schedule(st, v); d.Accept {
+		return d
+	}
+	p := st.Problem()
+	if p.BackboneBandwidth <= 0 {
+		return cluster.Reject
+	}
+	rate := p.Catalog[v].BitRate
+	if st.BackboneFree() < rate {
+		return cluster.Reject
+	}
+	holders := st.Holders(v)
+	if len(holders) == 0 {
+		return cluster.Reject
+	}
+	// Proxy: any server with the most free outgoing bandwidth. Prefer a
+	// holder with room (no backbone needed) if one exists — that is a free
+	// win the static base policy missed.
+	for _, s := range holders {
+		if st.CanServe(s, v) {
+			return cluster.Direct(s)
+		}
+	}
+	proxy := -1
+	bestFree := rate
+	for s := 0; s < p.N(); s++ {
+		if free := st.FreeBandwidth(s); free >= bestFree {
+			proxy, bestFree = s, free
+		}
+	}
+	if proxy == -1 {
+		return cluster.Reject
+	}
+	r.redirected++
+	return cluster.Decision{Accept: true, Server: proxy, Source: holders[0]}
+}
+
+var _ cluster.Scheduler = (*Scheduler)(nil)

@@ -1,0 +1,91 @@
+package replicate
+
+import (
+	"vodcluster/internal/apportion"
+	"vodcluster/internal/core"
+)
+
+// Classification is the "feasible and straightforward" baseline the paper's
+// evaluation compares against (§5, citing the authors' companion work): it
+// groups videos into popularity classes and assigns replicas per class
+// rather than per video.
+//
+// The exact class construction is not spelled out in the paper, so this
+// implementation uses the most natural reading: videos are split by rank into
+// N equal-size classes, the replica budget is apportioned across classes in
+// proportion to each class's aggregate popularity (largest-remainder rule),
+// and every video within a class receives the same count — the class's share
+// divided equally, clamped to [1, N]. The within-class uniformity is the
+// point: the baseline is deliberately coarse-grained, which leaves the
+// per-replica communication weights unequal and wastes part of the budget,
+// reproducing the qualitative gap the paper's Figures 4–6 show.
+type Classification struct{}
+
+// Name implements Replicator.
+func (Classification) Name() string { return "classification" }
+
+// Replicate implements Replicator.
+func (Classification) Replicate(p *core.Problem, totalReplicas int) ([]int, error) {
+	if err := checkBudget(p, totalReplicas); err != nil {
+		return nil, err
+	}
+	m, n := p.M(), p.N()
+	numClasses := n
+	if numClasses > m {
+		numClasses = m
+	}
+	// Class k covers ranks [start_k, start_k+size_k); the first classes get
+	// the extra videos when M is not a multiple of the class count.
+	sizes := make([]int, numClasses)
+	for k := range sizes {
+		sizes[k] = m / numClasses
+		if k < m%numClasses {
+			sizes[k]++
+		}
+	}
+	classPop := make([]float64, numClasses)
+	idx := 0
+	starts := make([]int, numClasses)
+	for k, size := range sizes {
+		starts[k] = idx
+		for j := 0; j < size; j++ {
+			classPop[k] += p.Catalog[idx].Popularity
+			idx++
+		}
+	}
+	seats, err := apportion.Apportion(classPop, totalReplicas, apportion.Hamilton)
+	if err != nil {
+		return nil, err
+	}
+	r := make([]int, m)
+	for k, size := range sizes {
+		per := seats[k] / size
+		if per < 1 {
+			per = 1
+		}
+		if per > n {
+			per = n
+		}
+		for j := 0; j < size; j++ {
+			r[starts[k]+j] = per
+		}
+	}
+	// Equal division can overshoot the budget when small classes round up to
+	// one replica each; trim from the least popular videos down to budget.
+	total := 0
+	for _, ri := range r {
+		total += ri
+	}
+	for i := m - 1; i >= 0 && total > totalReplicas; i-- {
+		for r[i] > 1 && total > totalReplicas {
+			r[i]--
+			total--
+		}
+	}
+	if err := validateVector(p, r, totalReplicas); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+var _ Replicator = Classification{}

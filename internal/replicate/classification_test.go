@@ -1,0 +1,142 @@
+package replicate
+
+import (
+	"testing"
+
+	"vodcluster/internal/core"
+)
+
+func TestClassificationWithinClassUniform(t *testing.T) {
+	// Every video inside one rank class must receive the same replica
+	// count — the coarseness that defines the baseline.
+	p := makeProblem(t, 40, 8, 0.75, 10)
+	r, err := Classification{}.Replicate(p, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classSize := 40 / 8
+	for c := 0; c < 8; c++ {
+		first := r[c*classSize]
+		for j := 1; j < classSize; j++ {
+			v := c*classSize + j
+			// The trim step may lower trailing videos of the last classes;
+			// allow a difference only on the tail.
+			if r[v] != first && c < 6 {
+				t.Fatalf("class %d not uniform: r[%d]=%d vs %d", c, v, r[v], first)
+			}
+		}
+	}
+}
+
+func TestClassificationCoarserThanAdams(t *testing.T) {
+	// The baseline's Eq. 8 objective should never beat the optimal Adams
+	// value (and typically trails it).
+	p := makeProblem(t, 100, 8, 0.9, 15)
+	budget := 120
+	a, err := BoundedAdams{}.Replicate(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Classification{}.Replicate(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxWeight(p, c) < MaxWeight(p, a)-1e-9 {
+		t.Fatalf("baseline beat the provably optimal scheme: %g < %g",
+			MaxWeight(p, c), MaxWeight(p, a))
+	}
+}
+
+func TestClassificationFewVideos(t *testing.T) {
+	// M < N: class count clamps to M, still valid.
+	pops := []float64{0.5, 0.3, 0.2}
+	p := customProblem(t, pops, 8, 3)
+	r, err := Classification{}.Replicate(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalOf(r) > 10 {
+		t.Fatalf("budget exceeded: %v", r)
+	}
+	for _, ri := range r {
+		if ri < 1 || ri > 8 {
+			t.Fatalf("bounds violated: %v", r)
+		}
+	}
+}
+
+func TestClassificationTrimsToBudget(t *testing.T) {
+	// A minimal budget (1 replica each) must not overshoot even though each
+	// class rounds its share up to at least one per video.
+	p := makeProblem(t, 17, 5, 0.271, 5) // M not a multiple of class count
+	r, err := Classification{}.Replicate(p, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalOf(r) != 17 {
+		t.Fatalf("minimal budget mishandled: total %d, want 17", totalOf(r))
+	}
+}
+
+func TestUniformSpreadsEvenly(t *testing.T) {
+	p := makeProblem(t, 10, 4, 0.75, 4)
+	r, err := Uniform{}.Replicate(p, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25 = 2×10 + 5: first five videos get 3, rest 2.
+	for i, ri := range r {
+		want := 2
+		if i < 5 {
+			want = 3
+		}
+		if ri != want {
+			t.Fatalf("uniform: r[%d]=%d, want %d", i, ri, want)
+		}
+	}
+}
+
+func TestUniformFullBudget(t *testing.T) {
+	p := makeProblem(t, 6, 3, 0.75, 6)
+	r, err := Uniform{}.Replicate(p, 18) // N·M exactly
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ri := range r {
+		if ri != 3 {
+			t.Fatalf("full budget: r[%d]=%d, want 3", i, ri)
+		}
+	}
+}
+
+func TestUniformIsOptimalForUniformPopularity(t *testing.T) {
+	// The paper: round-robin replication is optimal when popularity is
+	// uniform. Uniform popularity ⇒ Uniform's max weight equals Adams'.
+	c, err := core.NewCatalog(12, 0, 4*core.Mbps, 90*core.Minute) // θ=0: uniform
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Problem{
+		Catalog:            c,
+		NumServers:         4,
+		StoragePerServer:   6 * c[0].SizeBytes(),
+		BandwidthPerServer: core.Gbps,
+		ArrivalRate:        10.0 / core.Minute,
+		PeakPeriod:         90 * core.Minute,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	budget := 18
+	u, err := Uniform{}.Replicate(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := BoundedAdams{}.Replicate(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := MaxWeight(p, u), MaxWeight(p, a); got > want+1e-9 {
+		t.Fatalf("uniform replication suboptimal under uniform popularity: %g vs %g", got, want)
+	}
+}

@@ -1,0 +1,64 @@
+package replicate_test
+
+import (
+	"fmt"
+	"log"
+
+	"vodcluster/internal/core"
+	"vodcluster/internal/replicate"
+)
+
+// The paper's Figure 1 scenario: five videos on three servers whose storage
+// holds nine replicas in total. The bounded Adams divisor scheme hands each
+// extra replica to the video whose replicas currently carry the greatest
+// communication weight, never exceeding one replica per server.
+func ExampleBoundedAdams() {
+	catalog := core.Catalog{
+		{ID: 0, Popularity: 0.36, BitRate: 4 * core.Mbps, Duration: 90 * core.Minute},
+		{ID: 1, Popularity: 0.22, BitRate: 4 * core.Mbps, Duration: 90 * core.Minute},
+		{ID: 2, Popularity: 0.17, BitRate: 4 * core.Mbps, Duration: 90 * core.Minute},
+		{ID: 3, Popularity: 0.14, BitRate: 4 * core.Mbps, Duration: 90 * core.Minute},
+		{ID: 4, Popularity: 0.11, BitRate: 4 * core.Mbps, Duration: 90 * core.Minute},
+	}
+	problem := &core.Problem{
+		Catalog:            catalog,
+		NumServers:         3,
+		StoragePerServer:   3 * catalog[0].SizeBytes(),
+		BandwidthPerServer: core.Gbps,
+		ArrivalRate:        10.0 / core.Minute,
+		PeakPeriod:         90 * core.Minute,
+	}
+	replicas, err := replicate.BoundedAdams{}.Replicate(problem, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(replicas)
+	// Output: [3 2 2 1 1]
+}
+
+// The Zipf-interval scheme approximates the optimal replication in
+// O(M log M) by classifying popularities into N Zipf-skewed intervals.
+func ExampleZipfInterval() {
+	catalog, err := core.NewCatalog(7, 0.6, 4*core.Mbps, 90*core.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem := &core.Problem{
+		Catalog:            catalog,
+		NumServers:         4,
+		StoragePerServer:   4 * catalog[0].SizeBytes(),
+		BandwidthPerServer: core.Gbps,
+		ArrivalRate:        10.0 / core.Minute,
+		PeakPeriod:         90 * core.Minute,
+	}
+	replicas, err := replicate.ZipfInterval{}.Replicate(problem, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, r := range replicas {
+		total += r
+	}
+	fmt.Println(replicas, "total:", total)
+	// Output: [3 2 2 2 2 1 1] total: 13
+}

@@ -1,0 +1,303 @@
+package replicate
+
+import (
+	"math"
+	"testing"
+
+	"vodcluster/internal/core"
+	"vodcluster/internal/stats"
+)
+
+// makeProblem builds a fixed-rate problem with m videos, n servers, skew
+// theta, and storage for capPerServer replicas on each server.
+func makeProblem(t testing.TB, m, n int, theta float64, capPerServer int) *core.Problem {
+	t.Helper()
+	c, err := core.NewCatalog(m, theta, 4*core.Mbps, 90*core.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Problem{
+		Catalog:            c,
+		NumServers:         n,
+		StoragePerServer:   float64(capPerServer) * c[0].SizeBytes(),
+		BandwidthPerServer: 1.8 * core.Gbps,
+		ArrivalRate:        40.0 / core.Minute,
+		PeakPeriod:         90 * core.Minute,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// customProblem builds a problem from an explicit popularity vector.
+func customProblem(t testing.TB, pops []float64, n, capPerServer int) *core.Problem {
+	t.Helper()
+	c := make(core.Catalog, len(pops))
+	for i, pop := range pops {
+		c[i] = core.Video{ID: i, Popularity: pop, BitRate: 4 * core.Mbps, Duration: 90 * core.Minute}
+	}
+	p := &core.Problem{
+		Catalog:            c,
+		NumServers:         n,
+		StoragePerServer:   float64(capPerServer) * c[0].SizeBytes(),
+		BandwidthPerServer: core.Gbps,
+		ArrivalRate:        10.0 / core.Minute,
+		PeakPeriod:         90 * core.Minute,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func totalOf(r []int) int {
+	s := 0
+	for _, x := range r {
+		s += x
+	}
+	return s
+}
+
+func TestBudgetValidation(t *testing.T) {
+	p := makeProblem(t, 10, 4, 0.75, 5)
+	for _, r := range []Replicator{BoundedAdams{}, ZipfInterval{}, Classification{}, Uniform{}} {
+		if _, err := r.Replicate(p, 9); err == nil {
+			t.Fatalf("%s: budget below M accepted", r.Name())
+		}
+		if _, err := r.Replicate(p, 41); err == nil {
+			t.Fatalf("%s: budget above M·N accepted", r.Name())
+		}
+	}
+}
+
+func TestAllReplicatorsRespectInvariants(t *testing.T) {
+	for _, theta := range []float64{0.271, 0.75, 1.0} {
+		p := makeProblem(t, 50, 8, theta, 10) // capacity 80
+		for _, budget := range []int{50, 60, 75, 80} {
+			for _, r := range []Replicator{BoundedAdams{}, ZipfInterval{}, Classification{}, Uniform{}} {
+				got, err := r.Replicate(p, budget)
+				if err != nil {
+					t.Fatalf("%s θ=%g budget=%d: %v", r.Name(), theta, budget, err)
+				}
+				if len(got) != p.M() {
+					t.Fatalf("%s: wrong length", r.Name())
+				}
+				for i, ri := range got {
+					if ri < 1 || ri > p.N() {
+						t.Fatalf("%s: r[%d]=%d violates Eq. 7", r.Name(), i, ri)
+					}
+				}
+				if tot := totalOf(got); tot > budget {
+					t.Fatalf("%s: produced %d replicas over budget %d", r.Name(), tot, budget)
+				}
+			}
+		}
+	}
+}
+
+func TestReplicatorsDeterministic(t *testing.T) {
+	p := makeProblem(t, 40, 6, 0.75, 8)
+	for _, r := range []Replicator{BoundedAdams{}, ZipfInterval{}, Classification{}, Uniform{}} {
+		a, err := r.Replicate(p, 55)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.Replicate(p, 55)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s not deterministic at video %d", r.Name(), i)
+			}
+		}
+	}
+}
+
+func TestReplicasFollowPopularityOrder(t *testing.T) {
+	// Every popularity-aware scheme must give the hotter video at least as
+	// many replicas as any colder one.
+	p := makeProblem(t, 30, 6, 0.9, 8)
+	for _, r := range []Replicator{BoundedAdams{}, ZipfInterval{}} {
+		got, err := r.Replicate(p, 44)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] > got[i-1] {
+				t.Fatalf("%s: colder video %d has more replicas (%d) than %d (%d)",
+					r.Name(), i, got[i], i-1, got[i-1])
+			}
+		}
+	}
+}
+
+func TestAdamsUsesFullBudget(t *testing.T) {
+	p := makeProblem(t, 20, 5, 0.75, 8)
+	for _, budget := range []int{20, 27, 33, 40} {
+		got, err := BoundedAdams{}.Replicate(p, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if totalOf(got) != budget {
+			t.Fatalf("Adams left budget unused: %d of %d", totalOf(got), budget)
+		}
+	}
+}
+
+func TestAdamsOptimalAgainstBruteForce(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 30; trial++ {
+		m := 3 + rng.Intn(3) // 3..5 videos
+		n := 2 + rng.Intn(3) // 2..4 servers
+		pops := make([]float64, m)
+		sum := 0.0
+		for i := range pops {
+			pops[i] = rng.Float64() + 0.05
+			sum += pops[i]
+		}
+		for i := range pops {
+			pops[i] /= sum
+		}
+		// Sort descending for a valid catalog.
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				if pops[j] > pops[i] {
+					pops[i], pops[j] = pops[j], pops[i]
+				}
+			}
+		}
+		p := customProblem(t, pops, n, m) // capacity n*m ≥ any budget
+		maxBudget := m * n
+		budget := m + rng.Intn(maxBudget-m+1)
+		got, err := BoundedAdams{}.Replicate(p, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bestVal, err := BruteForceOptimal(p, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotVal := MaxWeight(p, got); gotVal > bestVal+1e-9 {
+			t.Fatalf("trial %d (m=%d n=%d budget=%d): Adams max weight %g > optimal %g (r=%v)",
+				trial, m, n, budget, gotVal, bestVal, got)
+		}
+	}
+}
+
+func TestAdamsPaperExample(t *testing.T) {
+	// Figure 1: five videos on three servers (capacity 9 replicas),
+	// p1 ≥ p2 ≥ ... ≥ p5. With budget 9, the Adams scheme repeatedly
+	// duplicates the currently heaviest video. For the catalog below
+	// (θ=0.75-like shape) the paper's trace ends with r = (3, 2, 2, 1, 1).
+	pops := []float64{0.36, 0.22, 0.17, 0.14, 0.11}
+	p := customProblem(t, pops, 3, 3)
+	r, err := BoundedAdams{}.Replicate(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 2, 2, 1, 1}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("paper example: r = %v, want %v", r, want)
+		}
+	}
+	// And the replica bound holds: no video exceeds the server count.
+	r, err = BoundedAdams{}.Replicate(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0] > 3 {
+		t.Fatalf("Eq. 7 violated: %v", r)
+	}
+}
+
+func TestAdamsBoundBindsForHotVideo(t *testing.T) {
+	// One overwhelmingly popular video: without the Eq. 7 cap it would take
+	// nearly all replicas; with it, it gets exactly N.
+	pops := []float64{0.9, 0.04, 0.03, 0.02, 0.01}
+	p := customProblem(t, pops, 3, 5)
+	r, err := BoundedAdams{}.Replicate(p, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 3 {
+		t.Fatalf("hot video got %d replicas, want the cap N=3", r[0])
+	}
+	if totalOf(r) != 12 {
+		t.Fatalf("budget unused: %v", r)
+	}
+}
+
+func TestMaxWeight(t *testing.T) {
+	p := customProblem(t, []float64{0.5, 0.3, 0.2}, 2, 3)
+	peak := p.PeakRequests()
+	r := []int{2, 1, 1}
+	want := 0.3 * peak // v1 has the heaviest replicas: 0.3·peak/1
+	if got := MaxWeight(p, r); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MaxWeight = %g, want %g", got, want)
+	}
+	if got := MaxWeight(p, []int{0, 0, 0}); got != 0 {
+		t.Fatalf("MaxWeight of zero vector = %g", got)
+	}
+}
+
+func TestBruteForceValidation(t *testing.T) {
+	p := customProblem(t, []float64{0.6, 0.4}, 2, 2)
+	if _, _, err := BruteForceOptimal(p, 1); err == nil {
+		t.Fatal("budget below M accepted")
+	}
+	r, v, err := BruteForceOptimal(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalOf(r) != 3 || v <= 0 {
+		t.Fatalf("r=%v v=%g", r, v)
+	}
+}
+
+// TestAdamsHouseMonotone: growing the replica budget never takes a replica
+// away from any video — the property that makes the scheme usable for
+// incremental (runtime) replication as storage frees up.
+func TestAdamsHouseMonotone(t *testing.T) {
+	p := makeProblem(t, 30, 6, 0.8, 6) // capacity 36
+	prev, err := BoundedAdams{}.Replicate(p, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for budget := 31; budget <= 36; budget++ {
+		next, err := BoundedAdams{}.Replicate(p, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range next {
+			if next[v] < prev[v] {
+				t.Fatalf("budget %d removed a replica of video %d (%d → %d)",
+					budget, v, prev[v], next[v])
+			}
+		}
+		prev = next
+	}
+}
+
+// TestMaxWeightNonIncreasingInBudget: the Eq. 8 objective can only improve
+// as the budget grows, for every replicator.
+func TestMaxWeightNonIncreasingInBudget(t *testing.T) {
+	p := makeProblem(t, 25, 5, 0.75, 5) // capacity 25... bump below
+	p.StoragePerServer *= 2             // capacity 50
+	for _, r := range []Replicator{BoundedAdams{}, ZipfInterval{}} {
+		prev := -1.0
+		for budget := 25; budget <= 50; budget += 5 {
+			vec, err := r.Replicate(p, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := MaxWeight(p, vec)
+			if prev >= 0 && w > prev+1e-9 {
+				t.Fatalf("%s: max weight rose from %g to %g at budget %d", r.Name(), prev, w, budget)
+			}
+			prev = w
+		}
+	}
+}

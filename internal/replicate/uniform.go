@@ -1,0 +1,59 @@
+package replicate
+
+import (
+	"vodcluster/internal/core"
+)
+
+// Uniform ignores popularity and spreads the replica budget evenly: every
+// video gets ⌊budget/M⌋ replicas and the most popular budget mod M videos get
+// one more. The paper notes a round-robin scheme like this is optimal when
+// the popularity distribution is uniform — and only then; it serves as the
+// popularity-blind control in ablations.
+type Uniform struct{}
+
+// Name implements Replicator.
+func (Uniform) Name() string { return "uniform" }
+
+// Replicate implements Replicator.
+func (Uniform) Replicate(p *core.Problem, totalReplicas int) ([]int, error) {
+	if err := checkBudget(p, totalReplicas); err != nil {
+		return nil, err
+	}
+	m := p.M()
+	base := totalReplicas / m
+	extra := totalReplicas % m
+	r := make([]int, m)
+	for i := range r {
+		r[i] = base
+		if i < extra {
+			r[i]++
+		}
+	}
+	// base ≤ N is guaranteed by checkBudget (budget ≤ M·N), but base+1 can
+	// exceed N when budget == M·N exactly plus rounding; clamp and push the
+	// surplus down the rank order.
+	surplus := 0
+	for i := range r {
+		if r[i] > p.N() {
+			surplus += r[i] - p.N()
+			r[i] = p.N()
+		}
+	}
+	for i := 0; i < m && surplus > 0; i++ {
+		if r[i] < p.N() {
+			add := p.N() - r[i]
+			if add > surplus {
+				add = surplus
+			}
+			r[i] += add
+			surplus -= add
+		}
+	}
+	if err := validateVector(p, r, totalReplicas); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+var _ Replicator = Uniform{}
+var _ Replicator = BoundedAdams{}

@@ -1,0 +1,176 @@
+package replicate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vodcluster/internal/stats"
+)
+
+// TestZipfIntervalMonotoneLemma verifies Lemma 4.1: the total number of
+// replicas produced by AssignForParam is non-decreasing in the interval
+// parameter u.
+func TestZipfIntervalMonotoneLemma(t *testing.T) {
+	p := makeProblem(t, 60, 8, 0.75, 10)
+	zr := ZipfInterval{}
+	prev := -1
+	for u := -6.0; u <= 6.0; u += 0.125 {
+		total := totalOf(zr.AssignForParam(p, u))
+		if prev >= 0 && total < prev {
+			t.Fatalf("Lemma 4.1 violated: total dropped from %d to %d at u=%g", prev, total, u)
+		}
+		prev = total
+	}
+}
+
+// TestZipfIntervalMonotoneQuick re-checks the lemma on random instances.
+func TestZipfIntervalMonotoneQuick(t *testing.T) {
+	zr := ZipfInterval{}
+	f := func(seed int64, u1Raw, u2Raw int8) bool {
+		rng := stats.NewRNG(seed)
+		m := 5 + rng.Intn(40)
+		n := 2 + rng.Intn(10)
+		p := makeProblem(t, m, n, 0.3+rng.Float64()*0.7, n)
+		u1 := float64(u1Raw) / 12
+		u2 := float64(u2Raw) / 12
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		return totalOf(zr.AssignForParam(p, u1)) <= totalOf(zr.AssignForParam(p, u2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfIntervalExtremes(t *testing.T) {
+	p := makeProblem(t, 20, 4, 0.75, 4)
+	zr := ZipfInterval{}
+	// Very negative u: everyone lands in the last interval → 1 replica each.
+	low := zr.AssignForParam(p, -50)
+	for i, r := range low {
+		if r != 1 {
+			t.Fatalf("u=-50: r[%d]=%d, want 1", i, r)
+		}
+	}
+	// Very positive u: everyone in the first interval → N replicas each.
+	high := zr.AssignForParam(p, 50)
+	for i, r := range high {
+		if r != p.N() {
+			t.Fatalf("u=50: r[%d]=%d, want N=%d", i, r, p.N())
+		}
+	}
+}
+
+func TestZipfIntervalSaturatesBudget(t *testing.T) {
+	// The interval scheme is coarse, but it should land reasonably close to
+	// the budget from below: within one interval-step of videos.
+	p := makeProblem(t, 100, 8, 0.75, 15) // capacity 120
+	zr := ZipfInterval{}
+	for _, budget := range []int{100, 110, 120} {
+		got, err := zr.Replicate(p, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := totalOf(got)
+		if total > budget {
+			t.Fatalf("budget exceeded: %d > %d", total, budget)
+		}
+		if total < budget-p.M()/2 {
+			t.Fatalf("budget badly undershot: %d of %d", total, budget)
+		}
+	}
+}
+
+func TestZipfIntervalSingleServer(t *testing.T) {
+	p := makeProblem(t, 10, 1, 0.75, 10)
+	got, err := ZipfInterval{}.Replicate(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if r != 1 {
+			t.Fatalf("N=1 must give exactly one replica each: %v", got)
+		}
+	}
+}
+
+func TestZipfIntervalParamAccessor(t *testing.T) {
+	p := makeProblem(t, 50, 8, 0.75, 10)
+	zr := ZipfInterval{}
+	u, err := zr.Param(p, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := totalOf(zr.AssignForParam(p, u))
+	if got > 70 {
+		t.Fatalf("Param's assignment exceeds the budget: %d", got)
+	}
+	if _, err := zr.Param(p, 10); err == nil {
+		t.Fatal("budget below M accepted")
+	}
+}
+
+func TestZipfIntervalMatchesAdamsQuality(t *testing.T) {
+	// §5 finds the Zipf replication "nearly the same" as Adams. Require its
+	// Eq. 8 objective within 2× of optimal on the paper's configuration —
+	// a loose but meaningful sanity bound for an O(M log M) approximation.
+	p := makeProblem(t, 100, 8, 0.75, 15)
+	budget := 120
+	adams, err := BoundedAdams{}.Replicate(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := ZipfInterval{}.Replicate(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, zv := MaxWeight(p, adams), MaxWeight(p, z)
+	if zv > 2*a {
+		t.Fatalf("Zipf-interval max weight %g vs Adams %g", zv, a)
+	}
+}
+
+func BenchmarkZipfReplication100x8(b *testing.B) {
+	p := makeProblem(b, 100, 8, 0.75, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (ZipfInterval{}).Replicate(p, 120); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdamsReplication100x8(b *testing.B) {
+	p := makeProblem(b, 100, 8, 0.75, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (BoundedAdams{}).Replicate(p, 120); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZipfReplication2000x32(b *testing.B) {
+	p := makeProblem(b, 2000, 32, 0.75, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (ZipfInterval{}).Replicate(p, 3000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdamsReplication2000x32(b *testing.B) {
+	p := makeProblem(b, 2000, 32, 0.75, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (BoundedAdams{}).Replicate(p, 3000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

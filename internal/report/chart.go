@@ -1,0 +1,129 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders several series as an ASCII scatter/line chart — enough to
+// eyeball whether the reproduced curves have the paper's shape without
+// leaving the terminal.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns; 0 means 64
+	Height int // plot rows; 0 means 16
+	series []Series
+}
+
+// Add appends a series. Points with NaN coordinates are skipped at render
+// time.
+func (c *Chart) Add(s Series) { c.series = append(c.series, s) }
+
+// markers cycles per-series plot glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Fprint renders the chart to w.
+func (c *Chart) Fprint(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if !any {
+		_, err := fmt.Fprintln(w, c.Title+" (no data)")
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if ymin > 0 && ymin < 0.25*(ymax-ymin) {
+		ymin = 0 // anchor near-zero baselines at zero for readability
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			row = height - 1 - row
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	for r, rowBytes := range grid {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%10.3g |%s\n", yv, string(rowBytes)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10s  %-*.3g%*.3g\n", "", width/2, xmin, width-width/2, xmax); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(c.series))
+	for si, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if len(legend) > 0 {
+		if _, err := fmt.Fprintln(w, "  legend: "+strings.Join(legend, " | ")); err != nil {
+			return err
+		}
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "  x: %s  y: %s\n", c.XLabel, c.YLabel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	var b strings.Builder
+	_ = c.Fprint(&b)
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-longer", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+rule+2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("rule missing: %q", lines[1])
+	}
+	// Columns align: "value" column starts at the same offset in each row.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") || !strings.HasPrefix(lines[3][idx:], "22") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows() = %d", tb.Rows())
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRow("1")                // short row: padded
+	tb.AddRow("1", "2", "3", "4") // long row: truncated
+	out := tb.String()
+	if strings.Contains(out, "4") {
+		t.Fatalf("extra cell not dropped:\n%s", out)
+	}
+}
+
+func TestTableAddRowfFormatting(t *testing.T) {
+	tb := NewTable("x", "y", "z")
+	tb.AddRowf(3, 0.123456789, "s")
+	out := tb.String()
+	if !strings.Contains(out, "0.1235") {
+		t.Fatalf("float not %%.4g formatted:\n%s", out)
+	}
+	if !strings.Contains(out, "3") || !strings.Contains(out, "s") {
+		t.Fatalf("cells missing:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("name", "note")
+	tb.AddRow("plain", "ok")
+	tb.AddRow("with,comma", `say "hi"`)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "name,note\n") {
+		t.Fatalf("header wrong: %q", got)
+	}
+	if !strings.Contains(got, `"with,comma"`) {
+		t.Fatalf("comma cell not quoted: %q", got)
+	}
+	if !strings.Contains(got, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped: %q", got)
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	c := &Chart{Title: "demo", XLabel: "x", YLabel: "y", Width: 20, Height: 5}
+	c.Add(Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 5, 10}})
+	c.Add(Series{Name: "down", X: []float64{0, 1, 2}, Y: []float64{10, 5, 0}})
+	out := c.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x: x  y: y") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "void"}
+	out := c.String()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+	c.Add(Series{Name: "nan", X: []float64{math.NaN()}, Y: []float64{math.NaN()}})
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("all-NaN series should render as no data")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := &Chart{Width: 10, Height: 4}
+	c.Add(Series{Name: "flat", X: []float64{1, 2}, Y: []float64{3, 3}})
+	out := c.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series lost:\n%s", out)
+	}
+}
+
+func TestChartSkipsNaNPoints(t *testing.T) {
+	c := &Chart{Width: 10, Height: 4}
+	c.Add(Series{Name: "holes", X: []float64{0, math.NaN(), 2}, Y: []float64{1, 5, 3}})
+	out := c.String()
+	if strings.Contains(out, "no data") {
+		t.Fatalf("valid points dropped:\n%s", out)
+	}
+}
+
+func TestChartDefaults(t *testing.T) {
+	c := &Chart{}
+	c.Add(Series{Name: "d", X: []float64{0, 1}, Y: []float64{0, 1}})
+	lines := strings.Split(c.String(), "\n")
+	// Default height 16 plot rows plus axis and footer lines.
+	plotRows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotRows++
+		}
+	}
+	if plotRows != 16 {
+		t.Fatalf("default height produced %d plot rows", plotRows)
+	}
+}

@@ -1,0 +1,121 @@
+// Package report renders experiment results as fixed-width text tables,
+// ASCII line charts, and CSV — the three formats the benchmark harness uses
+// to reproduce the paper's figures on a terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells; each argument is rendered with
+// %v unless it is a float64, which renders with %.4g.
+func (t *Table) AddRowf(cells ...any) {
+	str := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			str[i] = fmt.Sprintf("%.4g", v)
+		default:
+			str[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(str...)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Fprint writes the table to w.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.headers)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Fprint(&b)
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values (cells containing commas or
+// quotes are quoted).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

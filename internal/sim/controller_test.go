@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"testing"
+
+	"vodcluster/internal/cluster"
+	"vodcluster/internal/core"
+	"vodcluster/internal/dynrep"
+	"vodcluster/internal/place"
+	"vodcluster/internal/replicate"
+	"vodcluster/internal/workload"
+)
+
+// countingController verifies the hook wiring: Observe per arrival, Tick at
+// the cadence.
+type countingController struct {
+	interval float64
+	observed int
+	ticks    int
+}
+
+func (c *countingController) Observe(int) { c.observed++ }
+
+func (c *countingController) Interval() float64 { return c.interval }
+
+func (c *countingController) Tick(float64, *cluster.State, func(float64, func(float64))) {
+	c.ticks++
+}
+
+func TestControllerHookWiring(t *testing.T) {
+	p, layout := buildScenario(t, 5, 1.2)
+	ctrl := &countingController{interval: 600}
+	res, err := Run(Config{
+		Problem: p, Layout: layout, Seed: 1,
+		NewController: func() Controller { return ctrl },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.observed != res.Requests {
+		t.Fatalf("observed %d of %d requests", ctrl.observed, res.Requests)
+	}
+	// 90-minute run, 600 s cadence → 9 ticks.
+	if ctrl.ticks != 9 {
+		t.Fatalf("ticks = %d, want 9", ctrl.ticks)
+	}
+}
+
+func TestControllerBadIntervalRejected(t *testing.T) {
+	p, layout := buildScenario(t, 5, 1.2)
+	_, err := Run(Config{
+		Problem: p, Layout: layout, Seed: 1,
+		NewController: func() Controller { return &countingController{interval: 0} },
+	})
+	if err == nil {
+		t.Fatal("zero controller interval accepted")
+	}
+}
+
+// buildShiftScenario plans a layout for the *initial* popularity ranking and
+// returns a trace whose popularity rotates halfway through — the workload
+// dynamic replication exists for.
+func buildShiftScenario(t testing.TB, backbone float64) (*core.Problem, *core.Layout, *workload.Trace) {
+	t.Helper()
+	const m = 40
+	c, err := core.NewCatalog(m, 0.9, 4*core.Mbps, 90*core.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Problem{
+		Catalog:            c,
+		NumServers:         4,
+		StoragePerServer:   14 * c[0].SizeBytes(),
+		BandwidthPerServer: 0.36 * core.Gbps, // 90 streams/server, saturation 4/min
+		ArrivalRate:        3.6 / core.Minute,
+		PeakPeriod:         90 * core.Minute,
+		BackboneBandwidth:  backbone,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	budget, err := p.TargetTotalReplicas(1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := replicate.BoundedAdams{}.Replicate(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := place.SmallestLoadFirst{}.Place(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(workload.Poisson{Lambda: p.ArrivalRate}, m, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.Generate(p.PeakPeriod, 31)
+	shifted, err := tr.Remap(workload.RotationMapping(m, m/2), p.PeakPeriod/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, layout, shifted
+}
+
+// TestDynamicReplicationAdaptsToShift: under a mid-trace popularity rotation
+// the dynamic manager must not hurt, and it must actually move replicas
+// toward the new hot set.
+func TestDynamicReplicationAdaptsToShift(t *testing.T) {
+	p, layout, trace := buildShiftScenario(t, core.Gbps)
+
+	static, err := Run(Config{Problem: p, Layout: layout, Trace: trace, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mgr *dynrep.Manager
+	dynamic, err := Run(Config{
+		Problem: p, Layout: layout, Trace: trace, Seed: 1,
+		NewController: func() Controller {
+			m, err := dynrep.New(p, dynrep.Options{IntervalSec: 300, MaxPerTick: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr = m
+			return m
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Migrations() == 0 {
+		t.Fatal("dynamic manager never migrated despite the popularity shift")
+	}
+	if dynamic.RejectionRate > static.RejectionRate+0.01 {
+		t.Fatalf("dynamic replication hurt: %.4f vs static %.4f",
+			dynamic.RejectionRate, static.RejectionRate)
+	}
+}
+
+// TestDynamicReplicationNeverLosesVideos: after a full simulated run with
+// aggressive migration, every video still has at least one replica.
+func TestDynamicReplicationNeverLosesVideos(t *testing.T) {
+	p, layout, trace := buildShiftScenario(t, core.Gbps)
+	var mgr *dynrep.Manager
+	if _, err := Run(Config{
+		Problem: p, Layout: layout, Trace: trace, Seed: 2,
+		NewController: func() Controller {
+			m, err := dynrep.New(p, dynrep.Options{IntervalSec: 120, MaxPerTick: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr = m
+			return m
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = mgr
+	// The invariant is enforced inside cluster.RemoveReplica; reaching here
+	// without a panic or error means no last replica was dropped. Exercise
+	// the counters for coverage.
+	if mgr.Skipped() < 0 || mgr.Evictions() < 0 {
+		t.Fatal("counters invalid")
+	}
+}

@@ -1,0 +1,115 @@
+// Package sim provides a small discrete-event simulation engine and, on top
+// of it, the VoD cluster simulation the paper's evaluation is built on:
+// Poisson request arrivals over a peak period, Zipf-like video selection,
+// bandwidth-only admission control, and fixed-duration streaming sessions.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handler is invoked when an event fires; now is the event's virtual time in
+// seconds.
+type Handler func(now float64)
+
+// Engine is a minimal discrete-event executor with a virtual clock. Events
+// scheduled for the same instant fire in scheduling order (FIFO), which keeps
+// runs deterministic. Engine is not safe for concurrent use.
+type Engine struct {
+	now   float64
+	queue eventQueue
+	seq   uint64
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule registers h to fire at absolute virtual time t. Scheduling in the
+// past (t < Now) is an error.
+func (e *Engine) Schedule(t float64, h Handler) error {
+	if t < e.now {
+		return fmt.Errorf("sim: scheduling event at %g before current time %g", t, e.now)
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: h})
+	return nil
+}
+
+// ScheduleAfter registers h to fire delay seconds from now.
+func (e *Engine) ScheduleAfter(delay float64, h Handler) error {
+	return e.Schedule(e.now+delay, h)
+}
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Step fires the earliest pending event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	ev.fn(e.now)
+	return true
+}
+
+// Run fires events until the queue is empty or the clock would pass horizon.
+// Events scheduled at exactly horizon still fire. It returns the number of
+// events executed.
+func (e *Engine) Run(horizon float64) int {
+	n := 0
+	for e.queue.Len() > 0 && e.queue[0].at <= horizon {
+		e.Step()
+		n++
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return n
+}
+
+// RunAll fires every pending event (including ones new handlers schedule)
+// and returns the count.
+func (e *Engine) RunAll() int {
+	n := 0
+	for e.Step() {
+		n++
+	}
+	return n
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  Handler
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"vodcluster/internal/avail"
+	"vodcluster/internal/core"
+)
+
+func TestFailuresDropStreams(t *testing.T) {
+	p, layout := buildScenario(t, 8, 1.2)
+	// Aggressive failures: MTBF 30 min, MTTR 10 min, over a 90-minute run:
+	// each of the 4 servers fails ~2-3 times.
+	f := &avail.FailureModel{MTBF: 30 * core.Minute, MTTR: 10 * core.Minute}
+	res, err := Run(Config{Problem: p, Layout: layout, Seed: 3, Failures: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("aggressive failure model dropped nothing")
+	}
+	if res.FailureRate <= res.RejectionRate {
+		t.Fatal("failure rate must exceed rejection rate when streams drop")
+	}
+	if res.FailureRate > 1 {
+		t.Fatalf("failure rate %g out of range", res.FailureRate)
+	}
+	// Without failures the same seed drops nothing.
+	clean, err := Run(Config{Problem: p, Layout: layout, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Dropped != 0 {
+		t.Fatal("failure-free run dropped streams")
+	}
+	if clean.FailureRate != clean.RejectionRate {
+		t.Fatal("failure-free rates must coincide")
+	}
+}
+
+func TestFailuresValidated(t *testing.T) {
+	p, layout := buildScenario(t, 8, 1.2)
+	bad := &avail.FailureModel{MTBF: 0, MTTR: 10}
+	if _, err := Run(Config{Problem: p, Layout: layout, Failures: bad}); err == nil {
+		t.Fatal("invalid failure model accepted")
+	}
+}
+
+func TestFailuresDeterministic(t *testing.T) {
+	p, layout := buildScenario(t, 8, 1.2)
+	f := &avail.FailureModel{MTBF: 45 * core.Minute, MTTR: 10 * core.Minute}
+	a, err := Run(Config{Problem: p, Layout: layout, Seed: 11, Failures: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Problem: p, Layout: layout, Seed: 11, Failures: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dropped != b.Dropped || a.Rejected != b.Rejected {
+		t.Fatal("failure injection not deterministic")
+	}
+}
+
+// TestReplicationImprovesAvailability is the paper's reliability claim made
+// quantitative: under the same failure process, a degree-2 layout fails
+// fewer sessions than a degree-1 layout.
+func TestReplicationImprovesAvailability(t *testing.T) {
+	f := &avail.FailureModel{MTBF: 60 * core.Minute, MTTR: 20 * core.Minute}
+	rate := func(degree float64) float64 {
+		p, layout := buildScenario(t, 6, degree)
+		agg, _, err := RunMany(Config{Problem: p, Layout: layout, Seed: 5, Failures: f}, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg.FailureRate.Mean()
+	}
+	low := rate(1.0)
+	high := rate(2.0)
+	if high >= low {
+		t.Fatalf("degree 2.0 failure rate %.4f not below degree 1.0's %.4f", high, low)
+	}
+}
+
+// TestAnalyticUnavailabilityTracksSimulation compares the closed-form
+// unavailable-request mass against the measured rejection excess under
+// light load, where bandwidth plays no role and only failures reject
+// requests.
+func TestAnalyticUnavailabilityTracksSimulation(t *testing.T) {
+	p, layout := buildScenario(t, 1, 1.2) // 10% of saturation: no bw rejections
+	f := &avail.FailureModel{MTBF: 40 * core.Minute, MTTR: 20 * core.Minute}
+	agg, _, err := RunMany(Config{Problem: p, Layout: layout, Seed: 9, Failures: f}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := avail.UnavailableRequestMass(p, layout, f.Unavailability())
+	measured := agg.RejectionRate.Mean()
+	// The transient (all servers start up) biases measured below the
+	// steady state; require the same order of magnitude.
+	if measured <= 0 {
+		t.Fatal("no failure-induced rejections measured")
+	}
+	if ratio := measured / analytic; ratio < 0.2 || ratio > 2.5 {
+		t.Fatalf("measured %.4f vs analytic %.4f (ratio %.2f)", measured, analytic, ratio)
+	}
+}
+
+func TestStreamLimitBindsAdmission(t *testing.T) {
+	p, layout := buildScenario(t, 9, 1.2)
+	unlimited, err := Run(Config{Problem: p, Layout: layout, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap each server at half its network stream capacity (225 → 100).
+	capped, err := Run(Config{Problem: p, Layout: layout, Seed: 2, StreamLimit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.RejectionRate <= unlimited.RejectionRate {
+		t.Fatalf("disk cap did not bind: %.4f vs %.4f",
+			capped.RejectionRate, unlimited.RejectionRate)
+	}
+	if capped.PeakConcurrent > 4*100 {
+		t.Fatalf("peak concurrent %d exceeds 4 servers × limit 100", capped.PeakConcurrent)
+	}
+	// A cap far above network capacity changes nothing.
+	loose, err := Run(Config{Problem: p, Layout: layout, Seed: 2, StreamLimit: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loose.RejectionRate-unlimited.RejectionRate) > 1e-12 {
+		t.Fatal("ineffective cap changed the outcome")
+	}
+}

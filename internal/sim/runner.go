@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vodcluster/internal/metrics"
+	"vodcluster/internal/stats"
+)
+
+// RunMany executes runs independent replications of cfg with derived seeds
+// and aggregates the results. Replications execute in parallel, bounded by
+// GOMAXPROCS; each gets its own scheduler instance via cfg.NewScheduler and
+// its own cluster state, so runs never share mutable data. Results are
+// aggregated in run order, so the aggregate is deterministic for a given
+// (cfg, runs) pair.
+func RunMany(cfg Config, runs int) (*metrics.Aggregate, []metrics.Result, error) {
+	if runs <= 0 {
+		return nil, nil, fmt.Errorf("sim: need at least one run, got %d", runs)
+	}
+	results := make([]metrics.Result, runs)
+	errs := make([]error, runs)
+	root := stats.NewRNG(cfg.Seed)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > runs {
+		workers = runs
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runCfg := cfg
+				runCfg.Seed = root.Derive(int64(i)).Seed()
+				results[i], errs[i] = Run(runCfg)
+			}
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: run %d: %w", i, err)
+		}
+	}
+	agg := &metrics.Aggregate{}
+	for _, r := range results {
+		agg.Add(r)
+	}
+	return agg, results, nil
+}

@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"fmt"
+
+	"vodcluster/internal/avail"
+	"vodcluster/internal/cluster"
+	"vodcluster/internal/core"
+	"vodcluster/internal/metrics"
+	"vodcluster/internal/stats"
+	"vodcluster/internal/workload"
+	"vodcluster/internal/zipf"
+)
+
+// Config describes one VoD simulation run. Zero-value optional fields take
+// the paper's defaults.
+type Config struct {
+	// Problem and Layout define the cluster and the data layout under test.
+	Problem *core.Problem
+	Layout  *core.Layout
+	// NewScheduler constructs the replica scheduling policy for the run.
+	// Nil means the paper's static round-robin. A factory (rather than an
+	// instance) lets replicated runs execute in parallel with independent
+	// policy state.
+	NewScheduler func() cluster.Scheduler
+	// Arrivals overrides the arrival process; nil means a Poisson process
+	// at Problem.ArrivalRate.
+	Arrivals workload.ArrivalProcess
+	// Duration is how long arrivals are generated, in seconds; 0 means
+	// Problem.PeakPeriod. Already-admitted streams run to completion after
+	// arrivals stop.
+	Duration float64
+	// SampleInterval is the load-imbalance sampling period in seconds;
+	// 0 means 60 s (once per simulated minute, the paper's natural grain).
+	SampleInterval float64
+	// Warmup discards measurements before this time (seconds): arrivals
+	// still happen and consume resources, but they are not counted and
+	// loads are not sampled. The paper measures the whole peak period
+	// (default 0); a warm-up removes the empty-cluster transient when
+	// steady-state figures are wanted.
+	Warmup float64
+	// Seed drives all randomness of the run.
+	Seed int64
+	// Trace, when non-nil, replays a materialized request trace instead of
+	// generating arrivals online; Arrivals and Duration describe it then.
+	Trace *workload.Trace
+	// Failures, when non-nil, injects server failures: each server follows
+	// an independent alternating exponential up/down process. A failing
+	// server tears down its active streams (counted as dropped) and its
+	// replicas become unreachable until repair. Failures are injected
+	// during the arrival window.
+	Failures *avail.FailureModel
+	// StreamLimit caps concurrent streams per server (disk-I/O bound
+	// derived from internal/disk); 0 means network-only admission, the
+	// paper's model.
+	StreamLimit int
+	// CopyRates, when non-nil, gives every placed copy its own encoding
+	// rate (cluster.WithCopyRates) — the §4.3 scalable-bit-rate runtime.
+	// rates[v][s] must be positive exactly where Layout places v on s.
+	CopyRates [][]float64
+	// NewController, when non-nil, constructs a runtime controller for the
+	// run (a factory for the same reason as NewScheduler). The controller
+	// observes every arrival and ticks at its own cadence, and may mutate
+	// the cluster state — the hook dynamic replication plugs into.
+	NewController func() Controller
+}
+
+// Controller is a runtime policy that observes the workload and adjusts the
+// cluster while the simulation runs (e.g. dynamic replication).
+type Controller interface {
+	// Observe is called for every arriving request with the video rank.
+	Observe(video int)
+	// Interval returns the cadence of Tick calls in seconds.
+	Interval() float64
+	// Tick runs one adjustment round. schedule registers a follow-up
+	// callback after the given delay (virtual seconds), e.g. the
+	// completion of a replica migration.
+	Tick(now float64, st *cluster.State, schedule func(delay float64, fn func(now float64)))
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg Config) (metrics.Result, error) {
+	var zero metrics.Result
+	if cfg.Problem == nil || cfg.Layout == nil {
+		return zero, fmt.Errorf("sim: Problem and Layout are required")
+	}
+	p := cfg.Problem
+	if err := p.Validate(); err != nil {
+		return zero, err
+	}
+	var opts []cluster.Option
+	if cfg.StreamLimit > 0 {
+		opts = append(opts, cluster.WithStreamLimit(cfg.StreamLimit))
+	}
+	if cfg.CopyRates != nil {
+		opts = append(opts, cluster.WithCopyRates(cfg.CopyRates))
+	}
+	st, err := cluster.New(p, cfg.Layout, opts...)
+	if err != nil {
+		return zero, err
+	}
+	sched := cluster.Scheduler(cluster.StaticRoundRobin{})
+	if cfg.NewScheduler != nil {
+		sched = cfg.NewScheduler()
+	}
+	duration := cfg.Duration
+	if duration <= 0 {
+		duration = p.PeakPeriod
+	}
+	sample := cfg.SampleInterval
+	if sample <= 0 {
+		sample = 60
+	}
+
+	eng := NewEngine()
+	capacities := make([]float64, p.N())
+	for s := range capacities {
+		capacities[s] = p.BandwidthOf(s)
+	}
+	col := metrics.NewCollector(capacities)
+	rng := stats.NewRNG(cfg.Seed)
+
+	var controller Controller
+	if cfg.NewController != nil {
+		controller = cfg.NewController()
+	}
+
+	if cfg.Warmup < 0 {
+		return zero, fmt.Errorf("sim: warmup must be non-negative, got %g", cfg.Warmup)
+	}
+	warm := func(now float64) bool { return now >= cfg.Warmup }
+
+	admit := func(now float64, video int) {
+		if controller != nil {
+			controller.Observe(video)
+		}
+		id, ok := st.Admit(video, sched)
+		if !ok {
+			if warm(now) {
+				col.Request(-1, false, false)
+			}
+			return
+		}
+		s, _ := st.Lookup(id)
+		if warm(now) {
+			col.Request(s.Server, true, s.Redirected)
+			col.ObserveSessionRate(s.Rate)
+		}
+		if err := eng.ScheduleAfter(p.Catalog[video].Duration, func(float64) {
+			// A server failure may already have torn the stream down; a
+			// missing stream at departure time is expected then.
+			if _, ok := st.Lookup(id); ok {
+				if err := st.Release(id); err != nil {
+					panic(err) // release of a live stream cannot fail
+				}
+			}
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	if cfg.Trace != nil {
+		for _, r := range cfg.Trace.Requests {
+			req := r
+			if req.Video >= p.M() {
+				return zero, fmt.Errorf("sim: trace request targets video %d outside catalog of %d", req.Video, p.M())
+			}
+			if err := eng.Schedule(req.Time, func(now float64) { admit(now, req.Video) }); err != nil {
+				return zero, err
+			}
+		}
+	} else {
+		arrivals := cfg.Arrivals
+		if arrivals == nil {
+			if p.ArrivalRate <= 0 {
+				return zero, fmt.Errorf("sim: problem has no arrival rate and no trace/process was supplied")
+			}
+			arrivals = workload.Poisson{Lambda: p.ArrivalRate}
+		}
+		arrRNG := rng.Derive(1)
+		vidRNG := rng.Derive(2)
+		sampler, err := zipf.NewWeightedSampler(p.Catalog.Popularities())
+		if err != nil {
+			return zero, fmt.Errorf("sim: building video sampler: %w", err)
+		}
+		var nextArrival func(now float64)
+		nextArrival = func(now float64) {
+			gap := arrivals.Next(arrRNG)
+			t := now + gap
+			if t > duration {
+				return
+			}
+			if err := eng.Schedule(t, func(tt float64) {
+				admit(tt, sampler.Sample(vidRNG))
+				nextArrival(tt)
+			}); err != nil {
+				panic(err)
+			}
+		}
+		nextArrival(0)
+	}
+
+	// Failure injection: one alternating up/down process per server, active
+	// during the arrival window.
+	if cfg.Failures != nil {
+		f := *cfg.Failures
+		if err := f.Validate(); err != nil {
+			return zero, err
+		}
+		for s := 0; s < p.N(); s++ {
+			s := s
+			failRNG := rng.Derive(100 + int64(s))
+			var scheduleFailure func(now float64)
+			scheduleFailure = func(now float64) {
+				at := now + f.NextUptime(failRNG)
+				if at > duration {
+					return
+				}
+				if err := eng.Schedule(at, func(tt float64) {
+					dropped := st.FailServer(s)
+					if warm(tt) {
+						col.Drop(dropped)
+					}
+					repairAt := tt + f.NextDowntime(failRNG)
+					if err := eng.Schedule(repairAt, func(rt float64) {
+						st.RestoreServer(s)
+						scheduleFailure(rt)
+					}); err != nil {
+						panic(err)
+					}
+				}); err != nil {
+					panic(err)
+				}
+			}
+			scheduleFailure(0)
+		}
+	}
+
+	// Controller ticks across the arrival window.
+	if controller != nil {
+		interval := controller.Interval()
+		if interval <= 0 {
+			return zero, fmt.Errorf("sim: controller interval must be positive, got %g", interval)
+		}
+		schedule := func(delay float64, fn func(now float64)) {
+			if err := eng.ScheduleAfter(delay, fn); err != nil {
+				panic(err)
+			}
+		}
+		var tick func(now float64)
+		tick = func(now float64) {
+			controller.Tick(now, st, schedule)
+			if now+interval <= duration {
+				if err := eng.ScheduleAfter(interval, tick); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if err := eng.Schedule(interval, tick); err != nil {
+			return zero, err
+		}
+	}
+
+	// Periodic load sampling across the arrival window.
+	var sampleTick func(now float64)
+	sampleTick = func(now float64) {
+		if warm(now) {
+			col.SampleLoads(st.UsedBandwidths(), st.TotalActive())
+		}
+		if now+sample <= duration {
+			if err := eng.ScheduleAfter(sample, sampleTick); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if err := eng.Schedule(sample, sampleTick); err != nil {
+		return zero, err
+	}
+
+	eng.RunAll()
+	return col.Result(), nil
+}

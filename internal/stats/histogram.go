@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations into fixed-width bins over [Lo, Hi).
+// Values below Lo land in an underflow bucket and values at or above Hi in an
+// overflow bucket, so no observation is ever silently dropped.
+type Histogram struct {
+	Lo, Hi    float64
+	bins      []int
+	underflow int
+	overflow  int
+	total     int
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+// It panics if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range must be non-empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, bins: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.underflow++
+	case x >= h.Hi:
+		h.overflow++
+	default:
+		i := int(float64(len(h.bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.bins) { // guard against floating-point edge
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the number of observations in bin i.
+func (h *Histogram) Count(i int) int { return h.bins[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// Total returns the total number of observations, including under/overflow.
+func (h *Histogram) Total() int { return h.total }
+
+// Underflow returns the count of observations below Lo.
+func (h *Histogram) Underflow() int { return h.underflow }
+
+// Overflow returns the count of observations at or above Hi.
+func (h *Histogram) Overflow() int { return h.overflow }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.bins))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// String renders a compact ASCII bar chart of the histogram.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	peak := 0
+	for _, c := range h.bins {
+		if c > peak {
+			peak = c
+		}
+	}
+	const width = 40
+	for i, c := range h.bins {
+		bar := 0
+		if peak > 0 {
+			bar = int(math.Round(float64(c) / float64(peak) * width))
+		}
+		fmt.Fprintf(&b, "%10.4g | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	if h.underflow > 0 {
+		fmt.Fprintf(&b, "underflow: %d\n", h.underflow)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "overflow: %d\n", h.overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99} {
+		h.Add(x)
+	}
+	wantBins := []int{2, 1, 1, 0, 1}
+	for i, want := range wantBins {
+		if got := h.Count(i); got != want {
+			t.Fatalf("bin %d = %d, want %d", i, got, want)
+		}
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Bins() != 5 {
+		t.Fatalf("bins = %d", h.Bins())
+	}
+}
+
+func TestHistogramUnderOverflow(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(-0.5)
+	h.Add(1.0) // hi is exclusive
+	h.Add(2)
+	h.Add(0.5)
+	if h.Underflow() != 1 {
+		t.Fatalf("underflow = %d", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Fatalf("overflow = %d", h.Overflow())
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	s := h.String()
+	if !strings.Contains(s, "underflow: 1") || !strings.Contains(s, "overflow: 2") {
+		t.Fatalf("String() missing flow counts: %q", s)
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("center of bin 0 = %g, want 1", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Fatalf("center of bin 4 = %g, want 9", got)
+	}
+}
+
+func TestHistogramEdgeNearHi(t *testing.T) {
+	// A value a hair below Hi must land in the last bin, not panic.
+	h := NewHistogram(0, 1, 3)
+	h.Add(0.9999999999999999)
+	if h.Count(2)+h.Overflow() != 1 {
+		t.Fatal("value near Hi lost")
+	}
+}
+
+func TestHistogramConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+		func() { NewHistogram(2, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

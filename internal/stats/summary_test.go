@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatal("zero Summary not empty")
+	}
+	s.AddN(2, 4, 4, 4, 5, 5, 7, 9)
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("mean = %g, want 5", got)
+	}
+	// Population variance is 4; the unbiased sample variance is 32/7.
+	if got, want := s.Variance(), 32.0/7; !almostEqual(got, want, 1e-12) {
+		t.Fatalf("variance = %g, want %g", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	if got := s.Sum(); got != 40 {
+		t.Fatalf("sum = %g", got)
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestSummarySingleValue(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Variance() != 0 || s.StdDev() != 0 {
+		t.Fatal("variance of single observation must be 0")
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatal("min/max of single observation wrong")
+	}
+	if s.StdErr() != 0 || s.CI95() != 0 {
+		t.Fatal("stderr of single observation must be 0")
+	}
+}
+
+func TestSummaryMatchesNaive(t *testing.T) {
+	rng := NewRNG(31)
+	xs := make([]float64, 500)
+	var s Summary
+	for i := range xs {
+		xs[i] = rng.Normal(100, 15)
+		s.Add(xs[i])
+	}
+	if !almostEqual(s.Mean(), Mean(xs), 1e-12) {
+		t.Fatalf("welford mean %g vs naive %g", s.Mean(), Mean(xs))
+	}
+	if !almostEqual(s.Variance(), Variance(xs), 1e-10) {
+		t.Fatalf("welford variance %g vs naive %g", s.Variance(), Variance(xs))
+	}
+	if !almostEqual(s.StdDev(), StdDev(xs), 1e-10) {
+		t.Fatalf("welford sd %g vs naive %g", s.StdDev(), StdDev(xs))
+	}
+}
+
+// TestSummaryMergeProperty: merging two summaries must equal summarizing the
+// concatenation, for arbitrary inputs.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var sa, sb, sab Summary
+		for _, x := range a {
+			sa.Add(x)
+			sab.Add(x)
+		}
+		for _, x := range b {
+			sb.Add(x)
+			sab.Add(x)
+		}
+		sa.Merge(&sb)
+		if sa.N() != sab.N() {
+			return false
+		}
+		if sa.N() == 0 {
+			return true
+		}
+		return almostEqual(sa.Mean(), sab.Mean(), 1e-9) &&
+			almostEqual(sa.Variance(), sab.Variance(), 1e-6) &&
+			sa.Min() == sab.Min() && sa.Max() == sab.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.AddN(1, 2, 3)
+	before := a
+	a.Merge(&b)
+	if a != before {
+		t.Fatal("merging an empty summary changed the receiver")
+	}
+	b.Merge(&a)
+	if b.N() != 3 || b.Mean() != 2 {
+		t.Fatal("merging into an empty summary did not copy")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	var s Summary
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 2)) // mean 0.5, sd ≈ 0.5025
+	}
+	ci := s.CI95()
+	if ci <= 0 || ci > 0.2 {
+		t.Fatalf("CI95 = %g, want small positive", ci)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Fatalf("interpolated median = %g, want 1.5", got)
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("single-element quantile = %g", got)
+	}
+	// Quantile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = %g, %g", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinMax(empty) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestSliceHelpersEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty-slice helpers must return 0")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("variance of one element must be 0")
+	}
+}

@@ -1,0 +1,286 @@
+// Package striped models the architectural alternative the paper argues
+// against (§1): wide data striping across the cluster's servers, as in
+// shared-storage designs and the striping side of Chou et al.'s
+// striping-vs-replication comparison. Every video is striped over all N
+// servers, so every stream draws 1/N of its bit rate from each server.
+//
+// Two consequences follow, and this package makes both measurable:
+//
+//   - Perfect load balance by construction: the cluster behaves as a single
+//     pooled link of N·B bits/s, so no request is ever rejected for
+//     imbalance — striping beats replication on the rejection metric while
+//     everything is healthy.
+//   - Catastrophic failures: without parity a single server failure takes
+//     every video offline; with parity (RAID-5 across servers) one failure
+//     is survived in degraded mode at reconstruction cost, and the usable
+//     capacity shrinks by one server's worth.
+//
+// The simulator mirrors internal/sim's model (Poisson arrivals, fixed
+// session lengths, failure injection) on the pooled-capacity cluster, so the
+// two architectures can be compared run for run.
+package striped
+
+import (
+	"fmt"
+
+	"vodcluster/internal/avail"
+	"vodcluster/internal/core"
+	"vodcluster/internal/metrics"
+	"vodcluster/internal/sim"
+	"vodcluster/internal/stats"
+	"vodcluster/internal/workload"
+	"vodcluster/internal/zipf"
+)
+
+// Scheme selects the cross-server striping organization.
+type Scheme int
+
+const (
+	// Plain striping (RAID-0 across servers): full pooled bandwidth and
+	// storage, any server failure takes the whole catalog offline.
+	Plain Scheme = iota
+	// Parity striping (RAID-5 across servers): one server's worth of
+	// storage goes to parity, a single failure is survived with the pooled
+	// bandwidth halved (reconstruction reads), a second concurrent failure
+	// loses the catalog.
+	Parity
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	if s == Parity {
+		return "parity"
+	}
+	return "plain"
+}
+
+// Config describes one striped-cluster simulation run.
+type Config struct {
+	// Problem supplies the cluster and workload; layouts are meaningless
+	// under striping and are not used.
+	Problem *core.Problem
+	// Scheme selects plain or parity striping.
+	Scheme Scheme
+	// Failures optionally injects server failures as in sim.Config.
+	Failures *avail.FailureModel
+	// Duration and Seed as in sim.Config.
+	Duration float64
+	Seed     int64
+}
+
+// Run simulates one peak period on the striped cluster.
+func Run(cfg Config) (metrics.Result, error) {
+	var zero metrics.Result
+	if cfg.Problem == nil {
+		return zero, fmt.Errorf("striped: Problem is required")
+	}
+	p := cfg.Problem
+	if err := p.Validate(); err != nil {
+		return zero, err
+	}
+	if p.M() == 0 {
+		return zero, fmt.Errorf("striped: empty catalog")
+	}
+	// Storage feasibility: the pooled (data) storage must hold the catalog.
+	dataStorage := p.TotalStorage()
+	if cfg.Scheme == Parity {
+		dataStorage -= p.TotalStorage() / float64(p.N())
+	}
+	if p.Catalog.TotalSizeBytes() > dataStorage {
+		return zero, fmt.Errorf("striped: catalog needs %.0f bytes; %s striping leaves %.0f",
+			p.Catalog.TotalSizeBytes(), cfg.Scheme, dataStorage)
+	}
+	duration := cfg.Duration
+	if duration <= 0 {
+		duration = p.PeakPeriod
+	}
+	if p.ArrivalRate <= 0 {
+		return zero, fmt.Errorf("striped: problem has no arrival rate")
+	}
+
+	eng := sim.NewEngine()
+	capacities := make([]float64, p.N())
+	for s := range capacities {
+		capacities[s] = p.BandwidthOf(s)
+	}
+	col := metrics.NewCollector(capacities)
+	rng := stats.NewRNG(cfg.Seed)
+	arrRNG := rng.Derive(1)
+	vidRNG := rng.Derive(2)
+	sampler, err := zipf.NewWeightedSampler(p.Catalog.Popularities())
+	if err != nil {
+		return zero, err
+	}
+	arrivals := workload.Poisson{Lambda: p.ArrivalRate}
+
+	st := newPoolState(p, cfg.Scheme)
+
+	active := map[int]session{}
+	nextID := 0
+
+	admit := func(video int) {
+		rate := p.Catalog[video].BitRate
+		if !st.admit(rate) {
+			col.Request(-1, false, false)
+			return
+		}
+		col.Request(0, true, false)
+		nextID++
+		id := nextID
+		active[id] = session{rate: rate}
+		if err := eng.ScheduleAfter(p.Catalog[video].Duration, func(float64) {
+			if s, ok := active[id]; ok {
+				st.release(s.rate)
+				delete(active, id)
+			}
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	var nextArrival func(now float64)
+	nextArrival = func(now float64) {
+		t := now + arrivals.Next(arrRNG)
+		if t > duration {
+			return
+		}
+		if err := eng.Schedule(t, func(tt float64) {
+			admit(sampler.Sample(vidRNG))
+			nextArrival(tt)
+		}); err != nil {
+			panic(err)
+		}
+	}
+	nextArrival(0)
+
+	if cfg.Failures != nil {
+		f := *cfg.Failures
+		if err := f.Validate(); err != nil {
+			return zero, err
+		}
+		for s := 0; s < p.N(); s++ {
+			s := s
+			failRNG := rng.Derive(100 + int64(s))
+			var scheduleFailure func(now float64)
+			scheduleFailure = func(now float64) {
+				at := now + f.NextUptime(failRNG)
+				if at > duration {
+					return
+				}
+				if err := eng.Schedule(at, func(tt float64) {
+					dropped := st.fail(s, active, func(id int) {
+						delete(active, id)
+					})
+					col.Drop(dropped)
+					repairAt := tt + f.NextDowntime(failRNG)
+					if err := eng.Schedule(repairAt, func(rt float64) {
+						st.restore(s)
+						scheduleFailure(rt)
+					}); err != nil {
+						panic(err)
+					}
+				}); err != nil {
+					panic(err)
+				}
+			}
+			scheduleFailure(0)
+		}
+	}
+
+	sample := 60.0
+	var sampleTick func(now float64)
+	sampleTick = func(now float64) {
+		col.SampleLoads(st.perServerLoads(), len(active))
+		if now+sample <= duration {
+			if err := eng.ScheduleAfter(sample, sampleTick); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if err := eng.Schedule(sample, sampleTick); err != nil {
+		return zero, err
+	}
+
+	eng.RunAll()
+	return col.Result(), nil
+}
+
+// poolState tracks the pooled bandwidth of a striped cluster.
+type poolState struct {
+	p      *core.Problem
+	scheme Scheme
+	usedBW float64 // total client bandwidth in service
+	down   int     // failed servers
+}
+
+func newPoolState(p *core.Problem, scheme Scheme) *poolState {
+	return &poolState{p: p, scheme: scheme}
+}
+
+// capacity returns the currently usable pooled bandwidth.
+func (st *poolState) capacity() float64 {
+	switch {
+	case st.down == 0:
+		return st.p.TotalBandwidth()
+	case st.scheme == Parity && st.down == 1:
+		// Degraded reads reconstruct from all survivors: half the
+		// survivors' bandwidth is effective (the classic RAID-5 model).
+		return (st.p.TotalBandwidth() - st.p.TotalBandwidth()/float64(st.p.N())) / 2
+	default:
+		return 0 // plain striping with any failure, or a second failure
+	}
+}
+
+func (st *poolState) admit(rate float64) bool {
+	if st.usedBW+rate > st.capacity()+1e-6 {
+		return false
+	}
+	st.usedBW += rate
+	return true
+}
+
+func (st *poolState) release(rate float64) {
+	st.usedBW -= rate
+	if st.usedBW < 0 {
+		st.usedBW = 0
+	}
+}
+
+// fail marks a server down. When capacity collapses below the load — always,
+// for plain striping — every active session dies; degraded parity mode
+// sheds just enough sessions to fit the reduced pool. dropFn removes a
+// session from the caller's table.
+func (st *poolState) fail(_ int, active map[int]session, dropFn func(id int)) int {
+	st.down++
+	capacity := st.capacity()
+	dropped := 0
+	for id, s := range active {
+		if st.usedBW <= capacity+1e-6 {
+			break
+		}
+		st.release(s.rate)
+		dropFn(id)
+		dropped++
+	}
+	return dropped
+}
+
+func (st *poolState) restore(int) {
+	if st.down > 0 {
+		st.down--
+	}
+}
+
+// session is one active stream; only its rate matters for accounting.
+type session struct{ rate float64 }
+
+// perServerLoads spreads the pooled usage evenly — the defining property of
+// striping — for the imbalance metrics (which will report ~0).
+func (st *poolState) perServerLoads() []float64 {
+	loads := make([]float64, st.p.N())
+	per := st.usedBW / float64(st.p.N())
+	for i := range loads {
+		loads[i] = per
+	}
+	return loads
+}

@@ -1,0 +1,194 @@
+package striped
+
+import (
+	"testing"
+
+	"vodcluster/internal/avail"
+	"vodcluster/internal/core"
+	"vodcluster/internal/place"
+	"vodcluster/internal/replicate"
+	"vodcluster/internal/sim"
+)
+
+// stripedProblem: 4 servers, saturation 10 req/min, catalog fits easily.
+func stripedProblem(t testing.TB, lambdaPerMin float64) *core.Problem {
+	t.Helper()
+	c, err := core.NewCatalog(50, 0.75, 4*core.Mbps, 90*core.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Problem{
+		Catalog:            c,
+		NumServers:         4,
+		StoragePerServer:   20 * c[0].SizeBytes(),
+		BandwidthPerServer: 0.9 * core.Gbps,
+		ArrivalRate:        lambdaPerMin / core.Minute,
+		PeakPeriod:         90 * core.Minute,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSchemeString(t *testing.T) {
+	if Plain.String() != "plain" || Parity.String() != "parity" {
+		t.Fatal("scheme names changed")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("missing problem accepted")
+	}
+	p := stripedProblem(t, 5)
+	q := p.Clone()
+	q.ArrivalRate = 0
+	if _, err := Run(Config{Problem: q}); err == nil {
+		t.Fatal("zero arrival rate accepted")
+	}
+	// Catalog barely fits plain striping but not after parity overhead.
+	tight := p.Clone()
+	tight.StoragePerServer = 50 * p.Catalog[0].SizeBytes() / 4 // exactly the catalog
+	if _, err := Run(Config{Problem: tight, Scheme: Plain, Seed: 1}); err != nil {
+		t.Fatalf("plain striping should fit: %v", err)
+	}
+	if _, err := Run(Config{Problem: tight, Scheme: Parity, Seed: 1}); err == nil {
+		t.Fatal("parity overhead ignored")
+	}
+	bad := &avail.FailureModel{MTBF: 0, MTTR: 1}
+	if _, err := Run(Config{Problem: p, Failures: bad}); err == nil {
+		t.Fatal("invalid failure model accepted")
+	}
+}
+
+func TestHealthyStripingIsPerfectlyBalanced(t *testing.T) {
+	p := stripedProblem(t, 9) // 90% of saturation
+	res, err := Run(Config{Problem: p, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no arrivals")
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("healthy striped cluster rejected %d below capacity", res.Rejected)
+	}
+	if res.ImbalanceAvg > 1e-9 {
+		t.Fatalf("striping must be perfectly balanced, L = %g", res.ImbalanceAvg)
+	}
+}
+
+func TestStripingRejectsOnlyPastPooledCapacity(t *testing.T) {
+	p := stripedProblem(t, 15) // 150% of saturation
+	res, err := Run(Config{Problem: p, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectionRate < 0.1 {
+		t.Fatalf("overload barely rejected: %.3f", res.RejectionRate)
+	}
+	// The pool never exceeds its capacity.
+	cap := int(p.TotalBandwidth() / (4 * core.Mbps))
+	if res.PeakConcurrent > cap {
+		t.Fatalf("peak concurrent %d exceeds pooled capacity %d", res.PeakConcurrent, cap)
+	}
+}
+
+func TestStripingBeatsReplicationWhenHealthy(t *testing.T) {
+	// The §1 tradeoff, side 1: near saturation, pooled striping rejects
+	// less than a replicated layout under static RR (no imbalance at all).
+	p := stripedProblem(t, 10) // exactly saturation
+	sres, err := Run(Config{Problem: p, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := p.TargetTotalReplicas(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := replicate.ZipfInterval{}.Replicate(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := place.SmallestLoadFirst{}.Place(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := sim.Run(sim.Config{Problem: p, Layout: layout, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.RejectionRate > rres.RejectionRate+1e-9 {
+		t.Fatalf("healthy striping (%.4f) rejected more than replication (%.4f)",
+			sres.RejectionRate, rres.RejectionRate)
+	}
+}
+
+func TestPlainStripingFailsCatastrophically(t *testing.T) {
+	// The §1 tradeoff, side 2: with failures, plain striping's whole
+	// catalog goes dark while the replicated cluster degrades gracefully.
+	p := stripedProblem(t, 8)
+	f := &avail.FailureModel{MTBF: 60 * core.Minute, MTTR: 30 * core.Minute}
+
+	sres, err := Run(Config{Problem: p, Scheme: Plain, Failures: f, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := p.TargetTotalReplicas(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := replicate.ZipfInterval{}.Replicate(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := place.SmallestLoadFirst{}.Place(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := sim.Run(sim.Config{Problem: p, Layout: layout, Failures: f, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.FailureRate <= rres.FailureRate {
+		t.Fatalf("plain striping (%.4f) should fail more sessions than replication (%.4f) under failures",
+			sres.FailureRate, rres.FailureRate)
+	}
+	// And a failure while loaded drops *everything* active.
+	if sres.Dropped == 0 {
+		t.Fatal("no drops despite aggressive failures")
+	}
+}
+
+func TestParitySurvivesOneFailure(t *testing.T) {
+	p := stripedProblem(t, 4) // light load fits even the degraded pool
+	f := &avail.FailureModel{MTBF: 45 * core.Minute, MTTR: 45 * core.Minute}
+	plain, err := Run(Config{Problem: p, Scheme: Plain, Failures: f, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity, err := Run(Config{Problem: p, Scheme: Parity, Failures: f, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parity.FailureRate >= plain.FailureRate {
+		t.Fatalf("parity striping (%.4f) should beat plain (%.4f) under failures",
+			parity.FailureRate, plain.FailureRate)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := stripedProblem(t, 9)
+	a, err := Run(Config{Problem: p, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Problem: p, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Requests != b.Requests || a.Rejected != b.Rejected {
+		t.Fatal("striped run not deterministic")
+	}
+}

@@ -1,0 +1,114 @@
+// Package workload generates the synthetic request workloads of the paper's
+// evaluation: Poisson arrivals during a peak period, with the requested video
+// chosen from a Zipf-like popularity distribution. A two-state MMPP process
+// is included for burstiness sensitivity studies, and traces can be
+// materialized, saved, and replayed for reproducible cross-algorithm
+// comparisons.
+package workload
+
+import (
+	"fmt"
+
+	"vodcluster/internal/stats"
+)
+
+// ArrivalProcess produces successive interarrival times.
+type ArrivalProcess interface {
+	// Next returns the time until the next arrival, in seconds.
+	Next(rng *stats.RNG) float64
+	// Rate returns the long-run mean arrival rate in requests/second.
+	Rate() float64
+	// Name identifies the process in reports.
+	Name() string
+}
+
+// Poisson is a homogeneous Poisson arrival process — the paper's model:
+// exponential interarrival times with the given rate (requests/second).
+type Poisson struct {
+	// Lambda is the arrival rate in requests per second.
+	Lambda float64
+}
+
+// NewPoissonPerMinute builds a Poisson process from a rate expressed in
+// requests per minute, the unit the paper's figures use.
+func NewPoissonPerMinute(perMinute float64) Poisson {
+	return Poisson{Lambda: perMinute / 60}
+}
+
+// Next implements ArrivalProcess.
+func (p Poisson) Next(rng *stats.RNG) float64 {
+	if p.Lambda <= 0 {
+		panic("workload: Poisson rate must be positive")
+	}
+	return rng.Exponential(p.Lambda)
+}
+
+// Rate implements ArrivalProcess.
+func (p Poisson) Rate() float64 { return p.Lambda }
+
+// Name implements ArrivalProcess.
+func (p Poisson) Name() string { return "poisson" }
+
+// MMPP is a two-state Markov-modulated Poisson process for bursty-workload
+// sensitivity studies: arrivals follow rate Lambda1 or Lambda2 depending on a
+// hidden state that flips after exponentially distributed sojourns.
+type MMPP struct {
+	// Lambda1, Lambda2 are the arrival rates (requests/s) in the two states.
+	Lambda1, Lambda2 float64
+	// Sojourn1, Sojourn2 are the mean sojourn times (s) in each state.
+	Sojourn1, Sojourn2 float64
+
+	state     int
+	remaining float64
+	primed    bool
+}
+
+// Validate checks the process parameters.
+func (m *MMPP) Validate() error {
+	if m.Lambda1 <= 0 || m.Lambda2 <= 0 {
+		return fmt.Errorf("workload: MMPP rates must be positive")
+	}
+	if m.Sojourn1 <= 0 || m.Sojourn2 <= 0 {
+		return fmt.Errorf("workload: MMPP sojourns must be positive")
+	}
+	return nil
+}
+
+// Next implements ArrivalProcess. The hidden state evolves as virtual time
+// advances with each returned interarrival.
+func (m *MMPP) Next(rng *stats.RNG) float64 {
+	if !m.primed {
+		m.remaining = rng.Exponential(1 / m.Sojourn1)
+		m.primed = true
+	}
+	elapsed := 0.0
+	for {
+		rate := m.Lambda1
+		if m.state == 1 {
+			rate = m.Lambda2
+		}
+		gap := rng.Exponential(rate)
+		if gap <= m.remaining {
+			m.remaining -= gap
+			return elapsed + gap
+		}
+		// State flips before the tentative arrival; discard it and continue
+		// from the flip (memorylessness makes this exact).
+		elapsed += m.remaining
+		m.state = 1 - m.state
+		sojourn := m.Sojourn1
+		if m.state == 1 {
+			sojourn = m.Sojourn2
+		}
+		m.remaining = rng.Exponential(1 / sojourn)
+	}
+}
+
+// Rate implements ArrivalProcess: the stationary mean arrival rate.
+func (m *MMPP) Rate() float64 {
+	w1 := m.Sojourn1 / (m.Sojourn1 + m.Sojourn2)
+	return w1*m.Lambda1 + (1-w1)*m.Lambda2
+}
+
+// Name implements ArrivalProcess.
+func (m *MMPP) Name() string { return "mmpp2" }

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceLoad: arbitrary bytes must never panic the trace parser, and any
+// trace that loads must satisfy its own Validate.
+func FuzzTraceLoad(f *testing.F) {
+	gen, err := NewGenerator(NewPoissonPerMinute(10), 5, 0.5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := gen.Generate(300, 1).Save(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"requests":[],"meta":{}}`)
+	f.Add(`{"requests":[{"t":1,"v":0}],"meta":{"videos":1}}`)
+	f.Add(`{"requests":[{"t":-1,"v":0}]}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		tr, err := Load(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Load returned a trace failing its own validation: %v", err)
+		}
+		// Derived operations must not panic on any loaded trace.
+		_ = tr.VideoCounts()
+	})
+}
+
+// FuzzRemap: remapping with arbitrary rotations must preserve request count
+// and produce only valid videos or an error.
+func FuzzRemap(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(10))
+	f.Add(int64(2), uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, kRaw, mRaw uint8) {
+		m := int(mRaw%32) + 1
+		k := int(kRaw) % (2 * m)
+		gen, err := NewGenerator(NewPoissonPerMinute(30), m, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := gen.Generate(600, seed)
+		out, err := tr.Remap(RotationMapping(m, k), 300)
+		if err != nil {
+			t.Fatalf("rotation mapping must always be valid: %v", err)
+		}
+		if len(out.Requests) != len(tr.Requests) {
+			t.Fatal("remap changed the request count")
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"vodcluster/internal/stats"
+	"vodcluster/internal/zipf"
+)
+
+// Request is one client request in a trace.
+type Request struct {
+	// Time is the arrival time in seconds from the trace start.
+	Time float64 `json:"t"`
+	// Video is the catalog rank of the requested title.
+	Video int `json:"v"`
+}
+
+// Trace is a time-ordered request sequence plus the parameters that produced
+// it, so saved traces are self-describing.
+type Trace struct {
+	// Requests are in non-decreasing Time order.
+	Requests []Request `json:"requests"`
+	// Meta records how the trace was generated.
+	Meta TraceMeta `json:"meta"`
+}
+
+// TraceMeta describes a generated trace.
+type TraceMeta struct {
+	Videos   int     `json:"videos"`
+	Theta    float64 `json:"theta"`
+	Process  string  `json:"process"`
+	MeanRate float64 `json:"mean_rate_per_s"`
+	Duration float64 `json:"duration_s"`
+	Seed     int64   `json:"seed"`
+}
+
+// Generator couples an arrival process with a Zipf-like video chooser.
+type Generator struct {
+	Arrivals ArrivalProcess
+	Sampler  *zipf.Sampler
+
+	videos int
+	theta  float64
+}
+
+// NewGenerator builds a generator for m videos with skew theta and the given
+// arrival process.
+func NewGenerator(arrivals ArrivalProcess, m int, theta float64) (*Generator, error) {
+	d, err := zipf.New(m, theta)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{Arrivals: arrivals, Sampler: zipf.NewSampler(d), videos: m, theta: theta}, nil
+}
+
+// Generate materializes a trace of the given duration (seconds) using the
+// seed for all randomness. The same (generator parameters, seed) pair always
+// yields the same trace.
+func (g *Generator) Generate(duration float64, seed int64) *Trace {
+	rng := stats.NewRNG(seed)
+	arrRNG := rng.Derive(1)
+	vidRNG := rng.Derive(2)
+	tr := &Trace{Meta: TraceMeta{
+		Videos:   g.videos,
+		Theta:    g.theta,
+		Process:  g.Arrivals.Name(),
+		MeanRate: g.Arrivals.Rate(),
+		Duration: duration,
+		Seed:     seed,
+	}}
+	t := 0.0
+	for {
+		t += g.Arrivals.Next(arrRNG)
+		if t > duration {
+			break
+		}
+		tr.Requests = append(tr.Requests, Request{Time: t, Video: g.Sampler.Sample(vidRNG)})
+	}
+	return tr
+}
+
+// Validate checks trace invariants: ordered times and video ranks within the
+// declared catalog size.
+func (tr *Trace) Validate() error {
+	if !sort.SliceIsSorted(tr.Requests, func(i, j int) bool {
+		return tr.Requests[i].Time < tr.Requests[j].Time
+	}) {
+		return fmt.Errorf("workload: trace times out of order")
+	}
+	for i, r := range tr.Requests {
+		if r.Time < 0 {
+			return fmt.Errorf("workload: request %d has negative time %g", i, r.Time)
+		}
+		if r.Video < 0 || (tr.Meta.Videos > 0 && r.Video >= tr.Meta.Videos) {
+			return fmt.Errorf("workload: request %d targets video %d outside catalog of %d", i, r.Video, tr.Meta.Videos)
+		}
+	}
+	return nil
+}
+
+// Save writes the trace as JSON.
+func (tr *Trace) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// Load reads a JSON trace and validates it.
+func Load(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// VideoCounts tallies how many requests target each video rank.
+func (tr *Trace) VideoCounts() []int {
+	m := tr.Meta.Videos
+	for _, r := range tr.Requests {
+		if r.Video >= m {
+			m = r.Video + 1
+		}
+	}
+	counts := make([]int, m)
+	for _, r := range tr.Requests {
+		counts[r.Video]++
+	}
+	return counts
+}
+
+// Remap returns a copy of the trace in which every request arriving at or
+// after the switch time has its video remapped through mapping (a
+// permutation of catalog ranks). It models a popularity shift mid-trace —
+// the scenario runtime dynamic replication exists for: content that was cold
+// when the layout was planned becomes hot.
+func (tr *Trace) Remap(mapping []int, from float64) (*Trace, error) {
+	if tr.Meta.Videos > 0 && len(mapping) != tr.Meta.Videos {
+		return nil, fmt.Errorf("workload: mapping covers %d videos; trace has %d", len(mapping), tr.Meta.Videos)
+	}
+	out := &Trace{Meta: tr.Meta, Requests: make([]Request, len(tr.Requests))}
+	copy(out.Requests, tr.Requests)
+	for i := range out.Requests {
+		if out.Requests[i].Time < from {
+			continue
+		}
+		v := out.Requests[i].Video
+		if v < 0 || v >= len(mapping) {
+			return nil, fmt.Errorf("workload: request %d targets video %d outside the mapping", i, v)
+		}
+		nv := mapping[v]
+		if nv < 0 || (tr.Meta.Videos > 0 && nv >= tr.Meta.Videos) {
+			return nil, fmt.Errorf("workload: mapping sends video %d to invalid %d", v, nv)
+		}
+		out.Requests[i].Video = nv
+	}
+	return out, nil
+}
+
+// RotationMapping returns the permutation i → (i + k) mod m: rank i's
+// requests land on the video k ranks away, shifting the entire popularity
+// curve. With k ≈ m/2 the hottest titles become mid-pack and vice versa.
+func RotationMapping(m, k int) []int {
+	mapping := make([]int, m)
+	for i := range mapping {
+		mapping[i] = ((i+k)%m + m) % m
+	}
+	return mapping
+}
+
+// EstimateTheta fits a Zipf-like skew to observed per-video request counts
+// by least-squares regression of log(frequency) on log(rank) over the videos
+// that received any requests. It closes the loop on the paper's assumption
+// that popularities are known a priori: a measured trace yields the θ to
+// plan the next layout with. The fit ignores zero-count videos (their rank
+// is unknowable from the trace) and returns an error when fewer than three
+// distinct ranks remain.
+func EstimateTheta(counts []int) (float64, error) {
+	nonzero := make([]int, 0, len(counts))
+	for _, n := range counts {
+		if n > 0 {
+			nonzero = append(nonzero, n)
+		}
+	}
+	if len(nonzero) < 3 {
+		return 0, fmt.Errorf("workload: need at least 3 videos with requests, got %d", len(nonzero))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(nonzero)))
+	// Regress log n_k = c − θ·log k.
+	var sx, sy, sxx, sxy float64
+	m := float64(len(nonzero))
+	for i, n := range nonzero {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(n))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	denom := m*sxx - sx*sx
+	if denom == 0 {
+		return 0, fmt.Errorf("workload: degenerate rank spread")
+	}
+	slope := (m*sxy - sx*sy) / denom
+	theta := -slope
+	if theta < 0 {
+		theta = 0
+	}
+	return theta, nil
+}

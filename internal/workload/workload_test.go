@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"vodcluster/internal/stats"
+)
+
+func TestPoissonInterarrivalMean(t *testing.T) {
+	p := Poisson{Lambda: 0.5} // mean gap 2 s
+	rng := stats.NewRNG(1)
+	var sum stats.Summary
+	for i := 0; i < 100000; i++ {
+		sum.Add(p.Next(rng))
+	}
+	if math.Abs(sum.Mean()-2) > 0.05 {
+		t.Fatalf("mean interarrival %g, want ≈ 2", sum.Mean())
+	}
+	if p.Rate() != 0.5 || p.Name() != "poisson" {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestNewPoissonPerMinute(t *testing.T) {
+	p := NewPoissonPerMinute(40)
+	if math.Abs(p.Lambda-40.0/60) > 1e-12 {
+		t.Fatalf("λ = %g/s, want 40/min", p.Lambda)
+	}
+}
+
+func TestPoissonPanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-rate Poisson did not panic")
+		}
+	}()
+	Poisson{}.Next(stats.NewRNG(1))
+}
+
+func TestMMPPValidate(t *testing.T) {
+	good := &MMPP{Lambda1: 1, Lambda2: 2, Sojourn1: 10, Sojourn2: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []*MMPP{
+		{Lambda1: 0, Lambda2: 2, Sojourn1: 10, Sojourn2: 10},
+		{Lambda1: 1, Lambda2: 2, Sojourn1: 0, Sojourn2: 10},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("invalid MMPP %+v accepted", bad)
+		}
+	}
+}
+
+func TestMMPPStationaryRate(t *testing.T) {
+	m := &MMPP{Lambda1: 0.2, Lambda2: 1.0, Sojourn1: 300, Sojourn2: 100}
+	// Stationary rate: (300·0.2 + 100·1.0)/400 = 0.4.
+	if math.Abs(m.Rate()-0.4) > 1e-12 {
+		t.Fatalf("stationary rate %g, want 0.4", m.Rate())
+	}
+	rng := stats.NewRNG(2)
+	n := 0
+	elapsed := 0.0
+	for elapsed < 2e6 { // ~5000 regime cycles, so the estimate settles
+		elapsed += m.Next(rng)
+		n++
+	}
+	emp := float64(n) / elapsed
+	if math.Abs(emp-0.4) > 0.02 {
+		t.Fatalf("empirical MMPP rate %g, want ≈ 0.4", emp)
+	}
+	if m.Name() != "mmpp2" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestMMPPBurstierThanPoisson(t *testing.T) {
+	// The MMPP's interarrival coefficient of variation must exceed the
+	// Poisson's (which is 1).
+	m := &MMPP{Lambda1: 0.05, Lambda2: 2.0, Sojourn1: 500, Sojourn2: 500}
+	rng := stats.NewRNG(3)
+	var sum stats.Summary
+	for i := 0; i < 200000; i++ {
+		sum.Add(m.Next(rng))
+	}
+	cv := sum.StdDev() / sum.Mean()
+	if cv < 1.2 {
+		t.Fatalf("MMPP CV = %g, want clearly above 1", cv)
+	}
+}
+
+func TestGeneratorDeterministicTraces(t *testing.T) {
+	gen, err := NewGenerator(NewPoissonPerMinute(30), 50, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := gen.Generate(3600, 7)
+	b := gen.Generate(3600, 7)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("same seed gave different trace lengths")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatal("same seed gave different traces")
+		}
+	}
+	c := gen.Generate(3600, 8)
+	if len(a.Requests) == len(c.Requests) {
+		same := true
+		for i := range a.Requests {
+			if a.Requests[i] != c.Requests[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds gave identical traces")
+		}
+	}
+}
+
+func TestGeneratorRateAndMeta(t *testing.T) {
+	gen, err := NewGenerator(NewPoissonPerMinute(30), 40, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.Generate(2*3600, 1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Expect ≈ 3600 requests over 2 h at 30/min.
+	if len(tr.Requests) < 3200 || len(tr.Requests) > 4000 {
+		t.Fatalf("trace has %d requests, want ≈ 3600", len(tr.Requests))
+	}
+	if tr.Meta.Videos != 40 || tr.Meta.Theta != 0.6 || tr.Meta.Seed != 1 ||
+		tr.Meta.Process != "poisson" || tr.Meta.Duration != 2*3600 {
+		t.Fatalf("meta %+v", tr.Meta)
+	}
+	counts := tr.VideoCounts()
+	if len(counts) != 40 {
+		t.Fatalf("video counts length %d", len(counts))
+	}
+	if counts[0] <= counts[39] {
+		t.Fatal("Zipf head not hotter than tail")
+	}
+}
+
+func TestGeneratorRejectsBadParams(t *testing.T) {
+	if _, err := NewGenerator(NewPoissonPerMinute(30), 0, 0.6); err == nil {
+		t.Fatal("zero videos accepted")
+	}
+	if _, err := NewGenerator(NewPoissonPerMinute(30), 5, -1); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+}
+
+func TestTraceSaveLoadRoundtrip(t *testing.T) {
+	gen, err := NewGenerator(NewPoissonPerMinute(10), 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.Generate(600, 3)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != len(tr.Requests) || got.Meta != tr.Meta {
+		t.Fatal("roundtrip lost data")
+	}
+	for i := range got.Requests {
+		if got.Requests[i] != tr.Requests[i] {
+			t.Fatal("roundtrip corrupted requests")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"requests":[{"t":5,"v":0},{"t":1,"v":0}],"meta":{"videos":2}}`)); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"requests":[{"t":1,"v":9}],"meta":{"videos":2}}`)); err == nil {
+		t.Fatal("out-of-catalog video accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"requests":[{"t":-1,"v":0}],"meta":{"videos":2}}`)); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}
+
+func TestVideoCountsExpandsBeyondMeta(t *testing.T) {
+	tr := &Trace{Requests: []Request{{Time: 1, Video: 7}}, Meta: TraceMeta{Videos: 3}}
+	counts := tr.VideoCounts()
+	if len(counts) != 8 || counts[7] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestEstimateThetaRecoversSkew(t *testing.T) {
+	for _, theta := range []float64{0.25, 0.5, 0.75, 1.0} {
+		gen, err := NewGenerator(NewPoissonPerMinute(2000), 100, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := gen.Generate(3600, 5) // ~120k requests: tight empirical ranks
+		got, err := EstimateTheta(tr.VideoCounts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-theta) > 0.1 {
+			t.Fatalf("θ=%g estimated as %g", theta, got)
+		}
+	}
+}
+
+func TestEstimateThetaUniform(t *testing.T) {
+	counts := make([]int, 50)
+	for i := range counts {
+		counts[i] = 100
+	}
+	got, err := EstimateTheta(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.02 {
+		t.Fatalf("uniform counts estimated as θ=%g", got)
+	}
+}
+
+func TestEstimateThetaValidation(t *testing.T) {
+	if _, err := EstimateTheta([]int{5, 3}); err == nil {
+		t.Fatal("two videos accepted")
+	}
+	if _, err := EstimateTheta([]int{0, 0, 0}); err == nil {
+		t.Fatal("all-zero counts accepted")
+	}
+	if _, err := EstimateTheta([]int{9, 0, 5, 0, 2}); err != nil {
+		t.Fatalf("zero-count holes must be tolerated: %v", err)
+	}
+}

@@ -1,0 +1,26 @@
+package zipf_test
+
+import (
+	"fmt"
+
+	"vodcluster/internal/zipf"
+)
+
+// With the classical skew θ = 1, the head of a 100-title catalog dominates:
+// the top ten titles draw more than half of all requests.
+func ExampleDistribution_TopMass() {
+	d := zipf.MustNew(100, 1)
+	fmt.Printf("top-1: %.3f, top-10: %.3f\n", d.TopMass(1), d.TopMass(10))
+	// Output: top-1: 0.193, top-10: 0.565
+}
+
+// Partition splits a popularity range into intervals whose widths follow a
+// Zipf law — the geometry behind the paper's Zipf-interval replication.
+func ExamplePartition() {
+	bounds := zipf.Partition(1, 4, 1)
+	for _, z := range bounds {
+		fmt.Printf("%.2f ", z)
+	}
+	fmt.Println()
+	// Output: 1.00 0.52 0.28 0.12 0.00
+}

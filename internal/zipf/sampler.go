@@ -1,0 +1,96 @@
+package zipf
+
+import (
+	"fmt"
+
+	"vodcluster/internal/stats"
+)
+
+// Sampler draws item indices from a fixed discrete distribution in O(1) per
+// sample using the Walker/Vose alias method. Construction is O(M).
+type Sampler struct {
+	probs []float64
+	prob  []float64
+	alias []int
+}
+
+// NewSampler builds an alias-method sampler for a Zipf-like distribution.
+func NewSampler(d *Distribution) *Sampler {
+	s, err := NewWeightedSampler(d.Probs())
+	if err != nil {
+		panic(err) // a Distribution's probabilities are always valid
+	}
+	return s
+}
+
+// NewWeightedSampler builds an alias-method sampler over an arbitrary
+// probability vector. The weights must be non-negative and sum to a positive
+// value; they are normalized internally.
+func NewWeightedSampler(weights []float64) (*Sampler, error) {
+	m := len(weights)
+	if m == 0 {
+		return nil, fmt.Errorf("zipf: sampler needs at least one weight")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("zipf: weight %d is negative (%g)", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("zipf: weights sum to zero")
+	}
+	s := &Sampler{probs: make([]float64, m), prob: make([]float64, m), alias: make([]int, m)}
+	scaled := make([]float64, m)
+	small := make([]int, 0, m)
+	large := make([]int, 0, m)
+	for i, w := range weights {
+		s.probs[i] = w / total
+		scaled[i] = s.probs[i] * float64(m)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, g := range large {
+		s.prob[g] = 1
+		s.alias[g] = g
+	}
+	for _, l := range small { // numerical leftovers
+		s.prob[l] = 1
+		s.alias[l] = l
+	}
+	return s, nil
+}
+
+// M returns the number of items the sampler draws from.
+func (s *Sampler) M() int { return len(s.prob) }
+
+// Prob returns the normalized probability of item i.
+func (s *Sampler) Prob(i int) float64 { return s.probs[i] }
+
+// Sample returns an index in [0, M) distributed according to the underlying
+// probabilities, using randomness from rng.
+func (s *Sampler) Sample(rng *stats.RNG) int {
+	i := rng.Intn(len(s.prob))
+	if rng.Float64() < s.prob[i] {
+		return i
+	}
+	return s.alias[i]
+}

@@ -1,0 +1,124 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+
+	"vodcluster/internal/stats"
+)
+
+func TestSamplerMatchesDistribution(t *testing.T) {
+	d := MustNew(20, 0.75)
+	s := NewSampler(d)
+	rng := stats.NewRNG(3)
+	const n = 500000
+	counts := make([]int, d.M())
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng)]++
+	}
+	for i := 0; i < d.M(); i++ {
+		emp := float64(counts[i]) / n
+		want := d.Prob(i)
+		// Binomial standard error is sqrt(p(1-p)/n); allow 5 sigma.
+		tol := 5 * math.Sqrt(want*(1-want)/n)
+		if math.Abs(emp-want) > tol {
+			t.Fatalf("rank %d: empirical %g vs %g (tol %g)", i, emp, want, tol)
+		}
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	d := MustNew(10, 0.5)
+	s := NewSampler(d)
+	a := stats.NewRNG(8)
+	b := stats.NewRNG(8)
+	for i := 0; i < 100; i++ {
+		if s.Sample(a) != s.Sample(b) {
+			t.Fatal("sampler not deterministic for equal rng state")
+		}
+	}
+}
+
+func TestWeightedSamplerValidation(t *testing.T) {
+	if _, err := NewWeightedSampler(nil); err == nil {
+		t.Fatal("empty weights must fail")
+	}
+	if _, err := NewWeightedSampler([]float64{1, -1}); err == nil {
+		t.Fatal("negative weight must fail")
+	}
+	if _, err := NewWeightedSampler([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights must fail")
+	}
+}
+
+func TestWeightedSamplerNormalizes(t *testing.T) {
+	s, err := NewWeightedSampler([]float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M() != 2 {
+		t.Fatalf("M = %d", s.M())
+	}
+	if math.Abs(s.Prob(0)-0.75) > 1e-12 || math.Abs(s.Prob(1)-0.25) > 1e-12 {
+		t.Fatalf("normalized probs = %g, %g", s.Prob(0), s.Prob(1))
+	}
+	rng := stats.NewRNG(4)
+	hits := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if s.Sample(rng) == 0 {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.75) > 0.01 {
+		t.Fatalf("item 0 sampled with frequency %g, want ≈ 0.75", p)
+	}
+}
+
+func TestWeightedSamplerZeroWeightItemNeverDrawn(t *testing.T) {
+	s, err := NewWeightedSampler([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(5)
+	for i := 0; i < 100000; i++ {
+		if s.Sample(rng) == 1 {
+			t.Fatal("zero-weight item was sampled")
+		}
+	}
+}
+
+func TestSamplerSingleItem(t *testing.T) {
+	s, err := NewWeightedSampler([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(6)
+	for i := 0; i < 100; i++ {
+		if s.Sample(rng) != 0 {
+			t.Fatal("single-item sampler returned nonzero index")
+		}
+	}
+}
+
+func BenchmarkSamplerSample(b *testing.B) {
+	s := NewSampler(MustNew(1000, 0.75))
+	rng := stats.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng)
+	}
+}
+
+func BenchmarkNewWeightedSampler(b *testing.B) {
+	d := MustNew(1000, 0.75)
+	probs := d.Probs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewWeightedSampler(probs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0.5); err == nil {
+		t.Fatal("New(0, .) must fail")
+	}
+	if _, err := New(-3, 0.5); err == nil {
+		t.Fatal("New(-3, .) must fail")
+	}
+	if _, err := New(10, -0.1); err == nil {
+		t.Fatal("negative skew must fail")
+	}
+	if _, err := New(10, 0.75); err != nil {
+		t.Fatalf("valid parameters rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with bad args did not panic")
+		}
+	}()
+	MustNew(0, 1)
+}
+
+func TestProbabilitiesNormalizedAndSorted(t *testing.T) {
+	for _, theta := range []float64{0, 0.271, 0.75, 1, 2} {
+		d := MustNew(50, theta)
+		sum := 0.0
+		for i := 0; i < d.M(); i++ {
+			p := d.Prob(i)
+			if p <= 0 {
+				t.Fatalf("θ=%g: p_%d = %g not positive", theta, i, p)
+			}
+			if i > 0 && p > d.Prob(i-1)+1e-15 {
+				t.Fatalf("θ=%g: probabilities not non-increasing at %d", theta, i)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("θ=%g: probabilities sum to %g", theta, sum)
+		}
+	}
+}
+
+func TestUniformWhenThetaZero(t *testing.T) {
+	d := MustNew(10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(d.Prob(i)-0.1) > 1e-12 {
+			t.Fatalf("θ=0 not uniform: p_%d = %g", i, d.Prob(i))
+		}
+	}
+}
+
+func TestClassicZipfRatios(t *testing.T) {
+	d := MustNew(100, 1)
+	// With θ = 1, p_1 / p_k = k.
+	for _, k := range []int{2, 5, 10} {
+		if got, want := d.Prob(0)/d.Prob(k-1), float64(k); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("p1/p%d = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestCDFAndTopMass(t *testing.T) {
+	d := MustNew(20, 0.75)
+	run := 0.0
+	for i := 0; i < d.M(); i++ {
+		run += d.Prob(i)
+		if math.Abs(d.CDF(i)-run) > 1e-9 {
+			t.Fatalf("CDF(%d) = %g, want %g", i, d.CDF(i), run)
+		}
+	}
+	if d.CDF(d.M()-1) != 1 {
+		t.Fatalf("CDF(M-1) = %g, want exactly 1", d.CDF(d.M()-1))
+	}
+	if d.TopMass(0) != 0 {
+		t.Fatal("TopMass(0) must be 0")
+	}
+	if d.TopMass(d.M()) != 1 || d.TopMass(d.M()+5) != 1 {
+		t.Fatal("TopMass(≥M) must be 1")
+	}
+	if got := d.TopMass(1); got != d.Prob(0) {
+		t.Fatalf("TopMass(1) = %g, want %g", got, d.Prob(0))
+	}
+}
+
+func TestSkewConcentratesMass(t *testing.T) {
+	lo := MustNew(100, 0.25)
+	hi := MustNew(100, 1)
+	if lo.TopMass(10) >= hi.TopMass(10) {
+		t.Fatalf("higher skew should concentrate more mass in the head: %g vs %g",
+			lo.TopMass(10), hi.TopMass(10))
+	}
+}
+
+func TestProbsCopy(t *testing.T) {
+	d := MustNew(5, 0.5)
+	p := d.Probs()
+	p[0] = 99
+	if d.Prob(0) == 99 {
+		t.Fatal("Probs() exposed internal state")
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if got := Harmonic(4, 0); got != 4 {
+		t.Fatalf("H_{4,0} = %g, want 4", got)
+	}
+	if got, want := Harmonic(3, 1), 1+0.5+1.0/3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("H_{3,1} = %g, want %g", got, want)
+	}
+}
+
+func TestPartitionBoundaries(t *testing.T) {
+	bounds := Partition(1, 4, 0.8)
+	if len(bounds) != 5 {
+		t.Fatalf("want 5 boundaries, got %d", len(bounds))
+	}
+	if bounds[0] != 1 || bounds[4] != 0 {
+		t.Fatalf("boundaries must span [total, 0]: %v", bounds)
+	}
+	for j := 1; j < len(bounds); j++ {
+		if bounds[j] > bounds[j-1]+1e-12 {
+			t.Fatalf("boundaries not non-increasing: %v", bounds)
+		}
+	}
+	// Interval widths follow 1/j^u: width_1 ≥ width_2 ≥ ... for u > 0.
+	for j := 1; j < 4; j++ {
+		w1 := bounds[j-1] - bounds[j]
+		w2 := bounds[j] - bounds[j+1]
+		if w1 < w2-1e-12 {
+			t.Fatalf("u>0 interval widths must be non-increasing: %v", bounds)
+		}
+	}
+}
+
+func TestPartitionNegativeSkewReverses(t *testing.T) {
+	bounds := Partition(1, 3, -1)
+	w1 := bounds[0] - bounds[1]
+	w3 := bounds[2] - bounds[3]
+	if w1 >= w3 {
+		t.Fatalf("u<0 should widen later intervals: widths %g .. %g", w1, w3)
+	}
+}
+
+func TestPartitionUniformAtZero(t *testing.T) {
+	bounds := Partition(2, 4, 0)
+	for j := 0; j < 4; j++ {
+		if w := bounds[j] - bounds[j+1]; math.Abs(w-0.5) > 1e-12 {
+			t.Fatalf("u=0 intervals not uniform: %v", bounds)
+		}
+	}
+}
+
+func TestPartitionPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Partition with n=0 did not panic")
+		}
+	}()
+	Partition(1, 0, 1)
+}
+
+// TestPartitionProperty: for arbitrary u and n, the boundaries are a
+// monotone partition of [0, total].
+func TestPartitionProperty(t *testing.T) {
+	f := func(uRaw int8, nRaw uint8) bool {
+		u := float64(uRaw) / 16
+		n := int(nRaw%16) + 1
+		bounds := Partition(10, n, u)
+		if len(bounds) != n+1 || bounds[0] != 10 || bounds[n] != 0 {
+			return false
+		}
+		for j := 1; j <= n; j++ {
+			if bounds[j] > bounds[j-1]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,8 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race cover bench figures examples fuzz clean
+.PHONY: all build test race cover bench figures examples fuzz clean ci fmt-check
 
 all: build test
+
+# Everything the CI workflow runs: formatting, build+vet, tests, race.
+ci: fmt-check build test race
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 
 build:
 	$(GO) build ./...

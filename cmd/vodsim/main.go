@@ -21,6 +21,7 @@ import (
 	"vodcluster/internal/core"
 	"vodcluster/internal/dynrep"
 	"vodcluster/internal/report"
+	"vodcluster/internal/resilience"
 	"vodcluster/internal/sim"
 )
 
@@ -55,6 +56,14 @@ func run() error {
 	mttrMin := flag.Float64("mttr", 30, "server mean time to repair (minutes), used with -mtbf")
 	streamLimit := flag.Int("stream-limit", 0, "max concurrent streams per server (disk bound); 0 = network only")
 	dynamic := flag.Bool("dynamic", false, "enable runtime dynamic replication (needs -backbone > 0)")
+	allResilience := flag.Bool("resilience", false, "enable every recovery mechanism (failover, retry, degrade, repair)")
+	failover := flag.Bool("failover", false, "re-admit streams torn down by failures onto surviving replicas")
+	retry := flag.Bool("retry", false, "queue rejected requests for retry with exponential backoff")
+	retryPatience := flag.Float64("retry-patience", 0, "seconds a queued request keeps retrying before reneging; 0 = default (120)")
+	degrade := flag.Bool("degrade", false, "serve a lower-rate copy when full-rate admission fails")
+	degradeFloor := flag.Float64("degrade-floor", 0, "minimum fraction of nominal rate for degraded service/failover; 0 = default (0.5)")
+	repair := flag.Bool("repair", false, "re-replicate under-replicated videos onto the least-loaded up server")
+	repairMinLive := flag.Int("repair-min-live", 0, "live-replica threshold that triggers a repair copy; 0 = default (2)")
 	flag.Parse()
 
 	if *scenarioPath != "" {
@@ -109,6 +118,18 @@ func run() error {
 	if *mtbfH > 0 {
 		cfg.Failures = &avail.FailureModel{MTBF: *mtbfH * core.Hour, MTTR: *mttrMin * core.Minute}
 	}
+	pol := resilience.Policy{
+		Failover:      *allResilience || *failover,
+		Retry:         *allResilience || *retry,
+		Degrade:       *allResilience || *degrade,
+		Repair:        *allResilience || *repair,
+		RetryPatience: *retryPatience,
+		DegradeFloor:  *degradeFloor,
+		RepairMinLive: *repairMinLive,
+	}
+	if pol.Enabled() {
+		cfg.Resilience = &pol
+	}
 	if *dynamic {
 		if p.BackboneBandwidth <= 0 {
 			return fmt.Errorf("-dynamic needs -backbone > 0 for replica migrations")
@@ -141,11 +162,29 @@ func run() error {
 		t.AddRowf("redirected requests", agg.Redirected.Mean(), agg.Redirected.CI95(),
 			agg.Redirected.Min(), agg.Redirected.Max())
 	}
-	if agg.Dropped.Max() > 0 {
+	if agg.Dropped.Max() > 0 || agg.Reneged.Max() > 0 {
 		t.AddRowf("dropped streams", agg.Dropped.Mean(), agg.Dropped.CI95(),
 			agg.Dropped.Min(), agg.Dropped.Max())
 		t.AddRowf("failure rate (%)", 100*agg.FailureRate.Mean(), 100*agg.FailureRate.CI95(),
 			100*agg.FailureRate.Min(), 100*agg.FailureRate.Max())
+	}
+	if agg.FailedOver.Max() > 0 {
+		t.AddRowf("failed-over streams", agg.FailedOver.Mean(), agg.FailedOver.CI95(),
+			agg.FailedOver.Min(), agg.FailedOver.Max())
+	}
+	if agg.Reneged.Max() > 0 {
+		t.AddRowf("reneged retries", agg.Reneged.Mean(), agg.Reneged.CI95(),
+			agg.Reneged.Min(), agg.Reneged.Max())
+	}
+	if agg.Degraded.Max() > 0 {
+		t.AddRowf("degraded sessions", agg.Degraded.Mean(), agg.Degraded.CI95(),
+			agg.Degraded.Min(), agg.Degraded.Max())
+		t.AddRowf("degradation ratio", agg.DegradationRatio.Mean(), agg.DegradationRatio.CI95(),
+			agg.DegradationRatio.Min(), agg.DegradationRatio.Max())
+	}
+	if agg.ReReplications.Max() > 0 {
+		t.AddRowf("repair copies", agg.ReReplications.Mean(), agg.ReReplications.CI95(),
+			agg.ReReplications.Min(), agg.ReReplications.Max())
 	}
 	if err := t.Fprint(os.Stdout); err != nil {
 		return err

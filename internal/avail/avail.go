@@ -61,6 +61,31 @@ func (f FailureModel) NextDowntime(rng *stats.RNG) float64 {
 	return rng.Exponential(1 / f.MTTR)
 }
 
+// FailureEvent is one scripted server failure for deterministic scenarios:
+// server Server fails at virtual time At and repairs Down seconds later.
+// Down <= 0 means the server stays down for the rest of the run. Scripted
+// events complement the stochastic FailureModel where a test or trace-replay
+// experiment needs exact, reproducible failure timing.
+type FailureEvent struct {
+	// At is the failure instant in virtual seconds.
+	At float64
+	// Server is the index of the failing server.
+	Server int
+	// Down is the repair delay in seconds; <= 0 disables repair.
+	Down float64
+}
+
+// Validate checks the event against a cluster of numServers servers.
+func (e FailureEvent) Validate(numServers int) error {
+	if e.At < 0 {
+		return fmt.Errorf("avail: failure time must be non-negative, got %g", e.At)
+	}
+	if e.Server < 0 || e.Server >= numServers {
+		return fmt.Errorf("avail: failure targets server %d of %d", e.Server, numServers)
+	}
+	return nil
+}
+
 // VideoUnavailability returns the steady-state probability that a video with
 // r replicas on servers with the given per-server unavailability u is
 // completely unreachable: u^r, assuming independent server failures (the

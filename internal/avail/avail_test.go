@@ -200,3 +200,18 @@ func TestDegreeForTarget(t *testing.T) {
 		}
 	}
 }
+
+func TestFailureEventValidate(t *testing.T) {
+	if err := (FailureEvent{At: 10, Server: 0, Down: 60}).Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := (FailureEvent{At: -1, Server: 0}).Validate(4); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	if err := (FailureEvent{At: 0, Server: 4}).Validate(4); err == nil {
+		t.Fatal("out-of-range server accepted")
+	}
+	if err := (FailureEvent{At: 0, Server: -1}).Validate(4); err == nil {
+		t.Fatal("negative server accepted")
+	}
+}

@@ -20,9 +20,18 @@ func TestFailServerDropsItsStreams(t *testing.T) {
 		t.Fatal("admit failed")
 	}
 
-	dropped := st.FailServer(0)
-	if dropped != 2 {
-		t.Fatalf("dropped %d streams, want 2", dropped)
+	torn := st.FailServer(0)
+	if len(torn) != 2 {
+		t.Fatalf("dropped %d streams, want 2", len(torn))
+	}
+	// Teardown is reported in admission order with the stream records intact.
+	for i, tr := range torn {
+		if i > 0 && torn[i-1].ID >= tr.ID {
+			t.Fatal("torn streams not in admission order")
+		}
+		if tr.Video != 1 || tr.Server != 0 {
+			t.Fatalf("torn stream %d records %+v, want video 1 on server 0", i, tr.Stream)
+		}
 	}
 	if st.Up(0) {
 		t.Fatal("server still up after FailServer")
@@ -59,13 +68,13 @@ func TestFailServerDropsItsStreams(t *testing.T) {
 
 func TestFailServerIdempotentAndBounds(t *testing.T) {
 	st := newState(t, 0)
-	if st.FailServer(0) != 0 {
+	if len(st.FailServer(0)) != 0 {
 		t.Fatal("failing an idle server dropped streams")
 	}
-	if st.FailServer(0) != 0 {
+	if len(st.FailServer(0)) != 0 {
 		t.Fatal("double failure dropped streams")
 	}
-	if st.FailServer(-1) != 0 || st.FailServer(99) != 0 {
+	if len(st.FailServer(-1)) != 0 || len(st.FailServer(99)) != 0 {
 		t.Fatal("out-of-range failure did something")
 	}
 	st.RestoreServer(-1) // must not panic
@@ -79,8 +88,8 @@ func TestFailServerTearsDownRedirectedSources(t *testing.T) {
 	if !ok {
 		t.Fatal("redirected admit failed")
 	}
-	if dropped := st.FailServer(0); dropped != 1 {
-		t.Fatalf("source failure dropped %d, want 1", dropped)
+	if torn := st.FailServer(0); len(torn) != 1 || !torn[0].Redirected {
+		t.Fatalf("source failure tore down %v, want the one redirected stream", torn)
 	}
 	if _, ok := st.Lookup(id); ok {
 		t.Fatal("redirected stream survived its source's failure")

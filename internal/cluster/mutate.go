@@ -25,8 +25,29 @@ func (st *State) Replicas(v int) int { return len(st.holders[v]) }
 // AddReplica places a new replica of video v on server s at runtime. The
 // server must be up, must not already hold the video, and must have storage
 // room. The cursor arithmetic of the static round-robin scheduler adapts
-// automatically to the longer holder list.
+// automatically to the longer holder list. States running WithCopyRates
+// must use AddReplicaRate so the new copy gets an encoding rate.
 func (st *State) AddReplica(v, s int) error {
+	if st.copyRates != nil {
+		return fmt.Errorf("cluster: per-copy rates configured; use AddReplicaRate")
+	}
+	return st.addReplica(v, s, 0)
+}
+
+// AddReplicaRate places a new replica of video v on server s with an
+// explicit encoding rate in bits/s — the WithCopyRates counterpart of
+// AddReplica, charging rate·duration/8 bytes of storage for the new copy.
+func (st *State) AddReplicaRate(v, s int, rate float64) error {
+	if st.copyRates == nil {
+		return fmt.Errorf("cluster: no per-copy rates configured; use AddReplica")
+	}
+	if rate <= 0 {
+		return fmt.Errorf("cluster: copy rate must be positive, got %g", rate)
+	}
+	return st.addReplica(v, s, rate)
+}
+
+func (st *State) addReplica(v, s int, rate float64) error {
 	if v < 0 || v >= st.p.M() {
 		return fmt.Errorf("cluster: no video %d", v)
 	}
@@ -42,6 +63,9 @@ func (st *State) AddReplica(v, s int) error {
 		return fmt.Errorf("cluster: server %d already holds video %d", s, v)
 	}
 	size := st.p.Catalog[v].SizeBytes()
+	if rate > 0 {
+		size = rate * st.p.Catalog[v].Duration / 8
+	}
 	if st.StorageFree(s) < size-1e-6 {
 		return fmt.Errorf("cluster: server %d lacks %g bytes for video %d", s, size, v)
 	}
@@ -50,6 +74,9 @@ func (st *State) AddReplica(v, s int) error {
 	holders[i] = s
 	st.holders[v] = holders
 	st.storageUsed[s] += size
+	if st.copyRates != nil {
+		st.copyRates[v][s] = rate
+	}
 	return nil
 }
 
@@ -70,7 +97,13 @@ func (st *State) RemoveReplica(v, s int) error {
 		return fmt.Errorf("cluster: refusing to remove the last replica of video %d", v)
 	}
 	st.holders[v] = append(holders[:i], holders[i+1:]...)
-	st.storageUsed[s] -= st.p.Catalog[v].SizeBytes()
+	size := st.p.Catalog[v].SizeBytes()
+	if st.copyRates != nil {
+		// Per-copy rates charge rate·duration/8 per copy; refund the same.
+		size = st.copyRates[v][s] * st.p.Catalog[v].Duration / 8
+		st.copyRates[v][s] = 0
+	}
+	st.storageUsed[s] -= size
 	if st.storageUsed[s] < 0 {
 		st.storageUsed[s] = 0
 	}
@@ -95,5 +128,31 @@ func (st *State) ReleaseBackbone(bps float64) {
 	st.backboneUsed -= bps
 	if st.backboneUsed < 0 {
 		st.backboneUsed = 0
+	}
+}
+
+// ReserveOutgoing claims bps of server s's outgoing bandwidth for a
+// non-stream load — e.g. sourcing a re-replication copy on a cluster with
+// no internal backbone — and reports whether it fit. The reservation is
+// visible to admission control and load sampling like any stream's usage.
+func (st *State) ReserveOutgoing(s int, bps float64) bool {
+	if s < 0 || s >= st.p.N() || bps <= 0 || !st.up[s] {
+		return false
+	}
+	if st.FreeBandwidth(s) < bps-1e-6 {
+		return false
+	}
+	st.usedBW[s] += bps
+	return true
+}
+
+// ReleaseOutgoing returns outgoing bandwidth claimed with ReserveOutgoing.
+func (st *State) ReleaseOutgoing(s int, bps float64) {
+	if s < 0 || s >= st.p.N() || bps <= 0 {
+		return
+	}
+	st.usedBW[s] -= bps
+	if st.usedBW[s] < 0 {
+		st.usedBW[s] = 0
 	}
 }

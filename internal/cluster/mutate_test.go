@@ -95,6 +95,123 @@ func TestStorageAccounting(t *testing.T) {
 	}
 }
 
+func TestOutgoingReservation(t *testing.T) {
+	st := newState(t, 0)
+	if st.ReserveOutgoing(0, 0) || st.ReserveOutgoing(-1, core.Mbps) || st.ReserveOutgoing(9, core.Mbps) {
+		t.Fatal("degenerate reservation accepted")
+	}
+	if !st.ReserveOutgoing(0, 8*core.Mbps) {
+		t.Fatal("reservation within the link refused")
+	}
+	// 2 Mb/s left on the 10 Mb/s link: a 4 Mb/s stream no longer fits.
+	if _, ok := st.Admit(1, FirstAvailable{}); ok {
+		t.Fatal("admission ignored the outgoing reservation")
+	}
+	if st.ReserveOutgoing(0, 4*core.Mbps) {
+		t.Fatal("over-reservation accepted")
+	}
+	st.ReleaseOutgoing(0, 8*core.Mbps)
+	if st.UsedBandwidth(0) != 0 {
+		t.Fatalf("used bandwidth %g after release", st.UsedBandwidth(0))
+	}
+	st.ReleaseOutgoing(0, core.Gbps) // over-release clamps
+	if st.UsedBandwidth(0) != 0 {
+		t.Fatal("over-release corrupted accounting")
+	}
+	st.FailServer(0)
+	if st.ReserveOutgoing(0, core.Mbps) {
+		t.Fatal("reservation on a down server accepted")
+	}
+}
+
+func TestAdmitDirect(t *testing.T) {
+	st := newState(t, 0)
+	// Server 1 holds no copy of v1.
+	if _, ok := st.AdmitDirect(1, 1); ok {
+		t.Fatal("admitted onto a non-holder")
+	}
+	if _, ok := st.AdmitDirect(-1, 0); ok {
+		t.Fatal("bad video accepted")
+	}
+	if _, ok := st.AdmitDirect(0, 9); ok {
+		t.Fatal("bad server accepted")
+	}
+	id, ok := st.AdmitDirect(1, 0)
+	if !ok {
+		t.Fatal("direct admission onto the holder failed")
+	}
+	if s, _ := st.Lookup(id); s.Server != 0 || s.Redirected {
+		t.Fatalf("direct admission produced %+v", s)
+	}
+	st.FailServer(0)
+	if _, ok := st.AdmitDirect(1, 0); ok {
+		t.Fatal("admitted onto a down server")
+	}
+}
+
+func TestNominalRate(t *testing.T) {
+	st := newState(t, 0)
+	if got := st.NominalRate(0); got != 4*core.Mbps {
+		t.Fatalf("nominal rate %g, want the catalog's 4 Mb/s", got)
+	}
+	// Per-copy rates: the nominal rate is the best copy's.
+	p, l := testProblem(t, 0), testLayout(t)
+	rates := [][]float64{
+		{2 * core.Mbps, 6 * core.Mbps},
+		{4 * core.Mbps, 0},
+		{0, 2 * core.Mbps},
+	}
+	rs, err := New(p, l, WithCopyRates(rates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.NominalRate(0); got != 6*core.Mbps {
+		t.Fatalf("copy-rate nominal %g, want 6 Mb/s", got)
+	}
+}
+
+func TestAddReplicaRate(t *testing.T) {
+	p, l := testProblem(t, 0), testLayout(t)
+	rates := [][]float64{
+		{2 * core.Mbps, 2 * core.Mbps},
+		{4 * core.Mbps, 0},
+		{0, 4 * core.Mbps},
+	}
+	shared := make([][]float64, len(rates))
+	for v := range rates {
+		shared[v] = append([]float64(nil), rates[v]...)
+	}
+	st, err := New(p, l, WithCopyRates(shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddReplica(1, 1); err == nil {
+		t.Fatal("AddReplica accepted on a copy-rate state")
+	}
+	if err := st.AddReplicaRate(1, 1, 0); err == nil {
+		t.Fatal("non-positive rate accepted")
+	}
+	// Evict v0's 2 Mb/s copy from server 1 and add v1 there at 2 Mb/s.
+	if err := st.RemoveReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddReplicaRate(1, 1, 2*core.Mbps); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.RateOf(1, 1); got != 2*core.Mbps {
+		t.Fatalf("new copy's rate %g, want 2 Mb/s", got)
+	}
+	// The caller's matrix must be untouched (states deep-copy the rates).
+	if shared[1][1] != 0 || shared[0][1] != 2*core.Mbps {
+		t.Fatal("state mutation leaked into the caller's rate matrix")
+	}
+	// Plain states reject the rate-carrying variant.
+	plain := newState(t, 0)
+	if err := plain.AddReplicaRate(1, 1, 2*core.Mbps); err == nil {
+		t.Fatal("AddReplicaRate accepted without per-copy rates")
+	}
+}
+
 func TestBackboneReservation(t *testing.T) {
 	st := newState(t, 10*core.Mbps)
 	if st.ReserveBackbone(0) {

@@ -15,6 +15,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"vodcluster/internal/core"
 )
@@ -166,6 +167,13 @@ func (st *State) validateCopyRates(layout *core.Layout) error {
 		}
 	}
 	st.storageUsed = used
+	// Runtime mutation (AddReplicaRate, RemoveReplica) edits the matrix, and
+	// parallel replications share the caller's slice — keep a private copy.
+	rates := make([][]float64, len(st.copyRates))
+	for v := range st.copyRates {
+		rates[v] = append([]float64(nil), st.copyRates[v]...)
+	}
+	st.copyRates = rates
 	return nil
 }
 
@@ -176,6 +184,28 @@ func (st *State) RateOf(v, s int) float64 {
 		return st.copyRates[v][s]
 	}
 	return st.p.Catalog[v].BitRate
+}
+
+// HasCopyRates reports whether the state runs with per-copy encoding rates
+// (WithCopyRates). It decides which replica-addition entry point applies:
+// AddReplicaRate with rates, AddReplica without.
+func (st *State) HasCopyRates() bool { return st.copyRates != nil }
+
+// NominalRate returns the full-quality rate of video v: the catalog rate,
+// or — under WithCopyRates, where the catalog field is ignored — the highest
+// rate among the video's current copies. It is the reference degradation
+// floors are relative to.
+func (st *State) NominalRate(v int) float64 {
+	if st.copyRates == nil {
+		return st.p.Catalog[v].BitRate
+	}
+	max := 0.0
+	for _, r := range st.copyRates[v] {
+		if r > max {
+			max = r
+		}
+	}
+	return max
 }
 
 // Problem returns the problem this state was built for.
@@ -225,24 +255,38 @@ func (st *State) CanServe(s, v int) bool {
 // Up reports whether server s is alive.
 func (st *State) Up(s int) bool { return st.up[s] }
 
+// Torn is one stream torn down by a server failure: its last known record
+// plus the handle it was admitted under (now released).
+type Torn struct {
+	ID StreamID
+	Stream
+}
+
 // FailServer marks server s failed and tears down every stream it was
 // serving — both streams using its outgoing link and redirected streams
-// sourced from its replicas. It returns the number of streams dropped.
+// sourced from its replicas. It returns the torn-down streams in admission
+// order so recovery policies (session failover) can try to re-admit them.
 // Failing an already-failed server is a no-op.
-func (st *State) FailServer(s int) int {
+func (st *State) FailServer(s int) []Torn {
 	if s < 0 || s >= st.p.N() || !st.up[s] {
-		return 0
+		return nil
 	}
 	st.up[s] = false
-	dropped := 0
+	var torn []Torn
 	for id, stream := range st.streams {
 		if stream.Server == s || stream.Source == s {
-			if err := st.Release(id); err == nil {
-				dropped++
-			}
+			torn = append(torn, Torn{ID: id, Stream: stream})
 		}
 	}
-	return dropped
+	// Map iteration order is random; admission order (IDs are monotone)
+	// keeps teardown and any failover deterministic.
+	sort.Slice(torn, func(i, j int) bool { return torn[i].ID < torn[j].ID })
+	for _, t := range torn {
+		if err := st.Release(t.ID); err != nil {
+			panic(err) // ids were just read from the live map
+		}
+	}
+	return torn
 }
 
 // RestoreServer brings a failed server back. Its replicas become servable
@@ -269,7 +313,28 @@ func (st *State) UpServers() int {
 // charges the resources and returns the stream handle. ok is false on
 // rejection.
 func (st *State) Admit(v int, sched Scheduler) (StreamID, bool) {
-	d := sched.Schedule(st, v)
+	return st.admit(v, sched.Schedule(st, v))
+}
+
+// AdmitDirect admits one stream of video v served directly by replica
+// holder s, bypassing the scheduling policy — the entry point session
+// failover and other recovery mechanisms use. It performs the same capacity
+// checks as Admit and additionally refuses servers that hold no copy of v.
+func (st *State) AdmitDirect(v, s int) (StreamID, bool) {
+	if v < 0 || v >= st.p.M() || s < 0 || s >= st.p.N() {
+		return 0, false
+	}
+	holders := st.holders[v]
+	i := sort.SearchInts(holders, s)
+	if i >= len(holders) || holders[i] != s {
+		return 0, false
+	}
+	return st.admit(v, Direct(s))
+}
+
+// admit applies an accepting decision, charging resources after defensive
+// capacity re-checks.
+func (st *State) admit(v int, d Decision) (StreamID, bool) {
 	if !d.Accept {
 		return 0, false
 	}

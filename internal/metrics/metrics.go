@@ -23,6 +23,14 @@ type Collector struct {
 	redirects int
 	dropped   int
 
+	failedOver     int
+	retried        int
+	retrySucceeded int
+	reneged        int
+	degraded       int
+	rereplications int
+	degradeRatio   stats.Summary // delivered/nominal over degraded admissions
+
 	servedPerServer []int
 
 	imbMax  stats.Summary // Eq. 2 on sampled outgoing bandwidth
@@ -78,6 +86,49 @@ func (c *Collector) Drop(n int) {
 	c.dropped += n
 }
 
+// FailOver records n interrupted streams salvaged onto a surviving replica.
+// Failed-over streams are not dropped and not re-counted as requests.
+func (c *Collector) FailOver(n int) {
+	c.failedOver += n
+}
+
+// RetryEnqueued records a rejected arrival entering the retry queue instead
+// of counting as a rejection. The arrival is not yet a settled request: it
+// is counted in Requests when it resolves — by Request on eventual
+// admission, or by Renege on giving up — so each arrival counts exactly once.
+func (c *Collector) RetryEnqueued() {
+	c.retried++
+}
+
+// RetrySuccess records a queued retry finally admitted; the admission itself
+// is reported through Request by the caller, so this only counts the
+// retry-path outcome.
+func (c *Collector) RetrySuccess() {
+	c.retrySucceeded++
+}
+
+// Renege records a queued retry abandoning the system after exhausting its
+// patience — a user-visible service failure distinct from an instant reject.
+// It settles the arrival deferred by RetryEnqueued, so it counts a request.
+func (c *Collector) Renege() {
+	c.requests++
+	c.reneged++
+}
+
+// Degrade records an admission served from a lower-rate copy: delivered and
+// nominal are the served and full-quality encoding rates in bits/s.
+func (c *Collector) Degrade(delivered, nominal float64) {
+	c.degraded++
+	if nominal > 0 {
+		c.degradeRatio.Add(delivered / nominal)
+	}
+}
+
+// ReReplications records n repair copies that completed during the run.
+func (c *Collector) ReReplications(n int) {
+	c.rereplications += n
+}
+
 // ObserveSessionRate records the encoding rate (bits/s) of an accepted
 // session — the delivered-quality metric of the scalable-bit-rate runtime.
 func (c *Collector) ObserveSessionRate(bps float64) {
@@ -129,12 +180,22 @@ func (c *Collector) Result() Result {
 		MeanUtilization: c.utilization.Mean(),
 		PeakConcurrent:  c.peakConcurrent,
 	}
+	r.FailedOver = c.failedOver
+	r.Retried = c.retried
+	r.RetrySucceeded = c.retrySucceeded
+	r.Reneged = c.reneged
+	r.Degraded = c.degraded
+	r.ReReplications = c.rereplications
+	r.DegradationRatio = 1.0
+	if c.degradeRatio.N() > 0 {
+		r.DegradationRatio = c.degradeRatio.Mean()
+	}
 	r.MeanSessionRateMbps = c.sessionRate.Mean() / 1e6
 	if c.requests > 0 {
 		r.RejectionRate = float64(c.rejected) / float64(c.requests)
-		// Failure rate counts both turned-away and torn-down sessions —
-		// the user-visible service failures.
-		r.FailureRate = float64(c.rejected+c.dropped) / float64(c.requests)
+		// Failure rate counts turned-away, reneged, and torn-down sessions —
+		// every user-visible service failure.
+		r.FailureRate = float64(c.rejected+c.reneged+c.dropped) / float64(c.requests)
 	}
 	return r
 }
@@ -147,10 +208,21 @@ type Result struct {
 	Redirected int
 	// Dropped counts streams torn down mid-playback by server failures.
 	Dropped int
+	// FailedOver counts interrupted streams salvaged onto surviving replicas;
+	// Retried counts rejected arrivals that entered the retry queue, of which
+	// RetrySucceeded were eventually admitted and Reneged gave up.
+	FailedOver, Retried, RetrySucceeded, Reneged int
+	// Degraded counts admissions served from a lower-rate copy;
+	// DegradationRatio is the mean delivered/nominal encoding-rate ratio over
+	// those admissions (1 when nothing was degraded).
+	Degraded         int
+	DegradationRatio float64
+	// ReReplications counts repair copies completed during the run.
+	ReReplications int
 	// RejectionRate is Rejected / Requests.
 	RejectionRate float64
-	// FailureRate is (Rejected + Dropped) / Requests — every way a client
-	// fails to receive its full video.
+	// FailureRate is (Rejected + Reneged + Dropped) / Requests — every way a
+	// client fails to receive its full video.
 	FailureRate float64
 	// ServedPerServer counts accepted requests per outgoing server.
 	ServedPerServer []int
@@ -178,26 +250,36 @@ type Result struct {
 	MeanSessionRateMbps float64
 }
 
-// String summarizes the run.
+// String summarizes the run; resilience counters appear only when exercised.
 func (r Result) String() string {
-	return fmt.Sprintf("requests=%d rejected=%d (%.2f%%) redirected=%d L_avg=%.3f L_peak=%.3f util=%.2f",
+	s := fmt.Sprintf("requests=%d rejected=%d (%.2f%%) redirected=%d L_avg=%.3f L_peak=%.3f util=%.2f",
 		r.Requests, r.Rejected, 100*r.RejectionRate, r.Redirected, r.ImbalanceAvg, r.ImbalancePeak, r.MeanUtilization)
+	if r.FailedOver > 0 || r.Retried > 0 || r.Degraded > 0 || r.ReReplications > 0 {
+		s += fmt.Sprintf(" failover=%d retried=%d/%d reneged=%d degraded=%d (ratio %.2f) rerepl=%d",
+			r.FailedOver, r.RetrySucceeded, r.Retried, r.Reneged, r.Degraded, r.DegradationRatio, r.ReReplications)
+	}
+	return s
 }
 
 // Aggregate summarizes the same metric across replicated runs.
 type Aggregate struct {
 	// RejectionRate, ImbalanceAvg, ImbalancePeak, MeanUtilization, and
 	// Redirected aggregate the per-run values of the same name.
-	RejectionRate   stats.Summary
-	FailureRate     stats.Summary
-	Dropped         stats.Summary
-	SessionRateMbps stats.Summary
-	ImbalanceAvg    stats.Summary
-	ImbalancePeak   stats.Summary
-	ImbalanceCVAvg  stats.Summary
-	ImbalanceCapAvg stats.Summary
-	MeanUtilization stats.Summary
-	Redirected      stats.Summary
+	RejectionRate    stats.Summary
+	FailureRate      stats.Summary
+	Dropped          stats.Summary
+	FailedOver       stats.Summary
+	Reneged          stats.Summary
+	Degraded         stats.Summary
+	DegradationRatio stats.Summary
+	ReReplications   stats.Summary
+	SessionRateMbps  stats.Summary
+	ImbalanceAvg     stats.Summary
+	ImbalancePeak    stats.Summary
+	ImbalanceCVAvg   stats.Summary
+	ImbalanceCapAvg  stats.Summary
+	MeanUtilization  stats.Summary
+	Redirected       stats.Summary
 }
 
 // Add folds one run's result into the aggregate.
@@ -205,6 +287,11 @@ func (a *Aggregate) Add(r Result) {
 	a.RejectionRate.Add(r.RejectionRate)
 	a.FailureRate.Add(r.FailureRate)
 	a.Dropped.Add(float64(r.Dropped))
+	a.FailedOver.Add(float64(r.FailedOver))
+	a.Reneged.Add(float64(r.Reneged))
+	a.Degraded.Add(float64(r.Degraded))
+	a.DegradationRatio.Add(r.DegradationRatio)
+	a.ReReplications.Add(float64(r.ReReplications))
 	a.SessionRateMbps.Add(r.MeanSessionRateMbps)
 	a.ImbalanceAvg.Add(r.ImbalanceAvg)
 	a.ImbalancePeak.Add(r.ImbalancePeak)

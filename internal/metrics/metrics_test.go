@@ -84,6 +84,77 @@ func TestResultString(t *testing.T) {
 	}
 }
 
+func TestCollectorResilienceCounters(t *testing.T) {
+	c := NewUniformCollector(2, core.Gbps)
+	// Two plain accepts, one instant reject.
+	c.Request(0, true, false)
+	c.Request(1, true, false)
+	c.Request(-1, false, false)
+	// Two arrivals enter the retry queue: one is eventually admitted, one
+	// reneges. Only the settled outcomes count as requests.
+	c.RetryEnqueued()
+	c.RetryEnqueued()
+	c.RetrySuccess()
+	c.Request(0, true, false)
+	c.Renege()
+	// A failure drops one measured stream and fails over two more.
+	c.Drop(1)
+	c.FailOver(2)
+	// One admission is served at half rate; two repair copies complete.
+	c.Degrade(2e6, 4e6)
+	c.ReReplications(2)
+
+	r := c.Result()
+	if r.Requests != 5 {
+		t.Fatalf("requests %d, want 5 (each arrival settles once)", r.Requests)
+	}
+	if r.Accepted+r.Rejected+r.Reneged != r.Requests {
+		t.Fatalf("accounting leak: accepted %d + rejected %d + reneged %d != requests %d",
+			r.Accepted, r.Rejected, r.Reneged, r.Requests)
+	}
+	if r.Retried != 2 || r.RetrySucceeded != 1 || r.Reneged != 1 {
+		t.Fatalf("retry counters %d/%d/%d, want 2/1/1", r.Retried, r.RetrySucceeded, r.Reneged)
+	}
+	if r.Retried != r.RetrySucceeded+r.Reneged {
+		t.Fatal("retry queue did not drain")
+	}
+	if r.FailedOver != 2 || r.Dropped != 1 {
+		t.Fatalf("failover %d dropped %d, want 2/1", r.FailedOver, r.Dropped)
+	}
+	if r.Degraded != 1 || math.Abs(r.DegradationRatio-0.5) > 1e-12 {
+		t.Fatalf("degraded %d ratio %g, want 1/0.5", r.Degraded, r.DegradationRatio)
+	}
+	if r.ReReplications != 2 {
+		t.Fatalf("re-replications %d", r.ReReplications)
+	}
+	// FailureRate = (rejected 1 + reneged 1 + dropped 1) / 5.
+	if math.Abs(r.FailureRate-0.6) > 1e-12 {
+		t.Fatalf("failure rate %g, want 0.6", r.FailureRate)
+	}
+	// RejectionRate counts only instant rejects.
+	if math.Abs(r.RejectionRate-0.2) > 1e-12 {
+		t.Fatalf("rejection rate %g, want 0.2", r.RejectionRate)
+	}
+	s := r.String()
+	for _, frag := range []string{"failover=2", "retried=1/2", "reneged=1", "degraded=1", "rerepl=2"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestResultDegradationRatioDefaultsToOne(t *testing.T) {
+	c := NewUniformCollector(1, core.Gbps)
+	c.Request(0, true, false)
+	r := c.Result()
+	if r.DegradationRatio != 1 {
+		t.Fatalf("ratio %g with nothing degraded, want 1", r.DegradationRatio)
+	}
+	if strings.Contains(r.String(), "failover=") {
+		t.Fatalf("quiet run printed resilience counters: %q", r.String())
+	}
+}
+
 func TestAggregate(t *testing.T) {
 	var a Aggregate
 	a.Add(Result{RejectionRate: 0.1, ImbalanceAvg: 0.2, MeanUtilization: 0.5, Redirected: 3})

@@ -7,6 +7,7 @@ import (
 	"vodcluster/internal/cluster"
 	"vodcluster/internal/core"
 	"vodcluster/internal/metrics"
+	"vodcluster/internal/resilience"
 	"vodcluster/internal/stats"
 	"vodcluster/internal/workload"
 	"vodcluster/internal/zipf"
@@ -35,9 +36,11 @@ type Config struct {
 	SampleInterval float64
 	// Warmup discards measurements before this time (seconds): arrivals
 	// still happen and consume resources, but they are not counted and
-	// loads are not sampled. The paper measures the whole peak period
-	// (default 0); a warm-up removes the empty-cluster transient when
-	// steady-state figures are wanted.
+	// loads are not sampled. Sessions admitted before the warmup boundary
+	// stay unmeasured for their whole lifetime — a post-warmup failure
+	// dropping one does not count against FailureRate. The paper measures
+	// the whole peak period (default 0); a warm-up removes the
+	// empty-cluster transient when steady-state figures are wanted.
 	Warmup float64
 	// Seed drives all randomness of the run.
 	Seed int64
@@ -46,10 +49,21 @@ type Config struct {
 	Trace *workload.Trace
 	// Failures, when non-nil, injects server failures: each server follows
 	// an independent alternating exponential up/down process. A failing
-	// server tears down its active streams (counted as dropped) and its
-	// replicas become unreachable until repair. Failures are injected
-	// during the arrival window.
+	// server tears down its active streams (counted as dropped unless
+	// failover salvages them) and its replicas become unreachable until
+	// repair. Failures are injected during the arrival window.
 	Failures *avail.FailureModel
+	// FailAt schedules deterministic, scripted server failures in addition
+	// to (or instead of) the stochastic Failures model — the trace-replay
+	// analogue for failure injection. Events may target any virtual time;
+	// a non-positive Down leaves the server down for the rest of the run.
+	FailAt []avail.FailureEvent
+	// Resilience, when non-nil, enables the recovery mechanisms of
+	// internal/resilience: session failover, retry-with-backoff admission,
+	// graceful bitrate degradation, and re-replication repair. Each is
+	// individually toggleable; a policy with every toggle off (or a nil
+	// pointer) reproduces the paper-faithful baseline bit for bit.
+	Resilience *resilience.Policy
 	// StreamLimit caps concurrent streams per server (disk-I/O bound
 	// derived from internal/disk); 0 means network-only admission, the
 	// paper's model.
@@ -61,7 +75,9 @@ type Config struct {
 	// NewController, when non-nil, constructs a runtime controller for the
 	// run (a factory for the same reason as NewScheduler). The controller
 	// observes every arrival and ticks at its own cadence, and may mutate
-	// the cluster state — the hook dynamic replication plugs into.
+	// the cluster state — the hook dynamic replication plugs into. The
+	// repair mechanism runs its own tick loop, so a dynamic-replication
+	// controller and Resilience.Repair can coexist.
 	NewController func() Controller
 }
 
@@ -112,6 +128,19 @@ func Run(cfg Config) (metrics.Result, error) {
 		sample = 60
 	}
 
+	var pol resilience.Policy
+	if cfg.Resilience != nil {
+		pol = cfg.Resilience.WithDefaults()
+		if err := pol.Validate(); err != nil {
+			return zero, err
+		}
+	}
+	var degrader *resilience.Degrader
+	if pol.Degrade {
+		degrader = resilience.NewDegrader(sched, pol.DegradeFloor)
+		sched = degrader
+	}
+
 	eng := NewEngine()
 	capacities := make([]float64, p.N())
 	for s := range capacities {
@@ -119,6 +148,13 @@ func Run(cfg Config) (metrics.Result, error) {
 	}
 	col := metrics.NewCollector(capacities)
 	rng := stats.NewRNG(cfg.Seed)
+
+	var retrier *resilience.Retrier
+	if pol.Retry {
+		// A derived substream: enabling retry must not shift the arrival or
+		// failure randomness of the run.
+		retrier = resilience.NewRetrier(pol, rng.Derive(3))
+	}
 
 	var controller Controller
 	if cfg.NewController != nil {
@@ -130,23 +166,18 @@ func Run(cfg Config) (metrics.Result, error) {
 	}
 	warm := func(now float64) bool { return now >= cfg.Warmup }
 
-	admit := func(now float64, video int) {
-		if controller != nil {
-			controller.Observe(video)
+	// Per-session bookkeeping. endAt lets failover re-schedule a salvaged
+	// stream's departure at its original end time; measured marks sessions
+	// whose admission was counted, so later outcomes (drops, failovers)
+	// adjust the statistics only for sessions the statistics know about.
+	endAt := make(map[cluster.StreamID]float64)
+	measured := make(map[cluster.StreamID]bool)
+
+	departAfter := func(id cluster.StreamID, delay float64) {
+		if delay < 0 {
+			delay = 0
 		}
-		id, ok := st.Admit(video, sched)
-		if !ok {
-			if warm(now) {
-				col.Request(-1, false, false)
-			}
-			return
-		}
-		s, _ := st.Lookup(id)
-		if warm(now) {
-			col.Request(s.Server, true, s.Redirected)
-			col.ObserveSessionRate(s.Rate)
-		}
-		if err := eng.ScheduleAfter(p.Catalog[video].Duration, func(float64) {
+		if err := eng.ScheduleAfter(delay, func(float64) {
 			// A server failure may already have torn the stream down; a
 			// missing stream at departure time is expected then.
 			if _, ok := st.Lookup(id); ok {
@@ -154,8 +185,103 @@ func Run(cfg Config) (metrics.Result, error) {
 					panic(err) // release of a live stream cannot fail
 				}
 			}
+			delete(endAt, id)
+			delete(measured, id)
 		}); err != nil {
 			panic(err)
+		}
+	}
+
+	// startSession runs one admission attempt. counted tells whether this
+	// arrival belongs to the measurement window — fixed at arrival time, so
+	// a retry that settles after the warmup boundary stays unmeasured.
+	startSession := func(now float64, video int, counted bool) bool {
+		id, ok := st.Admit(video, sched)
+		if !ok {
+			return false
+		}
+		s, _ := st.Lookup(id)
+		if counted {
+			measured[id] = true
+			col.Request(s.Server, true, s.Redirected)
+			col.ObserveSessionRate(s.Rate)
+			if degrader != nil && degrader.LastDegraded() {
+				col.Degrade(s.Rate, st.NominalRate(video))
+			}
+		}
+		endAt[id] = now + p.Catalog[video].Duration
+		departAfter(id, p.Catalog[video].Duration)
+		return true
+	}
+
+	// retryLater re-queues one rejected arrival: wait the backed-off delay,
+	// attempt again, renege once the next delay would exhaust the patience.
+	var retryLater func(now float64, video, attempt int, waited float64, counted bool)
+	retryLater = func(now float64, video, attempt int, waited float64, counted bool) {
+		delay, ok := retrier.Delay(attempt, waited)
+		if !ok {
+			retrier.Resolve()
+			if counted {
+				col.Renege()
+			}
+			return
+		}
+		if err := eng.ScheduleAfter(delay, func(tt float64) {
+			if startSession(tt, video, counted) {
+				retrier.Resolve()
+				if counted {
+					col.RetrySuccess()
+				}
+				return
+			}
+			retryLater(tt, video, attempt+1, waited+delay, counted)
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	admit := func(now float64, video int) {
+		if controller != nil {
+			controller.Observe(video)
+		}
+		counted := warm(now)
+		if startSession(now, video, counted) {
+			return
+		}
+		if retrier != nil && retrier.TryEnqueue() {
+			if counted {
+				col.RetryEnqueued()
+			}
+			retryLater(now, video, 0, 0, counted)
+			return
+		}
+		if counted {
+			col.Request(-1, false, false)
+		}
+	}
+
+	// failServer tears down one server and settles every interrupted stream:
+	// failover onto a surviving replica when enabled and possible, a drop
+	// otherwise. Shared by the stochastic and the scripted failure paths.
+	failServer := func(now float64, s int) {
+		for _, t := range st.FailServer(s) {
+			end, wasMeasured := endAt[t.ID], measured[t.ID]
+			delete(endAt, t.ID)
+			delete(measured, t.ID)
+			if pol.Failover {
+				if nid, ok := resilience.TryFailover(st, t.Video, pol.DegradeFloor); ok {
+					endAt[nid] = end
+					if wasMeasured {
+						measured[nid] = true
+						col.FailOver(1)
+					}
+					departAfter(nid, end-now)
+					continue
+				}
+			}
+			if wasMeasured {
+				col.Drop(1)
+			}
 		}
 	}
 
@@ -200,8 +326,8 @@ func Run(cfg Config) (metrics.Result, error) {
 		nextArrival(0)
 	}
 
-	// Failure injection: one alternating up/down process per server, active
-	// during the arrival window.
+	// Stochastic failure injection: one alternating up/down process per
+	// server, active during the arrival window.
 	if cfg.Failures != nil {
 		f := *cfg.Failures
 		if err := f.Validate(); err != nil {
@@ -217,10 +343,7 @@ func Run(cfg Config) (metrics.Result, error) {
 					return
 				}
 				if err := eng.Schedule(at, func(tt float64) {
-					dropped := st.FailServer(s)
-					if warm(tt) {
-						col.Drop(dropped)
-					}
+					failServer(tt, s)
 					repairAt := tt + f.NextDowntime(failRNG)
 					if err := eng.Schedule(repairAt, func(rt float64) {
 						st.RestoreServer(s)
@@ -233,6 +356,26 @@ func Run(cfg Config) (metrics.Result, error) {
 				}
 			}
 			scheduleFailure(0)
+		}
+	}
+
+	// Scripted failure injection.
+	for _, ev := range cfg.FailAt {
+		ev := ev
+		if err := ev.Validate(p.N()); err != nil {
+			return zero, err
+		}
+		if err := eng.Schedule(ev.At, func(tt float64) {
+			failServer(tt, ev.Server)
+			if ev.Down > 0 {
+				if err := eng.ScheduleAfter(ev.Down, func(float64) {
+					st.RestoreServer(ev.Server)
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}); err != nil {
+			return zero, err
 		}
 	}
 
@@ -261,6 +404,34 @@ func Run(cfg Config) (metrics.Result, error) {
 		}
 	}
 
+	// Re-replication repair runs its own tick loop so it composes with any
+	// NewController (e.g. dynamic replication).
+	var repairer *resilience.Repairer
+	if pol.Repair {
+		repairer, err = resilience.NewRepairer(p, pol)
+		if err != nil {
+			return zero, err
+		}
+		interval := repairer.Interval()
+		schedule := func(delay float64, fn func(now float64)) {
+			if err := eng.ScheduleAfter(delay, fn); err != nil {
+				panic(err)
+			}
+		}
+		var repairTick func(now float64)
+		repairTick = func(now float64) {
+			repairer.Tick(now, st, schedule)
+			if now+interval <= duration {
+				if err := eng.ScheduleAfter(interval, repairTick); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if err := eng.Schedule(interval, repairTick); err != nil {
+			return zero, err
+		}
+	}
+
 	// Periodic load sampling across the arrival window.
 	var sampleTick func(now float64)
 	sampleTick = func(now float64) {
@@ -278,5 +449,8 @@ func Run(cfg Config) (metrics.Result, error) {
 	}
 
 	eng.RunAll()
+	if repairer != nil {
+		col.ReReplications(repairer.Completed())
+	}
 	return col.Result(), nil
 }

@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race cover bench figures examples fuzz clean ci fmt-check
+.PHONY: all build test race cover bench bench-smoke figures examples fuzz clean ci fmt-check
 
 all: build test
 
-# Everything the CI workflow runs: formatting, build+vet, tests, race.
-ci: fmt-check build test race
+# Everything the CI workflow runs: formatting, build+vet, tests, race,
+# and the one-iteration benchmark smoke pass.
+ci: fmt-check build test race bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -27,6 +28,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of the Fig. 4 benchmarks: catches bit-rot in the bench code
+# and the exp sweep harness without paying for a full benchmark run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=Fig4 -benchtime=1x .
 
 # Regenerate every paper figure (tables + ASCII charts + CSV series).
 figures:

@@ -20,6 +20,7 @@ import (
 	"vodcluster/internal/core"
 	"vodcluster/internal/disk"
 	"vodcluster/internal/dynrep"
+	"vodcluster/internal/exp"
 	"vodcluster/internal/sim"
 	"vodcluster/internal/workload"
 )
@@ -54,6 +55,52 @@ func BenchmarkFig4RejectionByDegree(b *testing.B) {
 				rej, _ = benchPoint(b, 0.75, degree, "zipf", "slf", 40, 3)
 			}
 			b.ReportMetric(100*rej, "reject%")
+		})
+	}
+}
+
+// BenchmarkFig4Sweep measures one Figure-4(a)-style sweep end to end on the
+// experiment harness — the quick grid (3 degrees × 3 arrival rates × 3
+// replications) — sequentially and with parallel workers. The CI bench-smoke
+// step runs this once per push, and BENCH_sweep.json records the wall clock
+// of the full vodbench figure.
+func BenchmarkFig4Sweep(b *testing.B) {
+	series := make([]exp.Series, 0, 3)
+	for _, degree := range []float64{1.0, 1.4, 2.0} {
+		s := config.Paper()
+		s.Degree = degree
+		p, layout, sched, err := vodcluster.Pipeline(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series = append(series, exp.Series{
+			Name: fmt.Sprintf("deg %.1f", degree),
+			Config: func(lam float64) (sim.Config, error) {
+				q := p.Clone()
+				q.ArrivalRate = lam / core.Minute
+				return sim.Config{Problem: q, Layout: layout, NewScheduler: sched}, nil
+			},
+		})
+	}
+	for _, workers := range []int{1, 0} {
+		name := "workers=max"
+		if workers == 1 {
+			name = "workers=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rej float64
+			for i := 0; i < b.N; i++ {
+				sweep := &exp.Sweep{
+					Xs: []float64{16, 32, 40}, Series: series,
+					Runs: 3, Seed: 42, Workers: workers,
+				}
+				grid, err := sweep.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rej = exp.RejectionPct(grid[0][2])
+			}
+			b.ReportMetric(rej, "reject%")
 		})
 	}
 }
@@ -242,6 +289,10 @@ func BenchmarkDynamicReplication(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	newManager, err := dynrep.NewFactory(p, dynrep.Options{IntervalSec: 300, MaxPerTick: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
 	var rej float64
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -253,13 +304,7 @@ func BenchmarkDynamicReplication(b *testing.B) {
 		}
 		res, err := sim.Run(sim.Config{
 			Problem: p, Layout: layout, Trace: shifted, Seed: int64(i),
-			NewController: func() sim.Controller {
-				m, err := dynrep.New(p, dynrep.Options{IntervalSec: 300, MaxPerTick: 4})
-				if err != nil {
-					b.Fatal(err)
-				}
-				return m
-			},
+			NewController: func() sim.Controller { return newManager() },
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -11,6 +11,7 @@ import (
 	"vodcluster/internal/core"
 	"vodcluster/internal/disk"
 	"vodcluster/internal/dynrep"
+	"vodcluster/internal/exp"
 	"vodcluster/internal/hierarchy"
 	"vodcluster/internal/place"
 	"vodcluster/internal/report"
@@ -25,42 +26,55 @@ import (
 // It reports the measured failure rate (rejected + dropped sessions) per
 // degree together with the analytic unavailable-request mass Σ p_i·u^{r_i}.
 func figureAvail(cfg benchConfig) error {
-	fmt.Println("\n=== Availability: session failure rate vs replication degree under server failures ===")
+	cfg.emit.Printf("\n=== Availability: session failure rate vs replication degree under server failures ===\n")
 	f := &avail.FailureModel{MTBF: 10 * core.Hour, MTTR: 30 * core.Minute}
-	fmt.Printf("failure model: MTBF %.1f h, MTTR %.0f min → server availability %.4f\n",
+	cfg.emit.Printf("failure model: MTBF %.1f h, MTTR %.0f min → server availability %.4f\n",
 		f.MTBF/core.Hour, f.MTTR/core.Minute, f.Availability())
 	degrees := degreeSweep
 	if cfg.quick {
 		degrees = degreeSweepQuick
 	}
-	t := report.NewTable("degree", "rejected %", "dropped/run", "failure rate %", "analytic unavailable %")
-	for _, degree := range degrees {
+	// The analytic column needs each degree's problem and layout; Config runs
+	// on the coordinating goroutine in x order, so stashing them is safe.
+	type cell struct {
+		p      *core.Problem
+		layout *core.Layout
+	}
+	cells := make([]cell, 0, len(degrees))
+	ser := exp.Series{Name: "availability", Config: func(degree float64) (sim.Config, error) {
 		s := config.Paper()
 		s.Degree = degree
 		s.LambdaPerMin = 32 // below saturation so failures, not capacity, dominate
 		p, layout, sched, err := vodcluster.Pipeline(s)
 		if err != nil {
-			return err
+			return sim.Config{}, err
 		}
-		agg, _, err := sim.RunMany(sim.Config{
-			Problem: p, Layout: layout, NewScheduler: sched,
-			Failures: f, Seed: cfg.seed,
-		}, cfg.runs)
-		if err != nil {
-			return err
-		}
-		analytic := avail.UnavailableRequestMass(p, layout, f.Unavailability())
-		t.AddRowf(degree,
-			100*agg.RejectionRate.Mean(),
-			agg.Dropped.Mean(),
-			100*agg.FailureRate.Mean(),
-			100*analytic)
-	}
-	if err := emitTable(cfg, "availability", t); err != nil {
+		cells = append(cells, cell{p, layout})
+		return sim.Config{Problem: p, Layout: layout, NewScheduler: sched, Failures: f}, nil
+	}}
+	sw := cfg.sweep(degrees, []exp.Series{ser})
+	// Every degree runs against the same workload and failure draws: the
+	// pre-harness loop passed one seed to each degree's replications.
+	sw.PointSeed = func(int) int64 { return cfg.seed }
+	grid, err := sw.Run()
+	if err != nil {
 		return err
 	}
-	fmt.Println("replication's availability value: the analytic unavailable mass falls")
-	fmt.Println("geometrically with the degree, and the measured failure rate follows.")
+	t := report.NewTable("degree", "rejected %", "dropped/run", "failure rate %", "analytic unavailable %")
+	for xi, degree := range degrees {
+		pt := grid[0][xi]
+		analytic := avail.UnavailableRequestMass(cells[xi].p, cells[xi].layout, f.Unavailability())
+		t.AddRowf(degree,
+			exp.RejectionPct(pt),
+			pt.Agg.Dropped.Mean(),
+			exp.FailurePct(pt),
+			100*analytic)
+	}
+	if err := cfg.emit.Table("availability", t); err != nil {
+		return err
+	}
+	cfg.emit.Printf("replication's availability value: the analytic unavailable mass falls\n")
+	cfg.emit.Printf("geometrically with the degree, and the measured failure rate follows.\n")
 	return nil
 }
 
@@ -69,7 +83,7 @@ func figureAvail(cfg benchConfig) error {
 // peak period, and runtime dynamic replication (paper §4.1.2, §6) migrates
 // replicas over the backbone to chase the new hot set.
 func figureDynamic(cfg benchConfig) error {
-	fmt.Println("\n=== Dynamic replication under a mid-period popularity shift ===")
+	cfg.emit.Printf("\n=== Dynamic replication under a mid-period popularity shift ===\n")
 	s := config.Paper()
 	s.Degree = 1.2
 	s.BackboneGbps = 2
@@ -83,51 +97,73 @@ func figureDynamic(cfg benchConfig) error {
 	if err != nil {
 		return err
 	}
+	newManager, err := dynrep.NewFactory(p, dynrep.Options{IntervalSec: 300, MaxPerTick: 4})
+	if err != nil {
+		return err
+	}
 
-	t := report.NewTable("policy", "rejected %", "± 95% CI", "migrations/run")
+	// The experiment replays one shifted trace per run index, so the swept x
+	// is the run index itself and each point is a single replication. Both
+	// policies replay identical traces (common random numbers); the sim seed
+	// is irrelevant under trace replay without failures or resilience.
+	runIdx := make([]float64, cfg.runs)
+	for i := range runIdx {
+		runIdx[i] = float64(i)
+	}
+	mgrs := make([]*dynrep.Manager, cfg.runs)
+	series := make([]exp.Series, 0, 2)
 	for _, dynamic := range []bool{false, true} {
-		var rej, mig stats.Summary
-		for run := 0; run < cfg.runs; run++ {
-			tr := gen.Generate(p.PeakPeriod, cfg.seed+int64(run))
-			shifted, err := tr.Remap(workload.RotationMapping(p.M(), p.M()/2), p.PeakPeriod/2)
-			if err != nil {
-				return err
-			}
-			rc := sim.Config{Problem: p, Layout: layout, Trace: shifted, Seed: cfg.seed + int64(run)}
-			var mgr *dynrep.Manager
-			if dynamic {
-				rc.NewController = func() sim.Controller {
-					m, err := dynrep.New(p, dynrep.Options{IntervalSec: 300, MaxPerTick: 4})
-					if err != nil {
-						panic(err)
-					}
-					mgr = m
-					return m
-				}
-			}
-			res, err := sim.Run(rc)
-			if err != nil {
-				return err
-			}
-			rej.Add(res.RejectionRate)
-			if mgr != nil {
-				mig.Add(float64(mgr.Migrations()))
-			}
-		}
+		dynamic := dynamic
 		name := "static layout"
 		if dynamic {
 			name = "dynamic replication"
 		}
-		t.AddRowf(name, 100*rej.Mean(), 100*rej.CI95(), mig.Mean())
+		series = append(series, exp.Series{Name: name, Config: func(x float64) (sim.Config, error) {
+			run := int(x)
+			tr := gen.Generate(p.PeakPeriod, cfg.seed+int64(run))
+			shifted, err := tr.Remap(workload.RotationMapping(p.M(), p.M()/2), p.PeakPeriod/2)
+			if err != nil {
+				return sim.Config{}, err
+			}
+			rc := sim.Config{Problem: p, Layout: layout, Trace: shifted}
+			if dynamic {
+				rc.NewController = func() sim.Controller {
+					m := newManager()
+					mgrs[run] = m
+					return m
+				}
+			}
+			return rc, nil
+		}})
 	}
-	return emitTable(cfg, "dynamic-replication", t)
+	sw := cfg.sweep(runIdx, series)
+	sw.Runs = 1
+	grid, err := sw.Run()
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("policy", "rejected %", "± 95% CI", "migrations/run")
+	for si, ser := range series {
+		var rej, mig stats.Summary
+		for xi := range runIdx {
+			rej.Add(grid[si][xi].Results[0].RejectionRate)
+		}
+		if ser.Name == "dynamic replication" {
+			for _, m := range mgrs {
+				mig.Add(float64(m.Migrations()))
+			}
+		}
+		t.AddRowf(ser.Name, 100*rej.Mean(), 100*rej.CI95(), mig.Mean())
+	}
+	return cfg.emit.Table("dynamic-replication", t)
 }
 
 // figureDisk checks the paper's modeling assumption that the outgoing
 // network link, not disk I/O, binds admission — and shows the striping
 // granularity ablation ("striping doesn't scale") on the per-server array.
 func figureDisk(cfg benchConfig) error {
-	fmt.Println("\n=== Disk subsystem: bottleneck check and striping granularity ===")
+	cfg.emit.Printf("\n=== Disk subsystem: bottleneck check and striping granularity ===\n")
 	d := disk.Disk{CapacityBytes: 36 * core.GB, SeekMs: 8, TransferMBps: 40}
 	round := 2.0 // seconds per retrieval round
 	t := report.NewTable("array", "usable GB", "disk streams", "net streams", "bottleneck")
@@ -159,7 +195,7 @@ func figureDisk(cfg benchConfig) error {
 	}
 	t.AddRowf("16× raid5 (fine)", fine.UsableBytes()/core.GB,
 		fine.StreamCapacity(4*core.Mbps, round), 450, b)
-	if err := emitTable(cfg, "disk-bottleneck", t); err != nil {
+	if err := cfg.emit.Table("disk-bottleneck", t); err != nil {
 		return err
 	}
 
@@ -179,23 +215,28 @@ func figureDisk(cfg benchConfig) error {
 		return err
 	}
 	limit := a.StreamCapacity(4*core.Mbps, round)
-	t2 := report.NewTable("admission model", "rejected % at λ=40")
-	for _, cap := range []int{0, limit} {
-		agg, _, err := sim.RunMany(sim.Config{
+	ser := exp.Series{Name: "admission", Config: func(cap float64) (sim.Config, error) {
+		return sim.Config{
 			Problem: p, Layout: layout, NewScheduler: sched,
-			StreamLimit: cap, Seed: cfg.seed,
-		}, cfg.runs)
-		if err != nil {
-			return err
-		}
-		name := "network only (paper)"
-		if cap > 0 {
-			name = fmt.Sprintf("degraded RAID5 cap (%d streams)", cap)
-		}
-		t2.AddRowf(name, 100*agg.RejectionRate.Mean())
+			StreamLimit: int(cap),
+		}, nil
+	}}
+	sw := cfg.sweep([]float64{0, float64(limit)}, []exp.Series{ser})
+	sw.PointSeed = func(int) int64 { return cfg.seed } // same workload either way
+	grid, err := sw.Run()
+	if err != nil {
+		return err
 	}
-	fmt.Println()
-	return emitTable(cfg, "disk-admission", t2)
+	t2 := report.NewTable("admission model", "rejected % at λ=40")
+	for xi, pt := range grid[0] {
+		name := "network only (paper)"
+		if xi > 0 {
+			name = fmt.Sprintf("degraded RAID5 cap (%d streams)", limit)
+		}
+		t2.AddRowf(name, exp.RejectionPct(pt))
+	}
+	cfg.emit.Printf("\n")
+	return cfg.emit.Table("disk-admission", t2)
 }
 
 // figureHetero evaluates placement on a heterogeneous cluster — the
@@ -205,7 +246,7 @@ func figureDisk(cfg benchConfig) error {
 // bandwidth-weighted generalization, the BSR heuristic of Dan & Sitaram that
 // the related-work section cites, and round-robin.
 func figureHetero(cfg benchConfig) error {
-	fmt.Println("\n=== Heterogeneous cluster: placement policies on crossed hardware tiers ===")
+	cfg.emit.Printf("\n=== Heterogeneous cluster: placement policies on crossed hardware tiers ===\n")
 	s := config.Paper()
 	s.Servers = 8
 	// Crossed tiers with the same aggregate resources as the paper cluster:
@@ -218,31 +259,38 @@ func figureHetero(cfg benchConfig) error {
 	if cfg.quick {
 		lambdas = []float64{32, 40}
 	}
-	t := report.NewTable(append([]string{"placer", "rel. imbalance"}, lambdaLabels(lambdas)...)...)
-	for _, placer := range []string{"slf", "wslf", "bsr", "roundrobin"} {
+	placers := []string{"slf", "wslf", "bsr", "roundrobin"}
+	relImb := make([]float64, 0, len(placers))
+	series := make([]exp.Series, 0, len(placers))
+	for _, placer := range placers {
 		s.Placer = placer
 		p, layout, sched, err := vodcluster.Pipeline(s)
 		if err != nil {
 			return fmt.Errorf("hetero %s: %w", placer, err)
 		}
-		pts, err := vodcluster.SweepArrivalRates(p, layout, sched, lambdas, cfg.runs, cfg.seed)
-		if err != nil {
-			return err
-		}
+		relImb = append(relImb, place.RelativeImbalance(p, layout))
+		series = append(series, lambdaSeries(placer, p, layout, sched))
+	}
+	grid, err := cfg.sweep(lambdas, series).Run()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(append([]string{"placer", "rel. imbalance"}, lambdaLabels(lambdas)...)...)
+	for si, placer := range placers {
 		row := make([]any, 0, len(lambdas)+2)
-		row = append(row, placer, place.RelativeImbalance(p, layout))
-		for _, pt := range pts {
-			row = append(row, 100*pt.Agg.RejectionRate.Mean())
+		row = append(row, placer, relImb[si])
+		for xi := range lambdas {
+			row = append(row, exp.RejectionPct(grid[si][xi]))
 		}
 		t.AddRowf(row...)
 	}
-	if err := emitTable(cfg, "heterogeneous", t); err != nil {
+	if err := cfg.emit.Table("heterogeneous", t); err != nil {
 		return err
 	}
-	fmt.Println("rejection columns are % at each arrival rate. Both resource-aware")
-	fmt.Println("policies (wslf, bsr) dominate the resource-blind ones (slf, roundrobin);")
-	fmt.Println("bsr's hot-content-to-fast-server matching additionally shelters the")
-	fmt.Println("heaviest replicas from static-RR burstiness, winning on admission.")
+	cfg.emit.Printf("rejection columns are %% at each arrival rate. Both resource-aware\n")
+	cfg.emit.Printf("policies (wslf, bsr) dominate the resource-blind ones (slf, roundrobin);\n")
+	cfg.emit.Printf("bsr's hot-content-to-fast-server matching additionally shelters the\n")
+	cfg.emit.Printf("heaviest replicas from static-RR burstiness, winning on admission.\n")
 	return nil
 }
 
@@ -260,7 +308,7 @@ func lambdaLabels(lambdas []float64) []string {
 // and simulated-annealing mappings — globally shared taste and regional
 // (per-leaf rotated) taste.
 func figureHierarchy(cfg benchConfig) error {
-	fmt.Println("\n=== Hierarchical server network: media mapping (predecessor work) ===")
+	cfg.emit.Printf("\n=== Hierarchical server network: media mapping (predecessor work) ===\n")
 	c, err := core.NewCatalog(100, 0.75, 4*core.Mbps, 90*core.Minute)
 	if err != nil {
 		return err
@@ -326,22 +374,24 @@ func figureHierarchy(cfg benchConfig) error {
 		if regional {
 			name = "hierarchy-regional"
 		}
-		fmt.Printf("\n--- %s ---\n", label)
-		if err := emitTable(cfg, name, t); err != nil {
+		cfg.emit.Printf("\n--- %s ---\n", label)
+		if err := cfg.emit.Table(name, t); err != nil {
 			return err
 		}
 	}
-	fmt.Println("\nthe SA mapping removes the duplication the greedy baseline creates along")
-	fmt.Println("every root-leaf path and specializes leaf caches under regional taste.")
+	cfg.emit.Printf("\nthe SA mapping removes the duplication the greedy baseline creates along\n")
+	cfg.emit.Printf("every root-leaf path and specializes leaf caches under regional taste.\n")
 	return nil
 }
 
 // figureStriping quantifies the §1 architectural argument: wide striping
 // across servers balances perfectly (beating replication on rejection while
 // healthy) but fails catastrophically, while the replicated cluster degrades
-// gracefully. Failure intensity sweeps from none to harsh.
+// gracefully. Failure intensity sweeps from none to harsh. The striped
+// simulator is its own engine (internal/striped), so this figure keeps its
+// replication loop instead of the sim-only exp harness.
 func figureStriping(cfg benchConfig) error {
-	fmt.Println("\n=== §1: replication vs wide striping across servers ===")
+	cfg.emit.Printf("\n=== §1: replication vs wide striping across servers ===\n")
 	s := config.Paper()
 	s.Degree = 1.4
 	p, layout, sched, err := vodcluster.Pipeline(s)
@@ -382,20 +432,22 @@ func figureStriping(cfg benchConfig) error {
 		}
 		t.AddRowf(m.name, 100*rep.Mean(), 100*plain.Mean(), 100*parity.Mean())
 	}
-	if err := emitTable(cfg, "striping-vs-replication", t); err != nil {
+	if err := cfg.emit.Table("striping-vs-replication", t); err != nil {
 		return err
 	}
-	fmt.Println("healthy: striping's pooled bandwidth wins. Failing: plain striping's")
-	fmt.Println("catalog goes dark with any server, parity pays half its pool in degraded")
-	fmt.Println("mode — the replicated cluster degrades most gracefully, the paper's case.")
+	cfg.emit.Printf("healthy: striping's pooled bandwidth wins. Failing: plain striping's\n")
+	cfg.emit.Printf("catalog goes dark with any server, parity pays half its pool in degraded\n")
+	cfg.emit.Printf("mode — the replicated cluster degrades most gracefully, the paper's case.\n")
 	return nil
 }
 
 // figureErlang validates the simulator against queueing theory: Erlang-B is
 // exact for the pooled (striped) cluster and a per-server approximation for
 // the replicated one. Long warmed-up runs must converge to the predictions.
+// Like figureStriping, it drives the striped engine alongside sim, so the
+// per-λ loop stays.
 func figureErlang(cfg benchConfig) error {
-	fmt.Println("\n=== Validation: simulator vs Erlang-B loss formula ===")
+	cfg.emit.Printf("\n=== Validation: simulator vs Erlang-B loss formula ===\n")
 	s := config.Paper()
 	s.Degree = 1.4
 	p, layout, sched, err := vodcluster.Pipeline(s)
@@ -440,11 +492,11 @@ func figureErlang(cfg benchConfig) error {
 		}
 		t.AddRowf(lam, 100*pooled, 100*stripedSim.Mean(), 100*perServer, 100*replSim.Mean())
 	}
-	if err := emitTable(cfg, "erlang-validation", t); err != nil {
+	if err := cfg.emit.Table("erlang-validation", t); err != nil {
 		return err
 	}
-	fmt.Println("Erlang-B is exact for the pooled system (insensitivity makes the fixed")
-	fmt.Println("session length irrelevant); the per-server product form approximates the")
-	fmt.Println("replicated cluster under static RR, erring slightly high.")
+	cfg.emit.Printf("Erlang-B is exact for the pooled system (insensitivity makes the fixed\n")
+	cfg.emit.Printf("session length irrelevant); the per-server product form approximates the\n")
+	cfg.emit.Printf("replicated cluster under static RR, erring slightly high.\n")
 	return nil
 }

@@ -2,22 +2,33 @@ package main
 
 import (
 	"fmt"
-	"os"
 
 	"vodcluster"
 	"vodcluster/internal/anneal"
+	"vodcluster/internal/cluster"
 	"vodcluster/internal/config"
 	"vodcluster/internal/core"
+	"vodcluster/internal/exp"
 	"vodcluster/internal/report"
 	"vodcluster/internal/sim"
 )
+
+// lambdaSeries wraps a built pipeline as a sweep series over the arrival
+// rate in requests/minute — the x-axis every paper figure sweeps.
+func lambdaSeries(name string, p *core.Problem, layout *core.Layout, sched func() cluster.Scheduler) exp.Series {
+	return exp.Series{Name: name, Config: func(lam float64) (sim.Config, error) {
+		q := p.Clone()
+		q.ArrivalRate = lam / core.Minute
+		return sim.Config{Problem: q, Layout: layout, NewScheduler: sched}, nil
+	}}
+}
 
 // figureSA runs the §4.3 scalable-bit-rate experiment, whose numeric results
 // the paper omits for space: simulated annealing over the discrete rate set
 // {2, 4, 6, 8} Mb/s on the paper's cluster, reporting the objective
 // components before and after annealing and the cost trace.
 func figureSA(cfg benchConfig) error {
-	fmt.Println("\n=== §4.3: simulated annealing for scalable encoding bit rates ===")
+	cfg.emit.Printf("\n=== §4.3: simulated annealing for scalable encoding bit rates ===\n")
 	s := config.Paper()
 	s.StorageGB = 50 // fixed storage: the annealer chooses rates vs replicas
 	p, err := s.Problem()
@@ -49,10 +60,10 @@ func figureSA(cfg benchConfig) error {
 	t := report.NewTable("state", "mean rate (Mb/s)", "degree", "imbalance L", "objective", "feasible")
 	t.AddRowf("initial (lowest rate, RR)", initEval.MeanRateMbps, initEval.Degree, initEval.Imbalance, initEval.Objective, initEval.Feasible())
 	t.AddRowf("annealed", bestEval.MeanRateMbps, bestEval.Degree, bestEval.Imbalance, bestEval.Objective, bestEval.Feasible())
-	if err := emitTable(cfg, "sa-scalable-bitrate", t); err != nil {
+	if err := cfg.emit.Table("sa-scalable-bitrate", t); err != nil {
 		return err
 	}
-	fmt.Printf("copies placed: %d → %d\n", init.TotalCopies(), best.TotalCopies())
+	cfg.emit.Printf("copies placed: %d → %d\n", init.TotalCopies(), best.TotalCopies())
 
 	// Simulate the annealed layout end to end and compare with the
 	// fixed-rate (4 Mb/s) pipeline on the same storage budget.
@@ -78,16 +89,16 @@ func figureSA(cfg benchConfig) error {
 	t2 := report.NewTable("simulated layout", "rejected %", "delivered Mb/s", "degree")
 	t2.AddRowf("fixed 4 Mb/s (zipf+slf)", 100*fixedAgg.RejectionRate.Mean(), fixedAgg.SessionRateMbps.Mean(), flayout.ReplicationDegree())
 	t2.AddRowf("annealed scalable rates", 100*saAgg.RejectionRate.Mean(), saAgg.SessionRateMbps.Mean(), layout.ReplicationDegree())
-	fmt.Println()
-	if err := emitTable(cfg, "sa-simulated", t2); err != nil {
+	cfg.emit.Printf("\n")
+	if err := cfg.emit.Table("sa-simulated", t2); err != nil {
 		return err
 	}
-	fmt.Println("note the objective's shape: Eq. 1 averages quality per *video*, so the")
-	fmt.Println("annealer buys high rates where they are bandwidth-cheap — cold titles —")
-	fmt.Println("lifting the copy-average rate to 5.6 Mb/s while the request-weighted")
-	fmt.Println("delivered rate and the rejection rate stay essentially unchanged; hot")
-	fmt.Println("titles keep moderate rates. A per-request quality weighting would shift")
-	fmt.Println("rates toward the head instead.")
+	cfg.emit.Printf("note the objective's shape: Eq. 1 averages quality per *video*, so the\n")
+	cfg.emit.Printf("annealer buys high rates where they are bandwidth-cheap — cold titles —\n")
+	cfg.emit.Printf("lifting the copy-average rate to 5.6 Mb/s while the request-weighted\n")
+	cfg.emit.Printf("delivered rate and the rejection rate stay essentially unchanged; hot\n")
+	cfg.emit.Printf("titles keep moderate rates. A per-request quality weighting would shift\n")
+	cfg.emit.Printf("rates toward the head instead.\n")
 
 	// Convergence trace of a single chain for the chart.
 	res, err := anneal.Minimize[*anneal.BitRateLayout](bp, init, opts)
@@ -105,14 +116,14 @@ func figureSA(cfg benchConfig) error {
 		XLabel: "plateau", YLabel: "objective",
 	}
 	chart.Add(report.Series{Name: "objective", X: xs, Y: ys})
-	return chart.Fprint(os.Stdout)
+	return cfg.emit.Chart(chart)
 }
 
 // figureSensitivity reproduces the §5.2 sensitivity claim: varying the number
 // of videos, servers, and the encoding bit rate does not change the relative
 // merits of the algorithm combinations.
 func figureSensitivity(cfg benchConfig) error {
-	fmt.Println("\n=== §5.2: sensitivity of the algorithm ranking ===")
+	cfg.emit.Printf("\n=== §5.2: sensitivity of the algorithm ranking ===\n")
 	type variant struct {
 		name   string
 		mutate func(*config.Scenario)
@@ -132,8 +143,9 @@ func figureSensitivity(cfg benchConfig) error {
 	}
 	t := report.NewTable("variant", "zipf+slf rej %", "class+rr rej %", "zipf+slf wins")
 	for _, v := range variants {
-		rejs := make([]float64, 2)
-		for i, c := range []combo{{"zipf", "slf"}, {"classification", "roundrobin"}} {
+		var lambda float64
+		series := make([]exp.Series, 0, 2)
+		for _, c := range []combo{{"zipf", "slf"}, {"classification", "roundrobin"}} {
 			s := config.Paper()
 			v.mutate(&s)
 			s.Degree = 1.2
@@ -142,32 +154,28 @@ func figureSensitivity(cfg benchConfig) error {
 			if err != nil {
 				return fmt.Errorf("sensitivity %q: %w", v.name, err)
 			}
-			pts, err := vodcluster.SweepArrivalRates(p, layout, sched, []float64{s.LambdaPerMin}, cfg.runs, cfg.seed)
-			if err != nil {
-				return err
-			}
-			rejs[i] = 100 * pts[0].Agg.RejectionRate.Mean()
+			lambda = s.LambdaPerMin
+			series = append(series, lambdaSeries(c.String(), p, layout, sched))
 		}
-		t.AddRowf(v.name, rejs[0], rejs[1], rejs[0] <= rejs[1])
+		grid, err := cfg.sweep([]float64{lambda}, series).Run()
+		if err != nil {
+			return err
+		}
+		rej0, rej1 := exp.RejectionPct(grid[0][0]), exp.RejectionPct(grid[1][0])
+		t.AddRowf(v.name, rej0, rej1, rej0 <= rej1)
 	}
-	return emitTable(cfg, "sensitivity", t)
+	return cfg.emit.Table("sensitivity", t)
 }
 
 // figureRedirect quantifies the §6 complement: runtime request redirection
 // over the internal backbone on top of the conservative placement.
 func figureRedirect(cfg benchConfig) error {
-	fmt.Println("\n=== §6: request redirection over the internal backbone ===")
+	cfg.emit.Printf("\n=== §6: request redirection over the internal backbone ===\n")
 	lambdas := lambdaSweep
 	if cfg.quick {
 		lambdas = lambdaSweepQuick
 	}
-	t := report.NewTable("λ (req/min)", "no redirect rej %", "redirect rej %", "redirected/run")
-	chart := &report.Chart{
-		Title:  "Request redirection: rejection rate (%) with and without backbone",
-		XLabel: "arrival rate (req/min)", YLabel: "rejection rate (%)",
-	}
-	var noRed, withRed []float64
-	var redirCounts []float64
+	series := make([]exp.Series, 0, 2)
 	for _, backbone := range []float64{0, 2} {
 		s := config.Paper()
 		s.Degree = 1.2
@@ -176,34 +184,27 @@ func figureRedirect(cfg benchConfig) error {
 		if err != nil {
 			return err
 		}
-		pts, err := vodcluster.SweepArrivalRates(p, layout, sched, lambdas, cfg.runs, cfg.seed)
-		if err != nil {
-			return err
-		}
-		ys := make([]float64, len(pts))
-		for i, pt := range pts {
-			ys[i] = 100 * pt.Agg.RejectionRate.Mean()
-		}
-		if backbone == 0 {
-			noRed = ys
-		} else {
-			withRed = ys
-			redirCounts = make([]float64, len(pts))
-			for i, pt := range pts {
-				redirCounts[i] = pt.Agg.Redirected.Mean()
-			}
-		}
 		name := "static-rr"
 		if backbone > 0 {
 			name = fmt.Sprintf("static-rr + %g Gb/s backbone", backbone)
 		}
-		chart.Add(report.Series{Name: name, X: lambdas, Y: ys})
+		series = append(series, lambdaSeries(name, p, layout, sched))
 	}
-	for i, lam := range lambdas {
-		t.AddRowf(lam, noRed[i], withRed[i], redirCounts[i])
-	}
-	if err := emitTable(cfg, "redirect", t); err != nil {
+	sw := cfg.sweep(lambdas, series)
+	grid, err := sw.Run()
+	if err != nil {
 		return err
 	}
-	return chart.Fprint(os.Stdout)
+	t := report.NewTable("λ (req/min)", "no redirect rej %", "redirect rej %", "redirected/run")
+	for xi, lam := range lambdas {
+		t.AddRowf(lam, exp.RejectionPct(grid[0][xi]), exp.RejectionPct(grid[1][xi]),
+			grid[1][xi].Agg.Redirected.Mean())
+	}
+	if err := cfg.emit.Table("redirect", t); err != nil {
+		return err
+	}
+	chart := sw.Chart(grid,
+		"Request redirection: rejection rate (%) with and without backbone",
+		"arrival rate (req/min)", "rejection rate (%)", exp.RejectionPct)
+	return cfg.emit.Chart(chart)
 }

@@ -2,12 +2,13 @@ package main
 
 import (
 	"fmt"
-	"os"
 	"strings"
 
 	"vodcluster"
 	"vodcluster/internal/config"
-	"vodcluster/internal/report"
+	"vodcluster/internal/core"
+	"vodcluster/internal/exp"
+	"vodcluster/internal/sim"
 )
 
 // Reconstructed sweep parameters (the figure axes in the available paper text
@@ -33,9 +34,22 @@ var fourCombos = []combo{
 	{"classification", "roundrobin"},
 }
 
-// sweepCombo builds the layout for one (θ, degree, combo) cell and sweeps the
-// arrival rate, returning rejection-rate and imbalance series.
-func sweepCombo(cfg benchConfig, theta, degree float64, c combo, lambdas []float64) ([]vodcluster.SweepPoint, error) {
+// sweep builds an exp.Sweep over arrival rates with the bench's shared knobs.
+func (cfg benchConfig) sweep(lambdas []float64, series []exp.Series) *exp.Sweep {
+	return &exp.Sweep{
+		Xs:      lambdas,
+		Series:  series,
+		Runs:    cfg.runs,
+		Seed:    cfg.seed,
+		Workers: cfg.workers,
+	}
+}
+
+// comboSeries builds one sweep series for a (θ, degree, combo) cell: the
+// layout is computed once, for the peak rate, exactly as the paper's
+// conservative model prescribes — replication and placement decisions do not
+// depend on λ, only the runtime load does.
+func comboSeries(name string, theta, degree float64, c combo) (exp.Series, error) {
 	s := config.Paper()
 	s.Theta = theta
 	s.Degree = degree
@@ -43,9 +57,26 @@ func sweepCombo(cfg benchConfig, theta, degree float64, c combo, lambdas []float
 	s.Placer = c.plac
 	p, layout, sched, err := vodcluster.Pipeline(s)
 	if err != nil {
-		return nil, fmt.Errorf("%s at θ=%g degree=%g: %w", c, theta, degree, err)
+		return exp.Series{}, fmt.Errorf("%s at θ=%g degree=%g: %w", c, theta, degree, err)
 	}
-	return vodcluster.SweepArrivalRates(p, layout, sched, lambdas, cfg.runs, cfg.seed)
+	return exp.Series{Name: name, Config: func(lam float64) (sim.Config, error) {
+		q := p.Clone()
+		q.ArrivalRate = lam / core.Minute
+		return sim.Config{Problem: q, Layout: layout, NewScheduler: sched}, nil
+	}}, nil
+}
+
+// comboSeriesList builds one series per combo at a fixed (θ, degree).
+func comboSeriesList(theta, degree float64, combos []combo) ([]exp.Series, error) {
+	series := make([]exp.Series, 0, len(combos))
+	for _, c := range combos {
+		ser, err := comboSeries(c.String(), theta, degree, c)
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, ser)
+	}
+	return series, nil
 }
 
 // figure4 reproduces Fig. 4: impact of the replication degree on rejection
@@ -66,42 +97,31 @@ func figure4(cfg benchConfig) error {
 		{"(c)", thetas[1], combo{"zipf", "slf"}},
 		{"(d)", thetas[1], combo{"classification", "roundrobin"}},
 	}
-	fmt.Println("=== Figure 4: rejection rate vs arrival rate, by replication degree ===")
+	cfg.emit.Printf("=== Figure 4: rejection rate vs arrival rate, by replication degree ===\n")
 	for _, sub := range subplots {
-		fmt.Printf("\n--- Fig. 4%s %s, θ=%.2f ---\n", sub.label, sub.c, sub.theta)
-		t := report.NewTable(append([]string{"λ (req/min)"}, degreeLabels(degrees)...)...)
-		chart := &report.Chart{
-			Title:  fmt.Sprintf("Fig. 4%s rejection rate (%%) — %s, θ=%.2f", sub.label, sub.c, sub.theta),
-			XLabel: "arrival rate (req/min)", YLabel: "rejection rate (%)",
-		}
-		cells := make([][]float64, len(lambdas))
-		for i := range cells {
-			cells[i] = make([]float64, len(degrees))
-		}
-		for di, deg := range degrees {
-			pts, err := sweepCombo(cfg, sub.theta, deg, sub.c, lambdas)
+		cfg.emit.Printf("\n--- Fig. 4%s %s, θ=%.2f ---\n", sub.label, sub.c, sub.theta)
+		series := make([]exp.Series, 0, len(degrees))
+		for _, deg := range degrees {
+			ser, err := comboSeries(fmt.Sprintf("deg %.1f", deg), sub.theta, deg, sub.c)
 			if err != nil {
 				return err
 			}
-			ys := make([]float64, len(pts))
-			for i, pt := range pts {
-				cells[i][di] = 100 * pt.Agg.RejectionRate.Mean()
-				ys[i] = cells[i][di]
-			}
-			chart.Add(report.Series{Name: fmt.Sprintf("deg %.1f", deg), X: lambdas, Y: ys})
+			series = append(series, ser)
 		}
-		for i, lam := range lambdas {
-			row := make([]any, 0, len(degrees)+1)
-			row = append(row, lam)
-			for _, v := range cells[i] {
-				row = append(row, v)
-			}
-			t.AddRowf(row...)
-		}
-		if err := emitTable(cfg, fmt.Sprintf("fig4%s-%s-theta%.2f", strings.Trim(sub.label, "()"), sub.c, sub.theta), t); err != nil {
+		s := cfg.sweep(lambdas, series)
+		grid, err := s.Run()
+		if err != nil {
 			return err
 		}
-		if err := chart.Fprint(os.Stdout); err != nil {
+		t := s.Table(grid, "λ (req/min)", exp.RejectionPct,
+			append([]string{"λ (req/min)"}, degreeLabels(degrees)...))
+		if err := cfg.emit.Table(fmt.Sprintf("fig4%s-%s-theta%.2f", strings.Trim(sub.label, "()"), sub.c, sub.theta), t); err != nil {
+			return err
+		}
+		chart := s.Chart(grid,
+			fmt.Sprintf("Fig. 4%s rejection rate (%%) — %s, θ=%.2f", sub.label, sub.c, sub.theta),
+			"arrival rate (req/min)", "rejection rate (%)", exp.RejectionPct)
+		if err := cfg.emit.Chart(chart); err != nil {
 			return err
 		}
 	}
@@ -125,37 +145,26 @@ func figure5(cfg benchConfig) error {
 		{"(c)", thetas[1], 1.2},
 		{"(d)", thetas[1], 2.0},
 	}
-	fmt.Println("\n=== Figure 5: rejection rate vs arrival rate, by algorithm combination ===")
+	cfg.emit.Printf("\n=== Figure 5: rejection rate vs arrival rate, by algorithm combination ===\n")
 	for _, sub := range subplots {
-		fmt.Printf("\n--- Fig. 5%s degree %.1f, θ=%.2f ---\n", sub.label, sub.degree, sub.theta)
-		t := report.NewTable("λ (req/min)", fourCombos[0].String(), fourCombos[1].String(), fourCombos[2].String(), fourCombos[3].String())
-		chart := &report.Chart{
-			Title:  fmt.Sprintf("Fig. 5%s rejection rate (%%) — degree %.1f, θ=%.2f", sub.label, sub.degree, sub.theta),
-			XLabel: "arrival rate (req/min)", YLabel: "rejection rate (%)",
-		}
-		cells := make([][]float64, len(lambdas))
-		for i := range cells {
-			cells[i] = make([]float64, len(fourCombos))
-		}
-		for ci, c := range fourCombos {
-			pts, err := sweepCombo(cfg, sub.theta, sub.degree, c, lambdas)
-			if err != nil {
-				return err
-			}
-			ys := make([]float64, len(pts))
-			for i, pt := range pts {
-				cells[i][ci] = 100 * pt.Agg.RejectionRate.Mean()
-				ys[i] = cells[i][ci]
-			}
-			chart.Add(report.Series{Name: c.String(), X: lambdas, Y: ys})
-		}
-		for i, lam := range lambdas {
-			t.AddRowf(lam, cells[i][0], cells[i][1], cells[i][2], cells[i][3])
-		}
-		if err := emitTable(cfg, fmt.Sprintf("fig5%s-deg%.1f-theta%.2f", strings.Trim(sub.label, "()"), sub.degree, sub.theta), t); err != nil {
+		cfg.emit.Printf("\n--- Fig. 5%s degree %.1f, θ=%.2f ---\n", sub.label, sub.degree, sub.theta)
+		series, err := comboSeriesList(sub.theta, sub.degree, fourCombos)
+		if err != nil {
 			return err
 		}
-		if err := chart.Fprint(os.Stdout); err != nil {
+		s := cfg.sweep(lambdas, series)
+		grid, err := s.Run()
+		if err != nil {
+			return err
+		}
+		t := s.Table(grid, "λ (req/min)", exp.RejectionPct, nil)
+		if err := cfg.emit.Table(fmt.Sprintf("fig5%s-deg%.1f-theta%.2f", strings.Trim(sub.label, "()"), sub.degree, sub.theta), t); err != nil {
+			return err
+		}
+		chart := s.Chart(grid,
+			fmt.Sprintf("Fig. 5%s rejection rate (%%) — degree %.1f, θ=%.2f", sub.label, sub.degree, sub.theta),
+			"arrival rate (req/min)", "rejection rate (%)", exp.RejectionPct)
+		if err := cfg.emit.Chart(chart); err != nil {
 			return err
 		}
 	}
@@ -180,37 +189,26 @@ func figure6(cfg benchConfig) error {
 		{"(a)", 1.2},
 		{"(b)", 2.0},
 	}
-	fmt.Println("\n=== Figure 6: load imbalance degree L(%) vs arrival rate ===")
+	cfg.emit.Printf("\n=== Figure 6: load imbalance degree L(%%) vs arrival rate ===\n")
 	for _, sub := range subplots {
-		fmt.Printf("\n--- Fig. 6%s degree %.1f, θ=%.2f ---\n", sub.label, sub.degree, thetas[0])
-		t := report.NewTable("λ (req/min)", fourCombos[0].String(), fourCombos[1].String(), fourCombos[2].String(), fourCombos[3].String())
-		chart := &report.Chart{
-			Title:  fmt.Sprintf("Fig. 6%s load imbalance L (%%) — degree %.1f, θ=%.2f", sub.label, sub.degree, thetas[0]),
-			XLabel: "arrival rate (req/min)", YLabel: "L (%)",
-		}
-		cells := make([][]float64, len(lambdas))
-		for i := range cells {
-			cells[i] = make([]float64, len(fourCombos))
-		}
-		for ci, c := range fourCombos {
-			pts, err := sweepCombo(cfg, thetas[0], sub.degree, c, lambdas)
-			if err != nil {
-				return err
-			}
-			ys := make([]float64, len(pts))
-			for i, pt := range pts {
-				cells[i][ci] = 100 * pt.Agg.ImbalanceCapAvg.Mean()
-				ys[i] = cells[i][ci]
-			}
-			chart.Add(report.Series{Name: c.String(), X: lambdas, Y: ys})
-		}
-		for i, lam := range lambdas {
-			t.AddRowf(lam, cells[i][0], cells[i][1], cells[i][2], cells[i][3])
-		}
-		if err := emitTable(cfg, fmt.Sprintf("fig6%s-deg%.1f", strings.Trim(sub.label, "()"), sub.degree), t); err != nil {
+		cfg.emit.Printf("\n--- Fig. 6%s degree %.1f, θ=%.2f ---\n", sub.label, sub.degree, thetas[0])
+		series, err := comboSeriesList(thetas[0], sub.degree, fourCombos)
+		if err != nil {
 			return err
 		}
-		if err := chart.Fprint(os.Stdout); err != nil {
+		s := cfg.sweep(lambdas, series)
+		grid, err := s.Run()
+		if err != nil {
+			return err
+		}
+		t := s.Table(grid, "λ (req/min)", exp.ImbalanceCapPct, nil)
+		if err := cfg.emit.Table(fmt.Sprintf("fig6%s-deg%.1f", strings.Trim(sub.label, "()"), sub.degree), t); err != nil {
+			return err
+		}
+		chart := s.Chart(grid,
+			fmt.Sprintf("Fig. 6%s load imbalance L (%%) — degree %.1f, θ=%.2f", sub.label, sub.degree, thetas[0]),
+			"arrival rate (req/min)", "L (%)", exp.ImbalanceCapPct)
+		if err := cfg.emit.Chart(chart); err != nil {
 			return err
 		}
 	}

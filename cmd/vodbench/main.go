@@ -17,25 +17,50 @@
 //	vodbench -fig erlang   # simulator validation against the Erlang-B loss formula
 //	vodbench -fig all      # everything
 //
-// Use -quick for a fast low-replication pass and -runs to set the number of
-// simulation replications per point.
+// Use -quick for a fast low-replication pass, -runs to set the number of
+// simulation replications per point, and -workers to bound the parallel
+// simulations (0 = GOMAXPROCS). Sweeps run on the internal/exp harness, so
+// results are identical for every -workers value at the same seed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"runtime"
+	"time"
 
-	"vodcluster/internal/report"
+	"vodcluster/internal/exp"
 )
 
 // benchConfig carries the shared harness knobs into each figure generator.
 type benchConfig struct {
-	runs   int
-	seed   int64
-	quick  bool
-	csvDir string
+	runs    int
+	seed    int64
+	quick   bool
+	workers int
+	emit    *exp.Emitter
+}
+
+// figures maps -fig values to generators, in the order -fig all runs them.
+var figures = []struct {
+	name string
+	gen  func(benchConfig) error
+}{
+	{"4", figure4},
+	{"5", figure5},
+	{"6", figure6},
+	{"sa", figureSA},
+	{"sens", figureSensitivity},
+	{"redirect", figureRedirect},
+	{"avail", figureAvail},
+	{"dynamic", figureDynamic},
+	{"disk", figureDisk},
+	{"hetero", figureHetero},
+	{"hier", figureHierarchy},
+	{"striping", figureStriping},
+	{"erlang", figureErlang},
 }
 
 func main() {
@@ -44,52 +69,26 @@ func main() {
 	seed := flag.Int64("seed", 42, "master random seed")
 	quick := flag.Bool("quick", false, "coarser sweeps and fewer runs, for a fast look")
 	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
+	workers := flag.Int("workers", 0, "parallel simulations across each sweep; 0 = GOMAXPROCS, 1 = sequential")
+	timing := flag.String("timing", "", "write a JSON wall-clock record of the invoked figure(s) to this file")
 	flag.Parse()
 
-	cfg := benchConfig{runs: *runs, seed: *seed, quick: *quick, csvDir: *csvDir}
+	cfg := benchConfig{
+		runs:    *runs,
+		seed:    *seed,
+		quick:   *quick,
+		workers: *workers,
+		emit:    &exp.Emitter{CSVDir: *csvDir},
+	}
 	if cfg.quick && cfg.runs > 5 {
 		cfg.runs = 5
 	}
 
-	var err error
-	switch *fig {
-	case "4":
-		err = figure4(cfg)
-	case "5":
-		err = figure5(cfg)
-	case "6":
-		err = figure6(cfg)
-	case "sa":
-		err = figureSA(cfg)
-	case "sens":
-		err = figureSensitivity(cfg)
-	case "redirect":
-		err = figureRedirect(cfg)
-	case "avail":
-		err = figureAvail(cfg)
-	case "dynamic":
-		err = figureDynamic(cfg)
-	case "disk":
-		err = figureDisk(cfg)
-	case "hetero":
-		err = figureHetero(cfg)
-	case "hier":
-		err = figureHierarchy(cfg)
-	case "striping":
-		err = figureStriping(cfg)
-	case "erlang":
-		err = figureErlang(cfg)
-	case "all":
-		for _, f := range []func(benchConfig) error{
-			figure4, figure5, figure6, figureSA, figureSensitivity,
-			figureRedirect, figureAvail, figureDynamic, figureDisk, figureHetero, figureHierarchy, figureStriping, figureErlang,
-		} {
-			if err = f(cfg); err != nil {
-				break
-			}
-		}
-	default:
-		err = fmt.Errorf("unknown figure %q", *fig)
+	start := time.Now()
+	err := runFigure(*fig, cfg)
+	elapsed := time.Since(start)
+	if err == nil && *timing != "" {
+		err = writeTiming(*timing, *fig, cfg, elapsed)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vodbench:", err)
@@ -97,23 +96,38 @@ func main() {
 	}
 }
 
-// emitTable prints a table to stdout and, when -csv is set, also writes it
-// to <csvDir>/<name>.csv so sweeps can be post-processed or plotted outside
-// the terminal.
-func emitTable(cfg benchConfig, name string, t *report.Table) error {
-	if err := t.Fprint(os.Stdout); err != nil {
-		return err
-	}
-	if cfg.csvDir == "" {
+func runFigure(fig string, cfg benchConfig) error {
+	if fig == "all" {
+		for _, f := range figures {
+			if err := f.gen(cfg); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
-	if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
-		return err
+	for _, f := range figures {
+		if f.name == fig {
+			return f.gen(cfg)
+		}
 	}
-	f, err := os.Create(filepath.Join(cfg.csvDir, name+".csv"))
+	return fmt.Errorf("unknown figure %q", fig)
+}
+
+// writeTiming records the wall clock of the figure run as JSON, so sweep
+// performance stays comparable across revisions (see BENCH_sweep.json).
+func writeTiming(path, fig string, cfg benchConfig, elapsed time.Duration) error {
+	rec := struct {
+		Figure       string  `json:"figure"`
+		Runs         int     `json:"runs"`
+		Seed         int64   `json:"seed"`
+		Quick        bool    `json:"quick"`
+		Workers      int     `json:"workers"`
+		GOMAXPROCS   int     `json:"gomaxprocs"`
+		WallClockSec float64 `json:"wall_clock_sec"`
+	}{fig, cfg.runs, cfg.seed, cfg.quick, cfg.workers, runtime.GOMAXPROCS(0), elapsed.Seconds()}
+	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return t.CSV(f)
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

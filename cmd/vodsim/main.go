@@ -7,12 +7,20 @@
 //
 //	vodsim -lambda 40 -degree 1.2 -replicator zipf -placer slf -runs 20
 //	vodsim -scenario scenario.json
+//
+// With -sweep, vodsim evaluates the same configuration across several
+// arrival rates on the experiment harness (internal/exp), running the whole
+// grid in parallel:
+//
+//	vodsim -sweep 8,16,24,32,40 -degree 1.2 -runs 20
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"vodcluster"
 	"vodcluster/internal/avail"
@@ -20,6 +28,7 @@ import (
 	"vodcluster/internal/config"
 	"vodcluster/internal/core"
 	"vodcluster/internal/dynrep"
+	"vodcluster/internal/exp"
 	"vodcluster/internal/report"
 	"vodcluster/internal/resilience"
 	"vodcluster/internal/sim"
@@ -64,6 +73,8 @@ func run() error {
 	degradeFloor := flag.Float64("degrade-floor", 0, "minimum fraction of nominal rate for degraded service/failover; 0 = default (0.5)")
 	repair := flag.Bool("repair", false, "re-replicate under-replicated videos onto the least-loaded up server")
 	repairMinLive := flag.Int("repair-min-live", 0, "live-replica threshold that triggers a repair copy; 0 = default (2)")
+	sweepList := flag.String("sweep", "", "comma-separated arrival rates (req/min) to sweep instead of the single -lambda run; every other knob still applies")
+	workers := flag.Int("workers", 0, "parallel simulations across a -sweep; 0 = GOMAXPROCS, 1 = sequential")
 	flag.Parse()
 
 	if *scenarioPath != "" {
@@ -134,13 +145,14 @@ func run() error {
 		if p.BackboneBandwidth <= 0 {
 			return fmt.Errorf("-dynamic needs -backbone > 0 for replica migrations")
 		}
-		cfg.NewController = func() sim.Controller {
-			m, err := dynrep.New(p, dynrep.Options{})
-			if err != nil {
-				panic(err)
-			}
-			return m
+		newManager, err := dynrep.NewFactory(p, dynrep.Options{})
+		if err != nil {
+			return err
 		}
+		cfg.NewController = func() sim.Controller { return newManager() }
+	}
+	if *sweepList != "" {
+		return runSweep(s, cfg, *sweepList, *workers)
 	}
 	agg, runs, err := sim.RunMany(cfg, s.Runs)
 	if err != nil {
@@ -197,4 +209,58 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runSweep evaluates the assembled configuration across several arrival
+// rates on the experiment harness — the whole grid runs in parallel, and
+// results are identical for every -workers value at the same seed.
+func runSweep(s config.Scenario, cfg sim.Config, list string, workers int) error {
+	lambdas, err := parseLambdas(list)
+	if err != nil {
+		return err
+	}
+	sw := &exp.Sweep{
+		Xs: lambdas,
+		Series: []exp.Series{{Name: "sweep", Config: func(lam float64) (sim.Config, error) {
+			q := cfg.Problem.Clone()
+			q.ArrivalRate = lam / core.Minute
+			c := cfg
+			c.Problem = q
+			return c, nil
+		}}},
+		Runs:    s.Runs,
+		Seed:    s.Seed,
+		Workers: workers,
+	}
+	grid, err := sw.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s + %s + %s, λ sweep {%s} req/min, θ=%.3g, %d runs/point\n",
+		s.Replicator, s.Placer, s.Scheduler, list, s.Theta, s.Runs)
+	t := report.NewTable("λ (req/min)", "rejected %", "± 95% CI", "imbalance L (Eq.2)", "mean utilization", "failure rate %")
+	for _, pt := range grid[0] {
+		t.AddRowf(pt.X,
+			100*pt.Agg.RejectionRate.Mean(), 100*pt.Agg.RejectionRate.CI95(),
+			pt.Agg.ImbalanceAvg.Mean(), pt.Agg.MeanUtilization.Mean(),
+			100*pt.Agg.FailureRate.Mean())
+	}
+	return t.Fprint(os.Stdout)
+}
+
+// parseLambdas parses the -sweep list: comma-separated positive rates.
+func parseLambdas(list string) ([]float64, error) {
+	parts := strings.Split(list, ",")
+	lambdas := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		lam, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-sweep: bad arrival rate %q: %v", part, err)
+		}
+		if lam <= 0 {
+			return nil, fmt.Errorf("-sweep: arrival rate must be positive, got %g", lam)
+		}
+		lambdas = append(lambdas, lam)
+	}
+	return lambdas, nil
 }

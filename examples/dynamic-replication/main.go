@@ -9,6 +9,9 @@
 // during run-time") watches demand, recomputes the Zipf-interval target on
 // the empirical ranking, and migrates replicas over the cluster backbone.
 //
+// Both policies replay the same traces, evaluated in parallel on the
+// experiment harness (internal/exp) with one trace per swept run index.
+//
 //	go run ./examples/dynamic-replication
 package main
 
@@ -19,6 +22,7 @@ import (
 	"vodcluster"
 	"vodcluster/internal/config"
 	"vodcluster/internal/dynrep"
+	"vodcluster/internal/exp"
 	"vodcluster/internal/report"
 	"vodcluster/internal/sim"
 	"vodcluster/internal/workload"
@@ -37,49 +41,67 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Validated once, before any run starts; each run gets a fresh Manager.
+	newManager, err := dynrep.NewFactory(problem, dynrep.Options{
+		IntervalSec: 300, // adjust every 5 simulated minutes
+		MaxPerTick:  4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	const runs = 10
-	t := report.NewTable("policy", "rejected %", "migrations/run", "evictions/run")
+	runIdx := make([]float64, runs)
+	for i := range runIdx {
+		runIdx[i] = float64(i)
+	}
+	mgrs := make([]*dynrep.Manager, runs)
+	series := make([]exp.Series, 0, 2)
 	for _, dynamic := range []bool{false, true} {
-		var rej, mig, evi float64
-		for run := 0; run < runs; run++ {
+		dynamic := dynamic
+		name := "static layout"
+		if dynamic {
+			name = "dynamic replication"
+		}
+		series = append(series, exp.Series{Name: name, Config: func(x float64) (sim.Config, error) {
+			run := int(x)
 			trace := gen.Generate(problem.PeakPeriod, 100+int64(run))
 			shifted, err := trace.Remap(
 				workload.RotationMapping(problem.M(), problem.M()/2),
 				problem.PeakPeriod/2)
 			if err != nil {
-				log.Fatal(err)
+				return sim.Config{}, err
 			}
-			cfg := sim.Config{Problem: problem, Layout: layout, Trace: shifted, Seed: int64(run)}
-			var mgr *dynrep.Manager
+			cfg := sim.Config{Problem: problem, Layout: layout, Trace: shifted}
 			if dynamic {
 				cfg.NewController = func() sim.Controller {
-					m, err := dynrep.New(problem, dynrep.Options{
-						IntervalSec: 300, // adjust every 5 simulated minutes
-						MaxPerTick:  4,
-					})
-					if err != nil {
-						log.Fatal(err)
-					}
-					mgr = m
+					m := newManager()
+					mgrs[run] = m
 					return m
 				}
 			}
-			res, err := sim.Run(cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			rej += res.RejectionRate
-			if mgr != nil {
-				mig += float64(mgr.Migrations())
-				evi += float64(mgr.Evictions())
+			return cfg, nil
+		}})
+	}
+	sweep := &exp.Sweep{Xs: runIdx, Series: series, Runs: 1}
+	grid, err := sweep.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("policy", "rejected %", "migrations/run", "evictions/run")
+	for si, ser := range series {
+		var rej, mig, evi float64
+		for xi := range runIdx {
+			rej += grid[si][xi].Results[0].RejectionRate
+		}
+		if ser.Name == "dynamic replication" {
+			for _, m := range mgrs {
+				mig += float64(m.Migrations())
+				evi += float64(m.Evictions())
 			}
 		}
-		name := "static layout"
-		if dynamic {
-			name = "dynamic replication"
-		}
-		t.AddRowf(name, 100*rej/runs, mig/runs, evi/runs)
+		t.AddRowf(ser.Name, 100*rej/runs, mig/runs, evi/runs)
 	}
 	fmt.Println(t)
 	fmt.Println("the static layout pays for its stale ranking after the shift; the manager")

@@ -2,10 +2,13 @@
 //
 // For each replication/placement combination, sweep the arrival rate from
 // light load to beyond the cluster's saturation point (40 requests/minute on
-// the paper's cluster) and chart the rejection rate. The ranking the paper
-// reports — Zipf replication + smallest-load-first placement dominating the
-// classification + round-robin baseline, with the gap closing as the
-// replication degree rises — reproduces here.
+// the paper's cluster) and chart the rejection rate. The whole grid —
+// combinations × rates × replications — evaluates in parallel on the
+// experiment harness (internal/exp), with results independent of the worker
+// count. The ranking the paper reports — Zipf replication +
+// smallest-load-first placement dominating the classification + round-robin
+// baseline, with the gap closing as the replication degree rises —
+// reproduces here.
 //
 //	go run ./examples/rejection-sweep
 package main
@@ -13,11 +16,12 @@ package main
 import (
 	"fmt"
 	"log"
-	"os"
 
 	"vodcluster"
 	"vodcluster/internal/config"
-	"vodcluster/internal/report"
+	"vodcluster/internal/core"
+	"vodcluster/internal/exp"
+	"vodcluster/internal/sim"
 )
 
 func main() {
@@ -30,47 +34,46 @@ func main() {
 	}
 
 	for _, degree := range []float64{1.2, 2.0} {
-		chart := &report.Chart{
-			Title:  fmt.Sprintf("Rejection rate (%%) vs arrival rate — degree %.1f, θ=0.75", degree),
-			XLabel: "arrival rate (req/min)",
-			YLabel: "rejection (%)",
-		}
-		table := report.NewTable("λ (req/min)", "zipf+slf", "zipf+rr", "class+slf", "class+rr")
-		cells := make([][]float64, len(lambdas))
-		for i := range cells {
-			cells[i] = make([]float64, len(combos))
-		}
-
-		for ci, combo := range combos {
+		var seed int64
+		const runs = 10
+		series := make([]exp.Series, 0, len(combos))
+		for _, combo := range combos {
 			s := config.Paper()
 			s.Degree = degree
 			s.Replicator, s.Placer = combo[0], combo[1]
-			s.Runs = 10
+			seed = s.Seed
 			p, layout, sched, err := vodcluster.Pipeline(s)
 			if err != nil {
 				log.Fatal(err)
 			}
-			points, err := vodcluster.SweepArrivalRates(p, layout, sched, lambdas, s.Runs, s.Seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			ys := make([]float64, len(points))
-			for i, pt := range points {
-				ys[i] = 100 * pt.Agg.RejectionRate.Mean()
-				cells[i][ci] = ys[i]
-			}
-			chart.Add(report.Series{Name: combo[0] + "+" + combo[1], X: lambdas, Y: ys})
+			series = append(series, exp.Series{
+				Name: combo[0] + "+" + combo[1],
+				Config: func(lam float64) (sim.Config, error) {
+					q := p.Clone()
+					q.ArrivalRate = lam / core.Minute
+					return sim.Config{Problem: q, Layout: layout, NewScheduler: sched}, nil
+				},
+			})
 		}
 
-		for i, lam := range lambdas {
-			table.AddRowf(lam, cells[i][0], cells[i][1], cells[i][2], cells[i][3])
-		}
-		if err := table.Fprint(os.Stdout); err != nil {
+		sweep := &exp.Sweep{Xs: lambdas, Series: series, Runs: runs, Seed: seed}
+		grid, err := sweep.Run()
+		if err != nil {
 			log.Fatal(err)
 		}
-		if err := chart.Fprint(os.Stdout); err != nil {
+
+		emit := &exp.Emitter{}
+		table := sweep.Table(grid, "λ (req/min)", exp.RejectionPct,
+			[]string{"λ (req/min)", "zipf+slf", "zipf+rr", "class+slf", "class+rr"})
+		if err := emit.Table(fmt.Sprintf("rejection-deg%.1f", degree), table); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println()
+		chart := sweep.Chart(grid,
+			fmt.Sprintf("Rejection rate (%%) vs arrival rate — degree %.1f, θ=0.75", degree),
+			"arrival rate (req/min)", "rejection (%)", exp.RejectionPct)
+		if err := emit.Chart(chart); err != nil {
+			log.Fatal(err)
+		}
+		emit.Printf("\n")
 	}
 }

@@ -1,0 +1,64 @@
+package vodcluster_test
+
+// Golden pin of one full figure table: Fig. 4(a) in vodbench's -quick -seed 42
+// configuration. The file testdata/fig4a_quick.golden was captured from the
+// pre-harness sequential sweep loops; the exp-harness reproduction must stay
+// byte-identical, so any change to seed derivation, event ordering, or table
+// formatting fails here before it silently shifts every figure.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"vodcluster"
+	"vodcluster/internal/config"
+	"vodcluster/internal/core"
+	"vodcluster/internal/exp"
+	"vodcluster/internal/sim"
+)
+
+func TestFigure4QuickGolden(t *testing.T) {
+	// vodbench -fig 4 -quick -seed 42, subplot (a): zipf+slf at θ=0.75,
+	// degrees {1.0, 1.4, 2.0}, λ ∈ {16, 32, 40}, 5 replications per point.
+	degrees := []float64{1.0, 1.4, 2.0}
+	series := make([]exp.Series, 0, len(degrees))
+	headers := []string{"λ (req/min)"}
+	for _, degree := range degrees {
+		s := config.Paper()
+		s.Theta = 0.75
+		s.Degree = degree
+		s.Replicator, s.Placer = "zipf", "slf"
+		p, layout, sched, err := vodcluster.Pipeline(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series = append(series, exp.Series{
+			Name: fmt.Sprintf("deg %.1f", degree),
+			Config: func(lam float64) (sim.Config, error) {
+				q := p.Clone()
+				q.ArrivalRate = lam / core.Minute
+				return sim.Config{Problem: q, Layout: layout, NewScheduler: sched}, nil
+			},
+		})
+		headers = append(headers, fmt.Sprintf("deg %.1f (%%)", degree))
+	}
+	sweep := &exp.Sweep{Xs: []float64{16, 32, 40}, Series: series, Runs: 5, Seed: 42}
+	grid, err := sweep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := sweep.Table(grid, headers[0], exp.RejectionPct, headers).Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/fig4a_quick.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Fig. 4(a) quick table diverged from the golden capture.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

@@ -58,13 +58,14 @@ type Manager struct {
 	skipped    int
 }
 
-// New builds a Manager for the given problem.
-func New(p *core.Problem, opts Options) (*Manager, error) {
+// withDefaults validates opts against the problem and fills in defaults.
+func (opts Options) withDefaults(p *core.Problem) (Options, error) {
+	var zero Options
 	if p == nil {
-		return nil, fmt.Errorf("dynrep: nil problem")
+		return zero, fmt.Errorf("dynrep: nil problem")
 	}
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return zero, err
 	}
 	if opts.Replicator == nil {
 		opts.Replicator = replicate.ZipfInterval{}
@@ -73,32 +74,60 @@ func New(p *core.Problem, opts Options) (*Manager, error) {
 		opts.IntervalSec = 300
 	}
 	if opts.IntervalSec < 0 {
-		return nil, fmt.Errorf("dynrep: interval must be positive, got %g", opts.IntervalSec)
+		return zero, fmt.Errorf("dynrep: interval must be positive, got %g", opts.IntervalSec)
 	}
 	if opts.Decay == 0 {
 		opts.Decay = 0.5
 	}
 	if opts.Decay < 0 || opts.Decay >= 1 {
-		return nil, fmt.Errorf("dynrep: decay must be in [0,1), got %g", opts.Decay)
+		return zero, fmt.Errorf("dynrep: decay must be in [0,1), got %g", opts.Decay)
 	}
 	if opts.MigrationRate == 0 {
 		opts.MigrationRate = 200 * core.Mbps
 	}
 	if opts.MigrationRate < 0 {
-		return nil, fmt.Errorf("dynrep: migration rate must be positive, got %g", opts.MigrationRate)
+		return zero, fmt.Errorf("dynrep: migration rate must be positive, got %g", opts.MigrationRate)
 	}
 	if opts.MaxPerTick == 0 {
 		opts.MaxPerTick = 2
 	}
 	if opts.MaxPerTick < 0 {
-		return nil, fmt.Errorf("dynrep: MaxPerTick must be positive, got %d", opts.MaxPerTick)
+		return zero, fmt.Errorf("dynrep: MaxPerTick must be positive, got %d", opts.MaxPerTick)
 	}
+	return opts, nil
+}
+
+// newManager builds a Manager from already-validated options.
+func newManager(p *core.Problem, opts Options) *Manager {
 	return &Manager{
 		p:        p,
 		opts:     opts,
 		counts:   make([]float64, p.M()),
 		inflight: make(map[int]bool),
-	}, nil
+	}
+}
+
+// New builds a Manager for the given problem.
+func New(p *core.Problem, opts Options) (*Manager, error) {
+	opts, err := opts.withDefaults(p)
+	if err != nil {
+		return nil, err
+	}
+	return newManager(p, opts), nil
+}
+
+// NewFactory validates (p, opts) once, up front, and returns a constructor
+// producing a fresh Manager per call. A Manager holds per-run state, so
+// replicated simulation runs need one each — sim.Config.NewController takes
+// a factory for exactly that reason, but its signature has no error return.
+// NewFactory moves the validation failure before the runs start instead of
+// panicking inside one.
+func NewFactory(p *core.Problem, opts Options) (func() *Manager, error) {
+	opts, err := opts.withDefaults(p)
+	if err != nil {
+		return nil, err
+	}
+	return func() *Manager { return newManager(p, opts) }, nil
 }
 
 // Migrations returns the number of replica copies completed.

@@ -87,6 +87,32 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+func TestNewFactoryValidatesUpFrontAndBuildsFreshManagers(t *testing.T) {
+	p, _ := shiftProblem(t)
+	if _, err := NewFactory(nil, Options{}); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+	if _, err := NewFactory(p, Options{Decay: 1.5}); err == nil {
+		t.Fatal("decay ≥ 1 accepted")
+	}
+	newManager, err := NewFactory(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := newManager(), newManager()
+	if a == b {
+		t.Fatal("factory returned a shared Manager; replicated runs need one each")
+	}
+	if a.Interval() != 300 {
+		t.Fatalf("default interval %g", a.Interval())
+	}
+	// Per-run state must not leak between the factory's products.
+	a.Observe(0)
+	if b.counts[0] != 0 {
+		t.Fatal("observation leaked into a sibling Manager")
+	}
+}
+
 func TestNoObservationsNoAction(t *testing.T) {
 	p, layout := shiftProblem(t)
 	st, err := cluster.New(p, layout)

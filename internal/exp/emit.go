@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"vodcluster/internal/report"
+)
+
+// Emitter is the single output path for experiment results: tables print to
+// Out and, when CSVDir is set, every table also lands as <CSVDir>/<name>.csv
+// — uniformly, for every figure that goes through it.
+type Emitter struct {
+	// Out receives rendered tables and charts; nil means os.Stdout.
+	Out io.Writer
+	// CSVDir, when non-empty, mirrors every emitted table as CSV there.
+	CSVDir string
+}
+
+func (e *Emitter) out() io.Writer {
+	if e.Out == nil {
+		return os.Stdout
+	}
+	return e.Out
+}
+
+// Printf writes free-form commentary to the emitter's output stream.
+func (e *Emitter) Printf(format string, args ...any) {
+	fmt.Fprintf(e.out(), format, args...)
+}
+
+// Table prints t and, when CSVDir is set, writes it as <name>.csv too.
+func (e *Emitter) Table(name string, t *report.Table) error {
+	if err := t.Fprint(e.out()); err != nil {
+		return err
+	}
+	if e.CSVDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(e.CSVDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(e.CSVDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}
+
+// Chart prints c to the emitter's output stream.
+func (e *Emitter) Chart(c *report.Chart) error {
+	return c.Fprint(e.out())
+}
+
+// Table renders the evaluated grid as a table with one row per x and one
+// metric column per series: the layout every figure table in this
+// repository uses. headers overrides the column titles when non-nil
+// (len(s.Series)+1 entries: the x column first); nil derives them from the
+// series names.
+func (s *Sweep) Table(grid [][]Point, xHeader string, metric Metric, headers []string) *report.Table {
+	if headers == nil {
+		headers = make([]string, 0, len(s.Series)+1)
+		headers = append(headers, xHeader)
+		for _, ser := range s.Series {
+			headers = append(headers, ser.Name)
+		}
+	}
+	t := report.NewTable(headers...)
+	for xi, x := range s.Xs {
+		row := make([]any, 0, len(grid)+1)
+		row = append(row, x)
+		for si := range grid {
+			row = append(row, metric(grid[si][xi]))
+		}
+		t.AddRowf(row...)
+	}
+	return t
+}
+
+// Chart renders the evaluated grid as an ASCII chart with one series per
+// sweep series.
+func (s *Sweep) Chart(grid [][]Point, title, xLabel, yLabel string, metric Metric) *report.Chart {
+	c := &report.Chart{Title: title, XLabel: xLabel, YLabel: yLabel}
+	for si := range grid {
+		ys := make([]float64, len(s.Xs))
+		for xi := range grid[si] {
+			ys[xi] = metric(grid[si][xi])
+		}
+		c.Add(report.Series{Name: s.Series[si].Name, X: s.Xs, Y: ys})
+	}
+	return c
+}

@@ -1,0 +1,381 @@
+package sim
+
+import (
+	"fmt"
+
+	"vodcluster/internal/cluster"
+	"vodcluster/internal/core"
+	"vodcluster/internal/metrics"
+	"vodcluster/internal/resilience"
+	"vodcluster/internal/stats"
+	"vodcluster/internal/workload"
+	"vodcluster/internal/zipf"
+)
+
+// run is the per-execution state of one simulation: the event engine, the
+// cluster, and the registered lifecycle hooks. Run (vod.go) builds it,
+// schedules the initial events, and drains the queue; every transition of
+// the session lifecycle — admit → serve → (end | tear | salvage) — flows
+// through the fire* methods so hooks observe a consistent event stream.
+type run struct {
+	p        *core.Problem
+	st       *cluster.State
+	eng      *Engine
+	sched    cluster.Scheduler
+	col      *metrics.Collector
+	rng      *stats.RNG
+	duration float64
+	warmup   float64
+	pol      resilience.Policy
+	degrader *resilience.Degrader
+
+	// sessions tracks every live stream's lifecycle record, so failover can
+	// re-schedule a salvaged stream's departure at its original end time and
+	// later outcomes adjust statistics only for measured sessions.
+	sessions map[cluster.StreamID]*Session
+
+	hooks     []Hook
+	rejectors []RejectInterceptor
+	tearers   []TearInterceptor
+	tickers   []Ticker
+}
+
+// register adds a hook and wires up any optional interfaces it implements.
+func (r *run) register(h Hook) {
+	r.hooks = append(r.hooks, h)
+	if ic, ok := h.(RejectInterceptor); ok {
+		r.rejectors = append(r.rejectors, ic)
+	}
+	if ic, ok := h.(TearInterceptor); ok {
+		r.tearers = append(r.tearers, ic)
+	}
+	if tk, ok := h.(Ticker); ok {
+		r.tickers = append(r.tickers, tk)
+	}
+}
+
+func (r *run) warm(now float64) bool { return now >= r.warmup }
+
+// mustAfter schedules a callback from within an event handler, where a
+// scheduling failure is a programming error (delays are non-negative).
+func (r *run) mustAfter(delay float64, fn Handler) {
+	if err := r.eng.ScheduleAfter(delay, fn); err != nil {
+		panic(err)
+	}
+}
+
+func (r *run) fireArrival(now float64, video int) {
+	for _, h := range r.hooks {
+		h.OnArrival(now, video)
+	}
+}
+
+func (r *run) fireAdmit(now float64, s *Session) {
+	for _, h := range r.hooks {
+		h.OnAdmit(now, s)
+	}
+}
+
+func (r *run) fireReject(now float64, video int, measured bool) {
+	for _, h := range r.hooks {
+		h.OnReject(now, video, measured)
+	}
+}
+
+func (r *run) fireRetryQueued(now float64, video int, measured bool) {
+	for _, h := range r.hooks {
+		h.OnRetryQueued(now, video, measured)
+	}
+}
+
+func (r *run) fireRetryOutcome(now float64, video int, admitted, measured bool) {
+	for _, h := range r.hooks {
+		h.OnRetryOutcome(now, video, admitted, measured)
+	}
+}
+
+func (r *run) fireEnd(now float64, s *Session) {
+	for _, h := range r.hooks {
+		h.OnEnd(now, s)
+	}
+}
+
+func (r *run) fireTear(now float64, s *Session) {
+	for _, h := range r.hooks {
+		h.OnTear(now, s)
+	}
+}
+
+func (r *run) fireSalvage(now float64, old, s *Session) {
+	for _, h := range r.hooks {
+		h.OnSalvage(now, old, s)
+	}
+}
+
+func (r *run) fireSample(now float64) {
+	for _, h := range r.hooks {
+		h.OnSample(now, r.st)
+	}
+}
+
+func (r *run) fireDone(now float64) {
+	for _, h := range r.hooks {
+		h.OnDone(now, r.col)
+	}
+}
+
+// departAfter schedules the session's normal departure. A server failure may
+// tear the stream down first; a missing stream at departure time is expected
+// then and the event is a no-op.
+func (r *run) departAfter(id cluster.StreamID, delay float64) {
+	if delay < 0 {
+		delay = 0
+	}
+	r.mustAfter(delay, func(now float64) {
+		if _, ok := r.st.Lookup(id); ok {
+			if err := r.st.Release(id); err != nil {
+				panic(err) // release of a live stream cannot fail
+			}
+			if s := r.sessions[id]; s != nil {
+				r.fireEnd(now, s)
+			}
+		}
+		delete(r.sessions, id)
+	})
+}
+
+// startSession runs one admission attempt and, on success, registers the
+// session and schedules its departure. measured is fixed at arrival time, so
+// a retry that settles after the warmup boundary stays unmeasured. Callers
+// fire OnAdmit; startSession itself stays silent so the retry path can order
+// its own events around the admission.
+func (r *run) startSession(now float64, video int, measured bool) (*Session, bool) {
+	id, ok := r.st.Admit(video, r.sched)
+	if !ok {
+		return nil, false
+	}
+	st, _ := r.st.Lookup(id)
+	s := &Session{
+		ID:         id,
+		Video:      video,
+		Server:     st.Server,
+		Rate:       st.Rate,
+		Redirected: st.Redirected,
+		Measured:   measured,
+		End:        now + r.p.Catalog[video].Duration,
+	}
+	if r.degrader != nil && r.degrader.LastDegraded() {
+		s.Degraded = true
+	}
+	r.sessions[id] = s
+	r.departAfter(id, r.p.Catalog[video].Duration)
+	return s, true
+}
+
+// admit settles one arrival: admission, a reject interceptor taking
+// ownership (retry queue), or a rejection.
+func (r *run) admit(now float64, video int) {
+	r.fireArrival(now, video)
+	measured := r.warm(now)
+	if s, ok := r.startSession(now, video, measured); ok {
+		r.fireAdmit(now, s)
+		return
+	}
+	for _, ic := range r.rejectors {
+		if ic.InterceptReject(now, video, measured) {
+			return
+		}
+	}
+	r.fireReject(now, video, measured)
+}
+
+// failServer tears down one server and settles every interrupted stream: a
+// tear interceptor may salvage it (session failover), a tear-for-good
+// otherwise. Shared by the stochastic and the scripted failure paths.
+func (r *run) failServer(now float64, srv int) {
+	for _, t := range r.st.FailServer(srv) {
+		old := r.sessions[t.ID]
+		if old == nil {
+			// Unreachable for streams admitted through startSession; keep
+			// the zero-value semantics of the pre-hook bookkeeping maps.
+			old = &Session{ID: t.ID, Video: t.Video, Server: t.Server}
+		}
+		delete(r.sessions, t.ID)
+		salvaged := false
+		for _, ic := range r.tearers {
+			s, ok := ic.InterceptTear(now, old)
+			if !ok {
+				continue
+			}
+			r.sessions[s.ID] = s
+			r.fireSalvage(now, old, s)
+			r.departAfter(s.ID, s.End-now)
+			salvaged = true
+			break
+		}
+		if !salvaged {
+			r.fireTear(now, old)
+		}
+	}
+}
+
+// scheduleTicker registers tk's periodic ticks across the arrival window:
+// the first at t = interval, then every interval while the next tick still
+// falls inside the window.
+func (r *run) scheduleTicker(tk Ticker) error {
+	interval := tk.Interval()
+	if interval <= 0 {
+		return fmt.Errorf("sim: controller interval must be positive, got %g", interval)
+	}
+	schedule := func(delay float64, fn func(now float64)) {
+		r.mustAfter(delay, fn)
+	}
+	var tick func(now float64)
+	tick = func(now float64) {
+		tk.Tick(now, r.st, schedule)
+		if now+interval <= r.duration {
+			r.mustAfter(interval, tick)
+		}
+	}
+	return r.eng.Schedule(interval, tick)
+}
+
+// scheduleTrace replays a materialized request trace.
+func (r *run) scheduleTrace(tr *workload.Trace) error {
+	for _, req := range tr.Requests {
+		req := req
+		if req.Video >= r.p.M() {
+			return fmt.Errorf("sim: trace request targets video %d outside catalog of %d", req.Video, r.p.M())
+		}
+		if err := r.eng.Schedule(req.Time, func(now float64) { r.admit(now, req.Video) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scheduleArrivals generates online arrivals from the given process with
+// Zipf-like video selection, one event ahead of itself.
+func (r *run) scheduleArrivals(arrivals workload.ArrivalProcess) error {
+	// Derived substreams: arrival gaps and video choices must not interact
+	// with any other randomness of the run.
+	arrRNG := r.rng.Derive(1)
+	vidRNG := r.rng.Derive(2)
+	sampler, err := zipf.NewWeightedSampler(r.p.Catalog.Popularities())
+	if err != nil {
+		return fmt.Errorf("sim: building video sampler: %w", err)
+	}
+	var nextArrival func(now float64)
+	nextArrival = func(now float64) {
+		gap := arrivals.Next(arrRNG)
+		t := now + gap
+		if t > r.duration {
+			return
+		}
+		if err := r.eng.Schedule(t, func(tt float64) {
+			r.admit(tt, sampler.Sample(vidRNG))
+			nextArrival(tt)
+		}); err != nil {
+			panic(err)
+		}
+	}
+	nextArrival(0)
+	return nil
+}
+
+// retryHook is the retry-with-backoff admission mechanism as a lifecycle
+// hook: it intercepts rejections, re-attempts admission on the backed-off
+// schedule, and settles each queued arrival as a success or a renege.
+type retryHook struct {
+	BaseHook
+	r       *run
+	retrier *resilience.Retrier
+}
+
+func (h *retryHook) InterceptReject(now float64, video int, measured bool) bool {
+	if !h.retrier.TryEnqueue() {
+		return false
+	}
+	h.r.fireRetryQueued(now, video, measured)
+	h.retryLater(now, video, 0, 0, measured)
+	return true
+}
+
+// retryLater re-queues one rejected arrival: wait the backed-off delay,
+// attempt again, renege once the next delay would exhaust the patience.
+func (h *retryHook) retryLater(now float64, video, attempt int, waited float64, measured bool) {
+	delay, ok := h.retrier.Delay(attempt, waited)
+	if !ok {
+		h.retrier.Resolve()
+		h.r.fireRetryOutcome(now, video, false, measured)
+		return
+	}
+	h.r.mustAfter(delay, func(tt float64) {
+		if s, ok := h.r.startSession(tt, video, measured); ok {
+			h.retrier.Resolve()
+			h.r.fireAdmit(tt, s)
+			h.r.fireRetryOutcome(tt, video, true, measured)
+			return
+		}
+		h.retryLater(tt, video, attempt+1, waited+delay, measured)
+	})
+}
+
+// failoverHook is the session-failover mechanism as a lifecycle hook: it
+// salvages torn sessions onto surviving replicas, preserving the original
+// departure time and measurement status.
+type failoverHook struct {
+	BaseHook
+	r *run
+}
+
+func (h *failoverHook) InterceptTear(now float64, old *Session) (*Session, bool) {
+	nid, ok := resilience.TryFailover(h.r.st, old.Video, h.r.pol.DegradeFloor)
+	if !ok {
+		return nil, false
+	}
+	ns, _ := h.r.st.Lookup(nid)
+	return &Session{
+		ID:         nid,
+		Video:      old.Video,
+		Server:     ns.Server,
+		Rate:       ns.Rate,
+		Redirected: ns.Redirected,
+		Measured:   old.Measured,
+		End:        old.End,
+	}, true
+}
+
+// repairHook runs the re-replication repairer as a ticker and reports its
+// completed copies into the collector when the run finishes.
+type repairHook struct {
+	BaseHook
+	repairer *resilience.Repairer
+}
+
+func (h *repairHook) Interval() float64 { return h.repairer.Interval() }
+
+func (h *repairHook) Tick(now float64, st *cluster.State, schedule func(delay float64, fn func(now float64))) {
+	h.repairer.Tick(now, st, schedule)
+}
+
+func (h *repairHook) OnDone(now float64, col *metrics.Collector) {
+	col.ReReplications(h.repairer.Completed())
+}
+
+// samplerHook is the periodic load sampler as a ticker: inside the
+// measurement window it fires OnSample for every hook (the metrics hook
+// records the snapshot).
+type samplerHook struct {
+	BaseHook
+	r        *run
+	interval float64
+}
+
+func (h *samplerHook) Interval() float64 { return h.interval }
+
+func (h *samplerHook) Tick(now float64, st *cluster.State, schedule func(delay float64, fn func(now float64))) {
+	if h.r.warm(now) {
+		h.r.fireSample(now)
+	}
+}

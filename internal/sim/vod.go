@@ -10,7 +10,6 @@ import (
 	"vodcluster/internal/resilience"
 	"vodcluster/internal/stats"
 	"vodcluster/internal/workload"
-	"vodcluster/internal/zipf"
 )
 
 // Config describes one VoD simulation run. Zero-value optional fields take
@@ -62,7 +61,8 @@ type Config struct {
 	// internal/resilience: session failover, retry-with-backoff admission,
 	// graceful bitrate degradation, and re-replication repair. Each is
 	// individually toggleable; a policy with every toggle off (or a nil
-	// pointer) reproduces the paper-faithful baseline bit for bit.
+	// pointer) reproduces the paper-faithful baseline bit for bit. The
+	// mechanisms register as lifecycle hooks (see Hook).
 	Resilience *resilience.Policy
 	// StreamLimit caps concurrent streams per server (disk-I/O bound
 	// derived from internal/disk); 0 means network-only admission, the
@@ -79,6 +79,15 @@ type Config struct {
 	// repair mechanism runs its own tick loop, so a dynamic-replication
 	// controller and Resilience.Repair can coexist.
 	NewController func() Controller
+	// Hooks registers additional session-lifecycle observers after the
+	// built-in ones (metrics, controller, resilience, sampler). A hook that
+	// also implements RejectInterceptor, TearInterceptor, or Ticker joins
+	// the respective chain. Hooks are per-run; like NewScheduler, parallel
+	// replications must not share stateful hooks — use NewHooks for those.
+	Hooks []Hook
+	// NewHooks, when non-nil, constructs per-run hooks (a factory for the
+	// same reason as NewScheduler); the result is appended after Hooks.
+	NewHooks func() []Hook
 }
 
 // Controller is a runtime policy that observes the workload and adjusts the
@@ -95,14 +104,36 @@ type Controller interface {
 }
 
 // Run executes one simulation and returns its measurements.
+//
+// The run is organized as an explicit session lifecycle —
+// admit → serve → (end | tear | salvage) — driven by the discrete-event
+// engine. Everything that observes or bends that lifecycle registers as a
+// Hook: metrics collection, the resilience mechanisms, runtime controllers,
+// and the periodic load sampler. With no hooks beyond the defaults the run
+// reproduces the paper's model bit for bit.
 func Run(cfg Config) (metrics.Result, error) {
 	var zero metrics.Result
+	r, err := newRun(cfg)
+	if err != nil {
+		return zero, err
+	}
+	if err := r.schedule(cfg); err != nil {
+		return zero, err
+	}
+	r.eng.RunAll()
+	r.fireDone(r.eng.Now())
+	return r.col.Result(), nil
+}
+
+// newRun validates the configuration and assembles the run: cluster state,
+// scheduler, collector, and the hook chain.
+func newRun(cfg Config) (*run, error) {
 	if cfg.Problem == nil || cfg.Layout == nil {
-		return zero, fmt.Errorf("sim: Problem and Layout are required")
+		return nil, fmt.Errorf("sim: Problem and Layout are required")
 	}
 	p := cfg.Problem
 	if err := p.Validate(); err != nil {
-		return zero, err
+		return nil, err
 	}
 	var opts []cluster.Option
 	if cfg.StreamLimit > 0 {
@@ -113,7 +144,7 @@ func Run(cfg Config) (metrics.Result, error) {
 	}
 	st, err := cluster.New(p, cfg.Layout, opts...)
 	if err != nil {
-		return zero, err
+		return nil, err
 	}
 	sched := cluster.Scheduler(cluster.StaticRoundRobin{})
 	if cfg.NewScheduler != nil {
@@ -127,12 +158,15 @@ func Run(cfg Config) (metrics.Result, error) {
 	if sample <= 0 {
 		sample = 60
 	}
+	if cfg.Warmup < 0 {
+		return nil, fmt.Errorf("sim: warmup must be non-negative, got %g", cfg.Warmup)
+	}
 
 	var pol resilience.Policy
 	if cfg.Resilience != nil {
 		pol = cfg.Resilience.WithDefaults()
 		if err := pol.Validate(); err != nil {
-			return zero, err
+			return nil, err
 		}
 	}
 	var degrader *resilience.Degrader
@@ -141,189 +175,79 @@ func Run(cfg Config) (metrics.Result, error) {
 		sched = degrader
 	}
 
-	eng := NewEngine()
 	capacities := make([]float64, p.N())
 	for s := range capacities {
 		capacities[s] = p.BandwidthOf(s)
 	}
-	col := metrics.NewCollector(capacities)
 	rng := stats.NewRNG(cfg.Seed)
 
-	var retrier *resilience.Retrier
+	r := &run{
+		p:        p,
+		st:       st,
+		eng:      NewEngine(),
+		sched:    sched,
+		col:      metrics.NewCollector(capacities),
+		rng:      rng,
+		duration: duration,
+		warmup:   cfg.Warmup,
+		pol:      pol,
+		degrader: degrader,
+		sessions: make(map[cluster.StreamID]*Session),
+	}
+
+	// Hook registration order fixes both the event order hooks observe and
+	// the scheduling order of tickers (ties at one instant fire FIFO):
+	// metrics first, then the controller, the resilience mechanisms, the
+	// repairer, the load sampler, and finally any caller-supplied hooks.
+	r.register(&metricsHook{col: r.col, st: st})
+	if cfg.NewController != nil {
+		r.register(&controllerHook{c: cfg.NewController()})
+	}
 	if pol.Retry {
 		// A derived substream: enabling retry must not shift the arrival or
 		// failure randomness of the run.
-		retrier = resilience.NewRetrier(pol, rng.Derive(3))
+		r.register(&retryHook{r: r, retrier: resilience.NewRetrier(pol, rng.Derive(3))})
 	}
-
-	var controller Controller
-	if cfg.NewController != nil {
-		controller = cfg.NewController()
+	if pol.Failover {
+		r.register(&failoverHook{r: r})
 	}
-
-	if cfg.Warmup < 0 {
-		return zero, fmt.Errorf("sim: warmup must be non-negative, got %g", cfg.Warmup)
-	}
-	warm := func(now float64) bool { return now >= cfg.Warmup }
-
-	// Per-session bookkeeping. endAt lets failover re-schedule a salvaged
-	// stream's departure at its original end time; measured marks sessions
-	// whose admission was counted, so later outcomes (drops, failovers)
-	// adjust the statistics only for sessions the statistics know about.
-	endAt := make(map[cluster.StreamID]float64)
-	measured := make(map[cluster.StreamID]bool)
-
-	departAfter := func(id cluster.StreamID, delay float64) {
-		if delay < 0 {
-			delay = 0
+	if pol.Repair {
+		repairer, err := resilience.NewRepairer(p, pol)
+		if err != nil {
+			return nil, err
 		}
-		if err := eng.ScheduleAfter(delay, func(float64) {
-			// A server failure may already have torn the stream down; a
-			// missing stream at departure time is expected then.
-			if _, ok := st.Lookup(id); ok {
-				if err := st.Release(id); err != nil {
-					panic(err) // release of a live stream cannot fail
-				}
-			}
-			delete(endAt, id)
-			delete(measured, id)
-		}); err != nil {
-			panic(err)
+		r.register(&repairHook{repairer: repairer})
+	}
+	r.register(&samplerHook{r: r, interval: sample})
+	for _, h := range cfg.Hooks {
+		r.register(h)
+	}
+	if cfg.NewHooks != nil {
+		for _, h := range cfg.NewHooks() {
+			r.register(h)
 		}
 	}
+	return r, nil
+}
 
-	// startSession runs one admission attempt. counted tells whether this
-	// arrival belongs to the measurement window — fixed at arrival time, so
-	// a retry that settles after the warmup boundary stays unmeasured.
-	startSession := func(now float64, video int, counted bool) bool {
-		id, ok := st.Admit(video, sched)
-		if !ok {
-			return false
-		}
-		s, _ := st.Lookup(id)
-		if counted {
-			measured[id] = true
-			col.Request(s.Server, true, s.Redirected)
-			col.ObserveSessionRate(s.Rate)
-			if degrader != nil && degrader.LastDegraded() {
-				col.Degrade(s.Rate, st.NominalRate(video))
-			}
-		}
-		endAt[id] = now + p.Catalog[video].Duration
-		departAfter(id, p.Catalog[video].Duration)
-		return true
-	}
-
-	// retryLater re-queues one rejected arrival: wait the backed-off delay,
-	// attempt again, renege once the next delay would exhaust the patience.
-	var retryLater func(now float64, video, attempt int, waited float64, counted bool)
-	retryLater = func(now float64, video, attempt int, waited float64, counted bool) {
-		delay, ok := retrier.Delay(attempt, waited)
-		if !ok {
-			retrier.Resolve()
-			if counted {
-				col.Renege()
-			}
-			return
-		}
-		if err := eng.ScheduleAfter(delay, func(tt float64) {
-			if startSession(tt, video, counted) {
-				retrier.Resolve()
-				if counted {
-					col.RetrySuccess()
-				}
-				return
-			}
-			retryLater(tt, video, attempt+1, waited+delay, counted)
-		}); err != nil {
-			panic(err)
-		}
-	}
-
-	admit := func(now float64, video int) {
-		if controller != nil {
-			controller.Observe(video)
-		}
-		counted := warm(now)
-		if startSession(now, video, counted) {
-			return
-		}
-		if retrier != nil && retrier.TryEnqueue() {
-			if counted {
-				col.RetryEnqueued()
-			}
-			retryLater(now, video, 0, 0, counted)
-			return
-		}
-		if counted {
-			col.Request(-1, false, false)
-		}
-	}
-
-	// failServer tears down one server and settles every interrupted stream:
-	// failover onto a surviving replica when enabled and possible, a drop
-	// otherwise. Shared by the stochastic and the scripted failure paths.
-	failServer := func(now float64, s int) {
-		for _, t := range st.FailServer(s) {
-			end, wasMeasured := endAt[t.ID], measured[t.ID]
-			delete(endAt, t.ID)
-			delete(measured, t.ID)
-			if pol.Failover {
-				if nid, ok := resilience.TryFailover(st, t.Video, pol.DegradeFloor); ok {
-					endAt[nid] = end
-					if wasMeasured {
-						measured[nid] = true
-						col.FailOver(1)
-					}
-					departAfter(nid, end-now)
-					continue
-				}
-			}
-			if wasMeasured {
-				col.Drop(1)
-			}
-		}
-	}
-
+// schedule seeds the event queue: arrivals (trace replay or generated),
+// failure injection, and every registered ticker.
+func (r *run) schedule(cfg Config) error {
 	if cfg.Trace != nil {
-		for _, r := range cfg.Trace.Requests {
-			req := r
-			if req.Video >= p.M() {
-				return zero, fmt.Errorf("sim: trace request targets video %d outside catalog of %d", req.Video, p.M())
-			}
-			if err := eng.Schedule(req.Time, func(now float64) { admit(now, req.Video) }); err != nil {
-				return zero, err
-			}
+		if err := r.scheduleTrace(cfg.Trace); err != nil {
+			return err
 		}
 	} else {
 		arrivals := cfg.Arrivals
 		if arrivals == nil {
-			if p.ArrivalRate <= 0 {
-				return zero, fmt.Errorf("sim: problem has no arrival rate and no trace/process was supplied")
+			if r.p.ArrivalRate <= 0 {
+				return fmt.Errorf("sim: problem has no arrival rate and no trace/process was supplied")
 			}
-			arrivals = workload.Poisson{Lambda: p.ArrivalRate}
+			arrivals = workload.Poisson{Lambda: r.p.ArrivalRate}
 		}
-		arrRNG := rng.Derive(1)
-		vidRNG := rng.Derive(2)
-		sampler, err := zipf.NewWeightedSampler(p.Catalog.Popularities())
-		if err != nil {
-			return zero, fmt.Errorf("sim: building video sampler: %w", err)
+		if err := r.scheduleArrivals(arrivals); err != nil {
+			return err
 		}
-		var nextArrival func(now float64)
-		nextArrival = func(now float64) {
-			gap := arrivals.Next(arrRNG)
-			t := now + gap
-			if t > duration {
-				return
-			}
-			if err := eng.Schedule(t, func(tt float64) {
-				admit(tt, sampler.Sample(vidRNG))
-				nextArrival(tt)
-			}); err != nil {
-				panic(err)
-			}
-		}
-		nextArrival(0)
 	}
 
 	// Stochastic failure injection: one alternating up/down process per
@@ -331,22 +255,22 @@ func Run(cfg Config) (metrics.Result, error) {
 	if cfg.Failures != nil {
 		f := *cfg.Failures
 		if err := f.Validate(); err != nil {
-			return zero, err
+			return err
 		}
-		for s := 0; s < p.N(); s++ {
+		for s := 0; s < r.p.N(); s++ {
 			s := s
-			failRNG := rng.Derive(100 + int64(s))
+			failRNG := r.rng.Derive(100 + int64(s))
 			var scheduleFailure func(now float64)
 			scheduleFailure = func(now float64) {
 				at := now + f.NextUptime(failRNG)
-				if at > duration {
+				if at > r.duration {
 					return
 				}
-				if err := eng.Schedule(at, func(tt float64) {
-					failServer(tt, s)
+				if err := r.eng.Schedule(at, func(tt float64) {
+					r.failServer(tt, s)
 					repairAt := tt + f.NextDowntime(failRNG)
-					if err := eng.Schedule(repairAt, func(rt float64) {
-						st.RestoreServer(s)
+					if err := r.eng.Schedule(repairAt, func(rt float64) {
+						r.st.RestoreServer(s)
 						scheduleFailure(rt)
 					}); err != nil {
 						panic(err)
@@ -362,95 +286,25 @@ func Run(cfg Config) (metrics.Result, error) {
 	// Scripted failure injection.
 	for _, ev := range cfg.FailAt {
 		ev := ev
-		if err := ev.Validate(p.N()); err != nil {
-			return zero, err
+		if err := ev.Validate(r.p.N()); err != nil {
+			return err
 		}
-		if err := eng.Schedule(ev.At, func(tt float64) {
-			failServer(tt, ev.Server)
+		if err := r.eng.Schedule(ev.At, func(tt float64) {
+			r.failServer(tt, ev.Server)
 			if ev.Down > 0 {
-				if err := eng.ScheduleAfter(ev.Down, func(float64) {
-					st.RestoreServer(ev.Server)
-				}); err != nil {
-					panic(err)
-				}
+				r.mustAfter(ev.Down, func(float64) {
+					r.st.RestoreServer(ev.Server)
+				})
 			}
 		}); err != nil {
-			return zero, err
+			return err
 		}
 	}
 
-	// Controller ticks across the arrival window.
-	if controller != nil {
-		interval := controller.Interval()
-		if interval <= 0 {
-			return zero, fmt.Errorf("sim: controller interval must be positive, got %g", interval)
-		}
-		schedule := func(delay float64, fn func(now float64)) {
-			if err := eng.ScheduleAfter(delay, fn); err != nil {
-				panic(err)
-			}
-		}
-		var tick func(now float64)
-		tick = func(now float64) {
-			controller.Tick(now, st, schedule)
-			if now+interval <= duration {
-				if err := eng.ScheduleAfter(interval, tick); err != nil {
-					panic(err)
-				}
-			}
-		}
-		if err := eng.Schedule(interval, tick); err != nil {
-			return zero, err
+	for _, tk := range r.tickers {
+		if err := r.scheduleTicker(tk); err != nil {
+			return err
 		}
 	}
-
-	// Re-replication repair runs its own tick loop so it composes with any
-	// NewController (e.g. dynamic replication).
-	var repairer *resilience.Repairer
-	if pol.Repair {
-		repairer, err = resilience.NewRepairer(p, pol)
-		if err != nil {
-			return zero, err
-		}
-		interval := repairer.Interval()
-		schedule := func(delay float64, fn func(now float64)) {
-			if err := eng.ScheduleAfter(delay, fn); err != nil {
-				panic(err)
-			}
-		}
-		var repairTick func(now float64)
-		repairTick = func(now float64) {
-			repairer.Tick(now, st, schedule)
-			if now+interval <= duration {
-				if err := eng.ScheduleAfter(interval, repairTick); err != nil {
-					panic(err)
-				}
-			}
-		}
-		if err := eng.Schedule(interval, repairTick); err != nil {
-			return zero, err
-		}
-	}
-
-	// Periodic load sampling across the arrival window.
-	var sampleTick func(now float64)
-	sampleTick = func(now float64) {
-		if warm(now) {
-			col.SampleLoads(st.UsedBandwidths(), st.TotalActive())
-		}
-		if now+sample <= duration {
-			if err := eng.ScheduleAfter(sample, sampleTick); err != nil {
-				panic(err)
-			}
-		}
-	}
-	if err := eng.Schedule(sample, sampleTick); err != nil {
-		return zero, err
-	}
-
-	eng.RunAll()
-	if repairer != nil {
-		col.ReReplications(repairer.Completed())
-	}
-	return col.Result(), nil
+	return nil
 }

@@ -12,11 +12,13 @@
 package vodcluster
 
 import (
+	"errors"
 	"fmt"
 
 	"vodcluster/internal/cluster"
 	"vodcluster/internal/config"
 	"vodcluster/internal/core"
+	"vodcluster/internal/exp"
 	"vodcluster/internal/metrics"
 	"vodcluster/internal/place"
 	"vodcluster/internal/redirect"
@@ -150,20 +152,27 @@ type SweepPoint struct {
 // the runtime load does.
 func SweepArrivalRates(p *core.Problem, layout *core.Layout, newSched func() cluster.Scheduler,
 	lambdasPerMin []float64, runs int, seed int64) ([]SweepPoint, error) {
-	points := make([]SweepPoint, 0, len(lambdasPerMin))
-	for i, lam := range lambdasPerMin {
-		q := p.Clone()
-		q.ArrivalRate = lam / core.Minute
-		agg, _, err := sim.RunMany(sim.Config{
-			Problem:      q,
-			Layout:       layout,
-			NewScheduler: newSched,
-			Seed:         seed + int64(i)*1000003,
-		}, runs)
-		if err != nil {
-			return nil, fmt.Errorf("vodcluster: sweep at λ=%g/min: %w", lam, err)
+	s := &exp.Sweep{
+		Xs: lambdasPerMin,
+		Series: []exp.Series{{Name: "sweep", Config: func(lam float64) (sim.Config, error) {
+			q := p.Clone()
+			q.ArrivalRate = lam / core.Minute
+			return sim.Config{Problem: q, Layout: layout, NewScheduler: newSched}, nil
+		}}},
+		Runs: runs,
+		Seed: seed,
+	}
+	grid, err := s.Run()
+	if err != nil {
+		var re *exp.RunError
+		if errors.As(err, &re) {
+			return nil, fmt.Errorf("vodcluster: sweep at λ=%g/min: %w", re.X, re.Err)
 		}
-		points = append(points, SweepPoint{LambdaPerMin: lam, Agg: agg})
+		return nil, fmt.Errorf("vodcluster: sweep: %w", err)
+	}
+	points := make([]SweepPoint, 0, len(lambdasPerMin))
+	for _, pt := range grid[0] {
+		points = append(points, SweepPoint{LambdaPerMin: pt.X, Agg: pt.Agg})
 	}
 	return points, nil
 }

@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke figures examples fuzz clean ci fmt-check
+.PHONY: all build test race cover bench bench-smoke serve-smoke figures examples fuzz clean ci fmt-check
 
 all: build test
 
 # Everything the CI workflow runs: formatting, build+vet, tests, race,
-# and the one-iteration benchmark smoke pass.
-ci: fmt-check build test race bench-smoke
+# the one-iteration benchmark smoke pass, and the live-serving smoke.
+ci: fmt-check build test race bench-smoke serve-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -33,6 +33,13 @@ bench:
 # and the exp sweep harness without paying for a full benchmark run.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Fig4 -benchtime=1x .
+
+# Boot the live daemon in-process, fire a 1-second 8000 req/s burst through
+# the open-loop load generator, scrape /metrics for non-zero admissions,
+# cross-validate the rejection rate against sim.Run, and record throughput
+# plus admission-latency percentiles in BENCH_serve.json.
+serve-smoke:
+	$(GO) run ./cmd/vodload -selftest -rate 8000 -burst 1 -validate -bench-out BENCH_serve.json
 
 # Regenerate every paper figure (tables + ASCII charts + CSV series).
 figures:

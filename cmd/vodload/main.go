@@ -1,0 +1,361 @@
+// Command vodload is an open-loop load generator for vodserved: it replays
+// a workload.Trace (or generates Poisson/Zipf arrivals) against the daemon
+// at a configurable time-compression factor and reports accepted, rejected,
+// and redirected counts plus admission-latency percentiles.
+//
+//	vodload -addr http://127.0.0.1:8370 -trace trace.json -compress 60
+//	vodload -selftest -rate 8000 -burst 1          # in-process daemon
+//	vodload -selftest -validate                    # live vs sim.Run check
+//
+// With -validate, the same trace also runs through the discrete-event
+// simulator (sim.Run) and the live and simulated rejection rates must agree
+// within -tolerance percentage points — the cross-validation tying the
+// serving layer back to the paper's Fig. 4 predictions. With -bench-out,
+// a JSON benchmark record (throughput, latency percentiles) is written.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"vodcluster"
+	"vodcluster/internal/cluster"
+	"vodcluster/internal/config"
+	"vodcluster/internal/core"
+	"vodcluster/internal/report"
+	"vodcluster/internal/serve"
+	"vodcluster/internal/sim"
+	"vodcluster/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vodload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "", "daemon base URL, e.g. http://127.0.0.1:8370; empty requires -selftest")
+	selftest := flag.Bool("selftest", false, "start an in-process vodserved on a loopback port and load it")
+	scenarioPath := flag.String("scenario", "", "JSON scenario for the layout (selftest/validate); empty uses the paper defaults")
+	planPath := flag.String("plan", "", "plan file for the layout (selftest/validate)")
+	policy := flag.String("policy", "least-loaded", "admission policy of the in-process daemon (selftest)")
+	tracePath := flag.String("trace", "", "replay this trace file instead of generating arrivals")
+	rate := flag.Float64("rate", 8000, "generated load: admission decisions per wall second")
+	burst := flag.Float64("burst", 1, "generated load: burst length in wall seconds")
+	compress := flag.Float64("compress", 3600, "time-compression factor; must match the daemon's -compress")
+	seed := flag.Int64("seed", 42, "seed for generated arrivals")
+	validate := flag.Bool("validate", false, "cross-validate the live rejection rate against sim.Run on the same trace")
+	tolerance := flag.Float64("tolerance", 2, "allowed |live−sim| rejection-rate gap in percentage points (-validate)")
+	benchOut := flag.String("bench-out", "", "write a JSON benchmark record (throughput, latency percentiles) to this file")
+	flag.Parse()
+
+	if !*selftest && *addr == "" {
+		return fmt.Errorf("need -addr or -selftest")
+	}
+	if *compress <= 0 {
+		return fmt.Errorf("-compress must be positive, got %g", *compress)
+	}
+	if *tracePath == "" && (*rate <= 0 || *burst <= 0) {
+		return fmt.Errorf("-rate and -burst must be positive, got %g and %g", *rate, *burst)
+	}
+
+	p, layout, err := loadLayout(*scenarioPath, *planPath)
+	if err != nil {
+		return err
+	}
+
+	// The trace drives both the live replay and (under -validate) the
+	// simulator, so one generation covers both sides.
+	var tr *workload.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		tr, err = workload.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		theta := estimateThetaOf(p)
+		gen, err := workload.NewGenerator(workload.Poisson{Lambda: *rate / *compress}, p.M(), theta)
+		if err != nil {
+			return err
+		}
+		tr = gen.Generate(*burst**compress, *seed)
+	}
+	if len(tr.Requests) == 0 {
+		return fmt.Errorf("trace is empty; raise -rate or -burst")
+	}
+
+	base := *addr
+	if *selftest {
+		srv, stop, baseURL, err := startInProcess(p, layout, *policy, *compress)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		defer srv.Shutdown()
+		base = baseURL
+		fmt.Printf("selftest daemon: %s (policy %s, compress %gx)\n", base, srv.PolicyName(), srv.Compress())
+	}
+
+	client := serve.NewClient(base)
+	rep, err := client.Replay(context.Background(), tr, *compress)
+	if err != nil {
+		return err
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d transport errors during replay; first: %v", rep.Errors, rep.FirstError)
+	}
+
+	if err := printReport(tr, rep, *compress); err != nil {
+		return err
+	}
+
+	// Satellite duty of the smoke path: the daemon's own /metrics must agree
+	// that sessions were admitted — a scrape-level liveness check, not just a
+	// client-side count.
+	accepted, err := scrapeAccepted(client)
+	if err != nil {
+		return err
+	}
+	if accepted == 0 && rep.Accepted > 0 {
+		return fmt.Errorf("/metrics reports zero accepted sessions, client saw %d", rep.Accepted)
+	}
+	fmt.Printf("/metrics scrape: %d accepted admission decisions\n", accepted)
+	if rep.Accepted == 0 {
+		return fmt.Errorf("no sessions admitted; the daemon rejected the whole burst")
+	}
+
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, tr, rep, *compress, *policy); err != nil {
+			return err
+		}
+		fmt.Printf("benchmark record written to %s\n", *benchOut)
+	}
+
+	if *validate {
+		return crossValidate(p, layout, *policy, tr, rep, *tolerance)
+	}
+	return nil
+}
+
+// estimateThetaOf recovers the Zipf skew the catalog was built with by
+// inverting the popularity curve (the generator wants θ, the problem stores
+// popularities): p_i ∝ 1/i^θ ⇒ θ = log(p_1/p_2)/log 2.
+func estimateThetaOf(p *core.Problem) float64 {
+	pops := p.Catalog.Popularities()
+	if len(pops) < 2 || pops[0] <= 0 || pops[1] <= 0 {
+		return 0
+	}
+	theta := (math.Log(pops[0]) - math.Log(pops[1])) / math.Log(2)
+	if theta < 0 {
+		return 0
+	}
+	return theta
+}
+
+// printReport renders the replay outcome tables.
+func printReport(tr *workload.Trace, rep *serve.Report, compress float64) error {
+	fmt.Printf("replayed %d requests (%.0fs of virtual time at %gx compression) in %.2fs wall\n",
+		len(tr.Requests), tr.Meta.Duration, compress, rep.Wall.Seconds())
+	t := report.NewTable("outcome", "count", "% of decisions")
+	total := float64(rep.Requests)
+	t.AddRowf("accepted", rep.Accepted, 100*float64(rep.Accepted)/total)
+	t.AddRowf("rejected", rep.Rejected, 100*float64(rep.Rejected)/total)
+	if rep.Draining > 0 {
+		t.AddRowf("rejected (draining)", rep.Draining, 100*float64(rep.Draining)/total)
+	}
+	if rep.Redirected > 0 {
+		t.AddRowf("redirected", rep.Redirected, 100*float64(rep.Redirected)/total)
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	lt := report.NewTable("admission latency", "ms")
+	lt.AddRowf("p50", rep.LatencyQuantile(0.50).Seconds()*1e3)
+	lt.AddRowf("p90", rep.LatencyQuantile(0.90).Seconds()*1e3)
+	lt.AddRowf("p99", rep.LatencyQuantile(0.99).Seconds()*1e3)
+	lt.AddRowf("max", rep.LatencyQuantile(1).Seconds()*1e3)
+	if err := lt.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("throughput: %.0f admission decisions/sec\n", rep.DecisionsPerSec())
+	return nil
+}
+
+// startInProcess boots a vodserved instance on a loopback port inside this
+// process — the zero-dependency path the smoke target and quick experiments
+// use.
+func startInProcess(p *core.Problem, layout *core.Layout, policy string, compress float64) (*serve.Server, func(), string, error) {
+	srv, err := serve.New(p, layout, serve.Config{Policy: policy, Compress: compress})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() { _ = hs.Close() }
+	return srv, stop, "http://" + ln.Addr().String(), nil
+}
+
+// scrapeAccepted parses vod_requests_total{outcome="accepted"} out of the
+// daemon's Prometheus exposition.
+func scrapeAccepted(client *serve.Client) (int64, error) {
+	text, err := client.Metrics(context.Background())
+	if err != nil {
+		return 0, fmt.Errorf("scraping /metrics: %w", err)
+	}
+	const key = `vod_requests_total{outcome="accepted"} `
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, key); ok {
+			return strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("/metrics has no accepted-requests counter")
+}
+
+// crossValidate replays the same trace through sim.Run and compares
+// rejection rates: the serving layer must reproduce the simulator (and so
+// the paper's Fig. 4 curve) within the tolerance.
+func crossValidate(p *core.Problem, layout *core.Layout, policy string, tr *workload.Trace, rep *serve.Report, tolPts float64) error {
+	sched, err := simSchedulerFor(policy, p.BackboneBandwidth > 0)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(sim.Config{
+		Problem:      p,
+		Layout:       layout,
+		NewScheduler: sched,
+		Trace:        tr,
+		Duration:     tr.Meta.Duration,
+	})
+	if err != nil {
+		return err
+	}
+	livePct := 100 * rep.RejectionRate()
+	simPct := 100 * res.RejectionRate
+	delta := livePct - simPct
+	if delta < 0 {
+		delta = -delta
+	}
+	t := report.NewTable("side", "requests", "rejected %", "accepted")
+	t.AddRowf("live daemon", rep.Requests, livePct, rep.Accepted)
+	t.AddRowf("sim.Run", res.Requests, simPct, res.Accepted)
+	if err := t.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("cross-validation: |live − sim| = %.2f points (tolerance %.2f)\n", delta, tolPts)
+	if delta > tolPts {
+		return fmt.Errorf("live rejection rate %.2f%% deviates from simulated %.2f%% by more than %.2f points", livePct, simPct, tolPts)
+	}
+	return nil
+}
+
+// simSchedulerFor maps a serve policy name onto the simulator scheduler
+// that makes the same decisions: lock-free names map to their bare
+// cluster.Scheduler counterparts; sim: names follow the pipeline convention
+// (redirect wrapping exactly when the problem defines backbone bandwidth).
+func simSchedulerFor(policy string, backbone bool) (func() cluster.Scheduler, error) {
+	if base, ok := strings.CutPrefix(policy, "sim:"); ok {
+		return vodcluster.SchedulerFactory(base, backbone)
+	}
+	if policy == "" {
+		policy = "least-loaded"
+	}
+	return vodcluster.SchedulerFactory(policy, false)
+}
+
+// writeBench records the replay as a JSON benchmark artifact
+// (BENCH_serve.json in CI) so serving throughput stays comparable across
+// revisions.
+func writeBench(path string, tr *workload.Trace, rep *serve.Report, compress float64, policy string) error {
+	rec := struct {
+		Generated       string  `json:"generated"`
+		Policy          string  `json:"policy"`
+		Compress        float64 `json:"compress"`
+		Requests        int     `json:"requests"`
+		Accepted        int     `json:"accepted"`
+		Rejected        int     `json:"rejected"`
+		Redirected      int     `json:"redirected"`
+		WallSeconds     float64 `json:"wall_seconds"`
+		DecisionsPerSec float64 `json:"decisions_per_sec"`
+		LatencyP50Ms    float64 `json:"latency_p50_ms"`
+		LatencyP90Ms    float64 `json:"latency_p90_ms"`
+		LatencyP99Ms    float64 `json:"latency_p99_ms"`
+		LatencyMaxMs    float64 `json:"latency_max_ms"`
+		VirtualSeconds  float64 `json:"virtual_seconds"`
+	}{
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		Policy:          policy,
+		Compress:        compress,
+		Requests:        rep.Requests,
+		Accepted:        rep.Accepted,
+		Rejected:        rep.Rejected + rep.Draining,
+		Redirected:      rep.Redirected,
+		WallSeconds:     rep.Wall.Seconds(),
+		DecisionsPerSec: rep.DecisionsPerSec(),
+		LatencyP50Ms:    rep.LatencyQuantile(0.50).Seconds() * 1e3,
+		LatencyP90Ms:    rep.LatencyQuantile(0.90).Seconds() * 1e3,
+		LatencyP99Ms:    rep.LatencyQuantile(0.99).Seconds() * 1e3,
+		LatencyMaxMs:    rep.LatencyQuantile(1).Seconds() * 1e3,
+		VirtualSeconds:  tr.Meta.Duration,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadLayout mirrors vodserved's layout resolution so both tools agree on
+// what is being served.
+func loadLayout(scenarioPath, planPath string) (*core.Problem, *core.Layout, error) {
+	if planPath != "" {
+		f, err := os.Open(planPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		plan, err := config.LoadPlan(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return plan.Layout()
+	}
+	s := config.Paper()
+	if scenarioPath != "" {
+		f, err := os.Open(scenarioPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		if s, err = config.Load(f); err != nil {
+			return nil, nil, err
+		}
+	}
+	p, layout, _, err := vodcluster.Pipeline(s)
+	return p, layout, err
+}

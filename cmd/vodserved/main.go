@@ -1,0 +1,126 @@
+// Command vodserved is the live cluster dispatch daemon: it loads a layout
+// (computed by the replicate/place pipeline from a scenario, or replayed
+// from a plan written by vodplace -out), tracks per-backend outgoing
+// bandwidth with lock-free atomic accounting, and admits/rejects/redirects
+// session requests over HTTP through the configured scheduling policy.
+//
+//	vodserved -addr :8370                          # paper-default layout
+//	vodserved -scenario scenario.json -policy sim:static-rr
+//	vodserved -plan plan.json -compress 60         # 1 video-minute per second
+//
+// Endpoints: POST /session?video=V, DELETE /session/{id},
+// POST /backend/{id}/drain, POST /backend/{id}/restore, GET /metrics
+// (Prometheus text), GET /healthz, GET /layout. SIGTERM/SIGINT drain the
+// daemon gracefully: new sessions are refused while active ones run out,
+// bounded by -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vodcluster"
+	"vodcluster/internal/config"
+	"vodcluster/internal/core"
+	"vodcluster/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vodserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8370", "listen address")
+	scenarioPath := flag.String("scenario", "", "JSON scenario file; empty uses the paper defaults")
+	planPath := flag.String("plan", "", "replay a plan written by vodplace -out instead of recomputing the layout")
+	policy := flag.String("policy", "least-loaded", fmt.Sprintf("admission policy: one of %v", serve.PolicyNames()))
+	compress := flag.Float64("compress", 1, "time-compression factor: a D-second video holds bandwidth for D/compress wall seconds")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for active sessions")
+	flag.Parse()
+
+	p, layout, err := loadLayout(*scenarioPath, *planPath)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(p, layout, serve.Config{Policy: *policy, Compress: *compress})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	log.Printf("vodserved: serving %d videos on %d backends at %s (policy %s, compress %gx)",
+		p.M(), p.N(), ln.Addr(), srv.PolicyName(), srv.Compress())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("vodserved: draining %d active sessions (timeout %s)", srv.Active(), *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("vodserved: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-errCh // Serve has returned ErrServerClosed
+	log.Printf("vodserved: drained; bye")
+	return nil
+}
+
+// loadLayout materializes the problem/layout pair: a persisted plan wins,
+// then a scenario run through the replicate/place pipeline, then the paper
+// defaults.
+func loadLayout(scenarioPath, planPath string) (*core.Problem, *core.Layout, error) {
+	if planPath != "" {
+		f, err := os.Open(planPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		plan, err := config.LoadPlan(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, layout, err := plan.Layout()
+		return p, layout, err
+	}
+	s := config.Paper()
+	if scenarioPath != "" {
+		f, err := os.Open(scenarioPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		if s, err = config.Load(f); err != nil {
+			return nil, nil, err
+		}
+	}
+	p, layout, _, err := vodcluster.Pipeline(s)
+	return p, layout, err
+}

@@ -13,6 +13,11 @@
 // grid in parallel:
 //
 //	vodsim -sweep 8,16,24,32,40 -degree 1.2 -runs 20
+//
+// -series plots one curve per named scheduling policy over the same layout
+// and common random numbers:
+//
+//	vodsim -sweep 8,16,24,32,40 -series static-rr,least-loaded
 package main
 
 import (
@@ -74,6 +79,7 @@ func run() error {
 	repair := flag.Bool("repair", false, "re-replicate under-replicated videos onto the least-loaded up server")
 	repairMinLive := flag.Int("repair-min-live", 0, "live-replica threshold that triggers a repair copy; 0 = default (2)")
 	sweepList := flag.String("sweep", "", "comma-separated arrival rates (req/min) to sweep instead of the single -lambda run; every other knob still applies")
+	seriesList := flag.String("series", "", fmt.Sprintf("comma-separated named series for -sweep, each a scheduling policy curve over the same layout; available: %s (default: baseline)", strings.Join(sweepSeriesNames(), ", ")))
 	workers := flag.Int("workers", 0, "parallel simulations across a -sweep; 0 = GOMAXPROCS, 1 = sequential")
 	flag.Parse()
 
@@ -152,7 +158,10 @@ func run() error {
 		cfg.NewController = func() sim.Controller { return newManager() }
 	}
 	if *sweepList != "" {
-		return runSweep(s, cfg, *sweepList, *workers)
+		return runSweep(s, cfg, *sweepList, *seriesList, *workers)
+	}
+	if *seriesList != "" {
+		return fmt.Errorf("-series only applies to a -sweep")
 	}
 	agg, runs, err := sim.RunMany(cfg, s.Runs)
 	if err != nil {
@@ -211,23 +220,67 @@ func run() error {
 	return nil
 }
 
+// sweepSeriesNames lists the named -series curves a sweep can plot, in the
+// order the table prints them.
+func sweepSeriesNames() []string {
+	return []string{"baseline", "static-rr", "first-available", "least-loaded", "redirect"}
+}
+
+// sweepSchedulerFor resolves one -series name to its scheduler factory.
+// "baseline" is the scenario's own policy (with redirection exactly when the
+// cluster has a backbone); the bare policy names force that scheduler without
+// redirection; "redirect" wraps the scenario's policy with backbone
+// redirection regardless.
+func sweepSchedulerFor(name string, s config.Scenario, backbone bool) (func() cluster.Scheduler, error) {
+	switch name {
+	case "baseline":
+		return vodcluster.SchedulerFactory(s.Scheduler, backbone)
+	case "static-rr", "first-available", "least-loaded":
+		return vodcluster.SchedulerFactory(name, false)
+	case "redirect":
+		if !backbone {
+			return nil, fmt.Errorf("-series redirect needs -backbone > 0")
+		}
+		return vodcluster.SchedulerFactory(s.Scheduler, true)
+	}
+	return nil, fmt.Errorf("unknown sweep series %q (available: %s)", name, strings.Join(sweepSeriesNames(), ", "))
+}
+
 // runSweep evaluates the assembled configuration across several arrival
 // rates on the experiment harness — the whole grid runs in parallel, and
-// results are identical for every -workers value at the same seed.
-func runSweep(s config.Scenario, cfg sim.Config, list string, workers int) error {
+// results are identical for every -workers value at the same seed. With
+// -series, one curve per named scheduling policy is swept over the same
+// layout and common random numbers, so the curves are directly comparable.
+func runSweep(s config.Scenario, cfg sim.Config, list, seriesList string, workers int) error {
 	lambdas, err := parseLambdas(list)
 	if err != nil {
 		return err
 	}
-	sw := &exp.Sweep{
-		Xs: lambdas,
-		Series: []exp.Series{{Name: "sweep", Config: func(lam float64) (sim.Config, error) {
+	names := []string{"baseline"}
+	if seriesList != "" {
+		names = names[:0]
+		for _, part := range strings.Split(seriesList, ",") {
+			names = append(names, strings.TrimSpace(part))
+		}
+	}
+	series := make([]exp.Series, 0, len(names))
+	for _, name := range names {
+		sched, err := sweepSchedulerFor(name, s, cfg.Problem.BackboneBandwidth > 0)
+		if err != nil {
+			return err
+		}
+		series = append(series, exp.Series{Name: name, Config: func(lam float64) (sim.Config, error) {
 			q := cfg.Problem.Clone()
 			q.ArrivalRate = lam / core.Minute
 			c := cfg
 			c.Problem = q
+			c.NewScheduler = sched
 			return c, nil
-		}}},
+		}})
+	}
+	sw := &exp.Sweep{
+		Xs:      lambdas,
+		Series:  series,
 		Runs:    s.Runs,
 		Seed:    s.Seed,
 		Workers: workers,
@@ -238,12 +291,14 @@ func runSweep(s config.Scenario, cfg sim.Config, list string, workers int) error
 	}
 	fmt.Printf("%s + %s + %s, λ sweep {%s} req/min, θ=%.3g, %d runs/point\n",
 		s.Replicator, s.Placer, s.Scheduler, list, s.Theta, s.Runs)
-	t := report.NewTable("λ (req/min)", "rejected %", "± 95% CI", "imbalance L (Eq.2)", "mean utilization", "failure rate %")
-	for _, pt := range grid[0] {
-		t.AddRowf(pt.X,
-			100*pt.Agg.RejectionRate.Mean(), 100*pt.Agg.RejectionRate.CI95(),
-			pt.Agg.ImbalanceAvg.Mean(), pt.Agg.MeanUtilization.Mean(),
-			100*pt.Agg.FailureRate.Mean())
+	t := report.NewTable("series", "λ (req/min)", "rejected %", "± 95% CI", "imbalance L (Eq.2)", "mean utilization", "failure rate %")
+	for i, pts := range grid {
+		for _, pt := range pts {
+			t.AddRowf(names[i], pt.X,
+				100*pt.Agg.RejectionRate.Mean(), 100*pt.Agg.RejectionRate.CI95(),
+				pt.Agg.ImbalanceAvg.Mean(), pt.Agg.MeanUtilization.Mean(),
+				100*pt.Agg.FailureRate.Mean())
+		}
 	}
 	return t.Fprint(os.Stdout)
 }

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"vodcluster/internal/metrics"
+	"vodcluster/internal/stats"
+	"vodcluster/internal/workload"
+)
+
+// Client talks to a vodserved daemon. The zero HTTP client is replaced by
+// one tuned for many short keep-alive requests to a single host, which is
+// what open-loop replay produces.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8370".
+	Base string
+	// HTTP overrides the transport; nil gets a keep-alive pool sized for
+	// replay concurrency.
+	HTTP *http.Client
+}
+
+// NewClient builds a replay-tuned client for a daemon base URL.
+func NewClient(base string) *Client {
+	// MaxConnsPerHost bounds in-flight sockets: open-loop replay can have
+	// thousands of outstanding decisions, and letting each open its own
+	// connection thrashes the scheduler; queueing on a bounded pool is
+	// faster and the queue delay is honestly part of observed admission
+	// latency.
+	tr := &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+		MaxConnsPerHost:     256,
+		DisableCompression:  true,
+	}
+	return &Client{Base: base, HTTP: &http.Client{Transport: tr, Timeout: 30 * time.Second}}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Request runs one admission decision for video v and returns the outcome,
+// the session info when accepted, and the observed admission latency.
+func (c *Client) Request(ctx context.Context, v int) (SessionInfo, Outcome, time.Duration, error) {
+	url := fmt.Sprintf("%s/session?video=%d", c.Base, v)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return SessionInfo{}, "", 0, err
+	}
+	start := time.Now()
+	resp, err := c.httpClient().Do(req)
+	lat := time.Since(start)
+	if err != nil {
+		return SessionInfo{}, "", lat, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var info SessionInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			return SessionInfo{}, "", lat, fmt.Errorf("serve: decoding session: %w", err)
+		}
+		return info, OutcomeAccepted, lat, nil
+	case http.StatusServiceUnavailable:
+		var e errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Outcome == "" {
+			return SessionInfo{}, OutcomeRejected, lat, nil
+		}
+		return SessionInfo{}, e.Outcome, lat, nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return SessionInfo{}, "", lat, fmt.Errorf("serve: %s: %s", resp.Status, body)
+	}
+}
+
+// CloseSession ends session id early on the daemon.
+func (c *Client) CloseSession(ctx context.Context, id int64) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		fmt.Sprintf("%s/session/%d", c.Base, id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: closing session %d: %s", id, resp.Status)
+	}
+	return nil
+}
+
+// Metrics fetches and returns the daemon's raw Prometheus exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// Report aggregates one replay: outcome counts, error count, observed
+// admission latencies, and the wall-clock span of the decisions.
+type Report struct {
+	Requests   int
+	Accepted   int
+	Rejected   int
+	Draining   int
+	Redirected int
+	Errors     int
+	// FirstError records the first transport/protocol error, if any.
+	FirstError error
+	// Latencies holds every decision's observed latency, in arrival order.
+	Latencies []time.Duration
+	// Wall is the wall-clock time from first dispatch to last settled
+	// decision.
+	Wall time.Duration
+}
+
+// RejectionRate returns rejected (capacity + draining) over settled
+// decisions, the quantity cross-validated against sim.Run.
+func (r *Report) RejectionRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Rejected+r.Draining) / float64(r.Requests)
+}
+
+// DecisionsPerSec returns settled admission decisions per wall second.
+func (r *Report) DecisionsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Wall.Seconds()
+}
+
+// LatencyQuantile returns the q-quantile (q in [0,1]) of observed admission
+// latencies.
+func (r *Report) LatencyQuantile(q float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(r.Latencies))
+	for i, d := range r.Latencies {
+		xs[i] = float64(d)
+	}
+	sort.Float64s(xs)
+	return time.Duration(stats.Quantile(xs, q))
+}
+
+// Result converts the replay into a metrics.Result so live measurements
+// flow through the same aggregation/reporting stack as simulated ones.
+func (r *Report) Result() metrics.Result {
+	res := metrics.Result{
+		Requests:   r.Requests,
+		Accepted:   r.Accepted,
+		Rejected:   r.Rejected + r.Draining,
+		Redirected: r.Redirected,
+	}
+	if res.Requests > 0 {
+		res.RejectionRate = float64(res.Rejected) / float64(res.Requests)
+		res.FailureRate = res.RejectionRate
+	}
+	return res
+}
+
+// Replay replays a trace open-loop against the daemon at the given time
+// compression: request i is dispatched at wall time Time_i/compress after
+// the replay starts, in its own goroutine, regardless of how earlier
+// decisions fared. The daemon must run with the same compression factor for
+// its session occupancy to match the trace's virtual timeline. Dispatch
+// stops early when ctx ends; already-dispatched requests still settle.
+func (c *Client) Replay(ctx context.Context, tr *workload.Trace, compress float64) (*Report, error) {
+	scaled, err := tr.Compress(compress)
+	if err != nil {
+		return nil, err
+	}
+	type outcome struct {
+		out        Outcome
+		redirected bool
+		lat        time.Duration
+		err        error
+	}
+	results := make([]outcome, len(scaled.Requests))
+	start := time.Now()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var wg sync.WaitGroup
+dispatch:
+	for i, req := range scaled.Requests {
+		wait := time.Until(start.Add(time.Duration(req.Time * float64(time.Second))))
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		wg.Add(1)
+		go func(i, v int) {
+			defer wg.Done()
+			info, out, lat, err := c.Request(ctx, v)
+			results[i] = outcome{out, info.Redirected, lat, err}
+		}(i, req.Video)
+	}
+	wg.Wait()
+
+	rep := &Report{Wall: time.Since(start)}
+	for _, res := range results {
+		switch {
+		case res.err != nil:
+			rep.Errors++
+			if rep.FirstError == nil {
+				rep.FirstError = res.err
+			}
+		case res.out == OutcomeAccepted:
+			rep.Requests++
+			rep.Accepted++
+			if res.redirected {
+				rep.Redirected++
+			}
+			rep.Latencies = append(rep.Latencies, res.lat)
+		case res.out == OutcomeRejected:
+			rep.Requests++
+			rep.Rejected++
+			rep.Latencies = append(rep.Latencies, res.lat)
+		case res.out == OutcomeDraining:
+			rep.Requests++
+			rep.Draining++
+			rep.Latencies = append(rep.Latencies, res.lat)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"vodcluster/internal/core"
+)
+
+// Cluster is the concurrent runtime counterpart of cluster.State: per-server
+// outgoing-bandwidth accounting done with atomic compare-and-swap so the
+// admission hot path never takes a lock. Bandwidth is tracked in integer
+// bits/s (encoding rates round up, so accounting errs on the conservative
+// side), and a reservation is the capacity check — TryReserve either charges
+// the stream's rate atomically or reports that the link is full, so
+// concurrent admissions can never oversubscribe a server.
+type Cluster struct {
+	p      *core.Problem
+	layout *core.Layout
+
+	holders [][]int // video -> sorted servers holding it
+	rate    []int64 // video -> encoding rate, bits/s, rounded up
+
+	capBps   []int64        // per-server outgoing capacity, bits/s
+	used     []atomic.Int64 // per-server outgoing bits/s in use
+	active   []atomic.Int64 // per-server active streams
+	draining []atomic.Bool  // per-server drain flag: no new placements
+
+	backboneCap  int64
+	backboneUsed atomic.Int64
+}
+
+// NewCluster validates the layout against the problem and builds the
+// concurrent accounting state.
+func NewCluster(p *core.Problem, layout *core.Layout) (*Cluster, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := layout.Validate(p); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	c := &Cluster{
+		p:           p,
+		layout:      layout,
+		holders:     make([][]int, p.M()),
+		rate:        make([]int64, p.M()),
+		capBps:      make([]int64, p.N()),
+		used:        make([]atomic.Int64, p.N()),
+		active:      make([]atomic.Int64, p.N()),
+		draining:    make([]atomic.Bool, p.N()),
+		backboneCap: int64(p.BackboneBandwidth),
+	}
+	for v := range c.holders {
+		c.holders[v] = append([]int(nil), layout.Servers[v]...)
+		c.rate[v] = int64(math.Ceil(p.Catalog[v].BitRate))
+	}
+	for s := range c.capBps {
+		c.capBps[s] = int64(p.BandwidthOf(s))
+	}
+	return c, nil
+}
+
+// Problem returns the problem the cluster was built for.
+func (c *Cluster) Problem() *core.Problem { return c.p }
+
+// Layout returns the layout the cluster was built for.
+func (c *Cluster) Layout() *core.Layout { return c.layout }
+
+// Holders returns the servers holding video v (shared slice; do not modify).
+func (c *Cluster) Holders(v int) []int { return c.holders[v] }
+
+// Rate returns video v's encoding rate in bits/s.
+func (c *Cluster) Rate(v int) int64 { return c.rate[v] }
+
+// Servers returns the number of servers.
+func (c *Cluster) Servers() int { return len(c.capBps) }
+
+// Videos returns the catalog size.
+func (c *Cluster) Videos() int { return len(c.holders) }
+
+// Capacity returns server s's outgoing capacity in bits/s.
+func (c *Cluster) Capacity(s int) int64 { return c.capBps[s] }
+
+// Used returns server s's outgoing bandwidth in use, bits/s.
+func (c *Cluster) Used(s int) int64 { return c.used[s].Load() }
+
+// Free returns server s's unused outgoing bandwidth, bits/s.
+func (c *Cluster) Free(s int) int64 { return c.capBps[s] - c.used[s].Load() }
+
+// Active returns the number of active streams on server s's outgoing link.
+func (c *Cluster) Active(s int) int64 { return c.active[s].Load() }
+
+// Draining reports whether server s refuses new stream placements.
+func (c *Cluster) Draining(s int) bool { return c.draining[s].Load() }
+
+// SetDraining toggles server s's drain flag.
+func (c *Cluster) SetDraining(s int, v bool) { c.draining[s].Store(v) }
+
+// BackboneUsed returns the backbone bandwidth in use, bits/s.
+func (c *Cluster) BackboneUsed() int64 { return c.backboneUsed.Load() }
+
+// TryReserve atomically charges rate bits/s to server s's outgoing link. It
+// fails when the server is draining or lacks headroom. The CAS loop makes
+// the capacity check and the charge one atomic step: two racing admissions
+// can both pass a read-then-check, but only one CAS wins and the loser
+// re-reads the new load.
+func (c *Cluster) TryReserve(s int, rate int64) bool {
+	if c.draining[s].Load() {
+		return false
+	}
+	for {
+		u := c.used[s].Load()
+		if u+rate > c.capBps[s] {
+			return false
+		}
+		if c.used[s].CompareAndSwap(u, u+rate) {
+			c.active[s].Add(1)
+			return true
+		}
+	}
+}
+
+// ForceCharge charges rate to server s without a capacity check — used by
+// policies whose own accounting (a locked cluster.State) already admitted
+// the stream, so the concurrent gauges stay in step.
+func (c *Cluster) ForceCharge(s int, rate int64) {
+	c.used[s].Add(rate)
+	c.active[s].Add(1)
+}
+
+// Release frees a reservation made by TryReserve or ForceCharge.
+func (c *Cluster) Release(s int, rate int64) {
+	c.used[s].Add(-rate)
+	c.active[s].Add(-1)
+}
+
+// TryReserveBackbone atomically charges rate to the internal backbone.
+func (c *Cluster) TryReserveBackbone(rate int64) bool {
+	for {
+		u := c.backboneUsed.Load()
+		if u+rate > c.backboneCap {
+			return false
+		}
+		if c.backboneUsed.CompareAndSwap(u, u+rate) {
+			return true
+		}
+	}
+}
+
+// ForceChargeBackbone charges the backbone without a capacity check (locked
+// policies own the check).
+func (c *Cluster) ForceChargeBackbone(rate int64) { c.backboneUsed.Add(rate) }
+
+// ReleaseBackbone frees a backbone reservation.
+func (c *Cluster) ReleaseBackbone(rate int64) { c.backboneUsed.Add(-rate) }

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// errorBody is the JSON error/outcome envelope of the HTTP API.
+type errorBody struct {
+	Outcome Outcome `json:"outcome,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// layoutBody is the GET /layout response: the layout plus enough of the
+// problem to interpret it.
+type layoutBody struct {
+	Servers      int     `json:"servers"`
+	Videos       int     `json:"videos"`
+	Degree       float64 `json:"degree"`
+	Policy       string  `json:"policy"`
+	Compress     float64 `json:"compress"`
+	BackboneBps  int64   `json:"backbone_bps"`
+	CapacityBps  []int64 `json:"capacity_bps"`
+	Replicas     []int   `json:"replicas"`
+	VideoServers [][]int `json:"video_servers"`
+}
+
+// healthBody is the GET /healthz response.
+type healthBody struct {
+	Status          string `json:"status"`
+	ActiveSessions  int64  `json:"active_sessions"`
+	DrainedBackends int    `json:"drained_backends"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /session?video=V        admit a session (200 / 503 with outcome)
+//	DELETE /session/{id}           end a session early
+//	POST   /backend/{id}/drain     drain a backend (fails sessions over)
+//	POST   /backend/{id}/restore   restore a drained backend
+//	GET    /metrics                Prometheus text exposition
+//	GET    /healthz                liveness + drain status
+//	GET    /layout                 the layout being served
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /session", s.handleOpen)
+	mux.HandleFunc("DELETE /session/{id}", s.handleClose)
+	mux.HandleFunc("POST /backend/{id}/drain", s.handleDrain)
+	mux.HandleFunc("POST /backend/{id}/restore", s.handleRestore)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /layout", s.handleLayout)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	v, err := strconv.Atoi(r.URL.Query().Get("video"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "video must be an integer catalog rank"})
+		return
+	}
+	info, outcome, err := s.Open(v)
+	switch {
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Outcome: outcome, Error: err.Error()})
+	case outcome == OutcomeAccepted:
+		writeJSON(w, http.StatusOK, info)
+	default: // rejected or draining: the VoD "busy signal"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Outcome: outcome})
+	}
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "session id must be an integer"})
+		return
+	}
+	if !s.Close(id) {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such session"})
+		return
+	}
+	writeJSON(w, http.StatusOK, errorBody{Outcome: "closed"})
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	b, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "backend id must be an integer"})
+		return
+	}
+	failedOver, dropped, err := s.DrainBackend(b)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"failed_over": failedOver, "dropped": dropped})
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	b, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "backend id must be an integer"})
+		return
+	}
+	if err := s.RestoreBackend(b); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, errorBody{Outcome: "restored"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.Render(w, s.c, s.Active(), s.pol.Name())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	drained := 0
+	for b := 0; b < s.c.Servers(); b++ {
+		if s.c.Draining(b) {
+			drained++
+		}
+	}
+	status, code := "ok", http.StatusOK
+	if s.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthBody{Status: status, ActiveSessions: s.Active(), DrainedBackends: drained})
+}
+
+func (s *Server) handleLayout(w http.ResponseWriter, _ *http.Request) {
+	caps := make([]int64, s.c.Servers())
+	for b := range caps {
+		caps[b] = s.c.Capacity(b)
+	}
+	servers := make([][]int, s.c.Videos())
+	for v := range servers {
+		servers[v] = append([]int(nil), s.c.Holders(v)...)
+	}
+	writeJSON(w, http.StatusOK, layoutBody{
+		Servers:      s.c.Servers(),
+		Videos:       s.c.Videos(),
+		Degree:       s.c.Layout().ReplicationDegree(),
+		Policy:       s.pol.Name(),
+		Compress:     s.compress,
+		BackboneBps:  int64(s.c.Problem().BackboneBandwidth),
+		CapacityBps:  caps,
+		Replicas:     append([]int(nil), s.c.Layout().Replicas...),
+		VideoServers: servers,
+	})
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(testProblem(t, 0), testLayout(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Shutdown()
+	})
+	return srv, hs
+}
+
+func TestHTTPSessionFlow(t *testing.T) {
+	srv, hs := newTestServer(t, Config{})
+	client := NewClient(hs.URL)
+	ctx := context.Background()
+
+	info, outcome, lat, err := client.Request(ctx, 0)
+	if err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("request: outcome %q, err %v", outcome, err)
+	}
+	if lat <= 0 {
+		t.Fatal("latency not measured")
+	}
+	if info.Video != 0 || info.RateBps <= 0 {
+		t.Fatalf("bad session info: %+v", info)
+	}
+	if srv.Active() != 1 {
+		t.Fatalf("active = %d, want 1", srv.Active())
+	}
+
+	if err := client.CloseSession(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 2*time.Second, "session teardown", func() bool { return srv.Active() == 0 })
+	if err := client.CloseSession(ctx, info.ID); err == nil {
+		t.Fatal("closing a dead session succeeded")
+	}
+
+	// Saturate v1 (one 2-slot holder): the third request gets the busy
+	// signal with a Retry-After hint.
+	for i := 0; i < 2; i++ {
+		if _, outcome, _, err := client.Request(ctx, 1); err != nil || outcome != OutcomeAccepted {
+			t.Fatalf("fill %d: outcome %q, err %v", i, outcome, err)
+		}
+	}
+	resp, err := http.Post(hs.URL+"/session?video=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated admission: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Outcome != OutcomeRejected {
+		t.Fatalf("outcome %q, want rejected", e.Outcome)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{http.MethodPost, "/session?video=abc", http.StatusBadRequest},
+		{http.MethodPost, "/session?video=99", http.StatusBadRequest},
+		{http.MethodPost, "/session", http.StatusBadRequest},
+		{http.MethodDelete, "/session/notanumber", http.StatusBadRequest},
+		{http.MethodDelete, "/session/12345", http.StatusNotFound},
+		{http.MethodPost, "/backend/99/drain", http.StatusBadRequest},
+		{http.MethodPost, "/backend/x/restore", http.StatusBadRequest},
+		{http.MethodGet, "/session?video=0", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/nope", http.StatusNotFound},
+	} {
+		req, err := http.NewRequest(tc.method, hs.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}
+
+func TestHTTPHealthzAndLayout(t *testing.T) {
+	srv, hs := newTestServer(t, Config{Policy: "static-rr", Compress: 60})
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz: status %d body %+v", resp.StatusCode, h)
+	}
+
+	resp, err = http.Get(hs.URL + "/layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l layoutBody
+	if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if l.Servers != 2 || l.Videos != 3 || l.Policy != "static-rr" || l.Compress != 60 {
+		t.Fatalf("layout: %+v", l)
+	}
+	if len(l.VideoServers) != 3 || len(l.VideoServers[0]) != 2 {
+		t.Fatalf("layout replica map: %+v", l.VideoServers)
+	}
+
+	// A backend drain shows up in /healthz; a daemon drain flips the status.
+	if _, err := http.Post(hs.URL+"/backend/0/drain", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.DrainedBackends != 1 {
+		t.Fatalf("drained backends = %d, want 1", h.DrainedBackends)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("healthz during drain: status %d body %+v", resp.StatusCode, h)
+	}
+}
+
+func TestHTTPMetricsExposition(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	client := NewClient(hs.URL)
+	ctx := context.Background()
+	if _, outcome, _, err := client.Request(ctx, 0); err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("request: outcome %q, err %v", outcome, err)
+	}
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`vod_requests_total{outcome="accepted"} 1`,
+		`vod_requests_total{outcome="rejected"} 0`,
+		`vod_sessions_active 1`,
+		`vod_server_capacity_bps{server="0"} 10000000`,
+		`vod_admission_latency_seconds_count 1`,
+		`vod_policy_info{policy="least-loaded"} 1`,
+		`vod_admission_latency_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestHTTPDrainEndpointFailsOver(t *testing.T) {
+	srv, hs := newTestServer(t, Config{})
+	client := NewClient(hs.URL)
+	info, outcome, _, err := client.Request(context.Background(), 0)
+	if err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("request: outcome %q, err %v", outcome, err)
+	}
+	resp, err := http.Post(hs.URL+"/backend/"+strconv.Itoa(info.Server)+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var counts map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&counts); err != nil {
+		t.Fatal(err)
+	}
+	if counts["failed_over"] != 1 || counts["dropped"] != 0 {
+		t.Fatalf("drain counts: %v", counts)
+	}
+	if srv.Active() != 1 {
+		t.Fatalf("active = %d after failover, want 1", srv.Active())
+	}
+}

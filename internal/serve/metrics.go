@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the admission-latency
+// histogram, spanning sub-100µs in-process decisions up to multi-second
+// stalls. The rendered histogram is cumulative, Prometheus-style.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Metrics is the daemon's lock-free instrument panel: admission outcome
+// counters, session lifecycle counters, and an admission-latency histogram,
+// all atomics so the hot path never serializes on telemetry. Render writes
+// the Prometheus text exposition format.
+type Metrics struct {
+	requests  atomic.Int64 // settled admission decisions
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	draining  atomic.Int64 // rejected because the daemon was draining
+	redirects atomic.Int64 // accepted over the backbone
+	badVideo  atomic.Int64 // requests for out-of-catalog videos
+
+	completed  atomic.Int64 // sessions that ran to their natural end
+	canceled   atomic.Int64 // sessions closed early by the client
+	failedOver atomic.Int64 // sessions salvaged off a drained backend
+	dropped    atomic.Int64 // sessions lost to a drain with no failover
+
+	latCount atomic.Int64
+	latSumNs atomic.Int64
+	latBins  [len(latencyBuckets) + 1]atomic.Int64 // +Inf overflow last
+}
+
+// Decision records one settled admission decision and its latency.
+func (m *Metrics) Decision(accepted, redirected, wasDraining bool, lat time.Duration) {
+	m.requests.Add(1)
+	if accepted {
+		m.accepted.Add(1)
+		if redirected {
+			m.redirects.Add(1)
+		}
+	} else {
+		m.rejected.Add(1)
+		if wasDraining {
+			m.draining.Add(1)
+		}
+	}
+	m.latCount.Add(1)
+	m.latSumNs.Add(int64(lat))
+	sec := lat.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
+		i++
+	}
+	m.latBins[i].Add(1)
+}
+
+// BadVideo records a request targeting a video outside the catalog.
+func (m *Metrics) BadVideo() { m.badVideo.Add(1) }
+
+// Completed records a session ending at its natural departure time.
+func (m *Metrics) Completed() { m.completed.Add(1) }
+
+// Canceled records a session closed early by the client.
+func (m *Metrics) Canceled() { m.canceled.Add(1) }
+
+// FailedOver records a session salvaged onto another backend.
+func (m *Metrics) FailedOver() { m.failedOver.Add(1) }
+
+// Dropped records a session lost to a backend drain with no failover target.
+func (m *Metrics) Dropped() { m.dropped.Add(1) }
+
+// Accepted returns the number of accepted admission decisions so far.
+func (m *Metrics) Accepted() int64 { return m.accepted.Load() }
+
+// Requests returns the number of settled admission decisions so far.
+func (m *Metrics) Requests() int64 { return m.requests.Load() }
+
+// Render writes the Prometheus text exposition of the counters plus the
+// per-server gauges read from the cluster.
+func (m *Metrics) Render(w io.Writer, c *Cluster, active int64, policy string) {
+	fmt.Fprintf(w, "# HELP vod_requests_total Settled admission decisions by outcome.\n")
+	fmt.Fprintf(w, "# TYPE vod_requests_total counter\n")
+	fmt.Fprintf(w, "vod_requests_total{outcome=\"accepted\"} %d\n", m.accepted.Load())
+	fmt.Fprintf(w, "vod_requests_total{outcome=\"rejected\"} %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "# HELP vod_rejected_draining_total Rejections issued while the daemon was draining.\n")
+	fmt.Fprintf(w, "# TYPE vod_rejected_draining_total counter\n")
+	fmt.Fprintf(w, "vod_rejected_draining_total %d\n", m.draining.Load())
+	fmt.Fprintf(w, "# HELP vod_redirected_total Admissions served over the internal backbone.\n")
+	fmt.Fprintf(w, "# TYPE vod_redirected_total counter\n")
+	fmt.Fprintf(w, "vod_redirected_total %d\n", m.redirects.Load())
+	fmt.Fprintf(w, "# HELP vod_bad_video_total Requests for videos outside the catalog.\n")
+	fmt.Fprintf(w, "# TYPE vod_bad_video_total counter\n")
+	fmt.Fprintf(w, "vod_bad_video_total %d\n", m.badVideo.Load())
+	fmt.Fprintf(w, "# HELP vod_sessions_ended_total Ended sessions by cause.\n")
+	fmt.Fprintf(w, "# TYPE vod_sessions_ended_total counter\n")
+	fmt.Fprintf(w, "vod_sessions_ended_total{cause=\"completed\"} %d\n", m.completed.Load())
+	fmt.Fprintf(w, "vod_sessions_ended_total{cause=\"canceled\"} %d\n", m.canceled.Load())
+	fmt.Fprintf(w, "vod_sessions_ended_total{cause=\"dropped\"} %d\n", m.dropped.Load())
+	fmt.Fprintf(w, "# HELP vod_failed_over_total Sessions salvaged off a drained backend.\n")
+	fmt.Fprintf(w, "# TYPE vod_failed_over_total counter\n")
+	fmt.Fprintf(w, "vod_failed_over_total %d\n", m.failedOver.Load())
+	fmt.Fprintf(w, "# HELP vod_sessions_active Currently active sessions.\n")
+	fmt.Fprintf(w, "# TYPE vod_sessions_active gauge\n")
+	fmt.Fprintf(w, "vod_sessions_active %d\n", active)
+	fmt.Fprintf(w, "# HELP vod_policy_info Admission policy in use (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE vod_policy_info gauge\n")
+	fmt.Fprintf(w, "vod_policy_info{policy=%q} 1\n", policy)
+
+	fmt.Fprintf(w, "# HELP vod_server_capacity_bps Outgoing link capacity per backend.\n")
+	fmt.Fprintf(w, "# TYPE vod_server_capacity_bps gauge\n")
+	for s := 0; s < c.Servers(); s++ {
+		fmt.Fprintf(w, "vod_server_capacity_bps{server=\"%d\"} %d\n", s, c.Capacity(s))
+	}
+	fmt.Fprintf(w, "# HELP vod_server_used_bps Outgoing bandwidth in use per backend.\n")
+	fmt.Fprintf(w, "# TYPE vod_server_used_bps gauge\n")
+	for s := 0; s < c.Servers(); s++ {
+		fmt.Fprintf(w, "vod_server_used_bps{server=\"%d\"} %d\n", s, c.Used(s))
+	}
+	fmt.Fprintf(w, "# HELP vod_server_active_streams Active streams per backend outgoing link.\n")
+	fmt.Fprintf(w, "# TYPE vod_server_active_streams gauge\n")
+	for s := 0; s < c.Servers(); s++ {
+		fmt.Fprintf(w, "vod_server_active_streams{server=\"%d\"} %d\n", s, c.Active(s))
+	}
+	fmt.Fprintf(w, "# HELP vod_server_draining Whether the backend refuses new placements.\n")
+	fmt.Fprintf(w, "# TYPE vod_server_draining gauge\n")
+	for s := 0; s < c.Servers(); s++ {
+		d := 0
+		if c.Draining(s) {
+			d = 1
+		}
+		fmt.Fprintf(w, "vod_server_draining{server=\"%d\"} %d\n", s, d)
+	}
+	fmt.Fprintf(w, "# HELP vod_backbone_used_bps Internal backbone bandwidth in use.\n")
+	fmt.Fprintf(w, "# TYPE vod_backbone_used_bps gauge\n")
+	fmt.Fprintf(w, "vod_backbone_used_bps %d\n", c.BackboneUsed())
+
+	fmt.Fprintf(w, "# HELP vod_admission_latency_seconds Admission decision latency.\n")
+	fmt.Fprintf(w, "# TYPE vod_admission_latency_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.latBins[i].Load()
+		fmt.Fprintf(w, "vod_admission_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.latBins[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "vod_admission_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "vod_admission_latency_seconds_sum %g\n", float64(m.latSumNs.Load())/float64(time.Second))
+	fmt.Fprintf(w, "vod_admission_latency_seconds_count %d\n", m.latCount.Load())
+}

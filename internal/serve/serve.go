@@ -1,0 +1,336 @@
+// Package serve is the live serving layer: it turns the planner/simulator
+// stack into a running cluster dispatch daemon. A Server loads a
+// problem/layout pair (from the replicate/place pipeline or a persisted
+// plan), tracks per-backend outgoing bandwidth with lock-free atomic
+// accounting (Cluster), and admits, rejects, or redirects session requests
+// through an admission Policy — either the lock-free concurrent policies or
+// the locked sim-parity adapters over the exact cluster.Scheduler/redirect
+// implementations the simulator uses.
+//
+// Every admitted session runs as its own goroutine holding a
+// context.WithTimeout for the (time-compressed) video duration; ending the
+// context — natural expiry, client cancel, backend drain without a failover
+// target, or daemon shutdown — releases the session's bandwidth reservation
+// exactly once. Backend drain marks a server ineligible for new placements
+// and fails its active sessions over to surviving replica holders
+// (resilience semantics); daemon drain stops admissions and waits for the
+// active sessions to run out.
+//
+// The paper connection: this is §5's dispatch model made operational —
+// admission control on per-server outgoing bandwidth, replica choice by the
+// configured scheduling policy, rejection when every replica holder is
+// saturated — so measured live rejection rates can be cross-validated
+// against sim.Run on the same request trace (see cmd/vodload -validate).
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vodcluster/internal/core"
+)
+
+// Outcome classifies one admission decision.
+type Outcome string
+
+// Admission outcomes reported by Server.Open and the HTTP API.
+const (
+	OutcomeAccepted Outcome = "accepted"
+	OutcomeRejected Outcome = "rejected"
+	OutcomeDraining Outcome = "draining"
+)
+
+// SessionInfo is the public record of an admitted session.
+type SessionInfo struct {
+	ID         int64   `json:"id"`
+	Video      int     `json:"video"`
+	Server     int     `json:"server"`
+	Source     int     `json:"source"`
+	RateBps    int64   `json:"rate_bps"`
+	Redirected bool    `json:"redirected"`
+	ExpiresInS float64 `json:"expires_in_s"`
+}
+
+// session is the server-side record: the live grant plus the cancel handle
+// of the session goroutine's context.
+type session struct {
+	id     int64
+	video  int
+	grant  Grant
+	cancel context.CancelFunc
+}
+
+// Config tunes a Server beyond the problem/layout pair.
+type Config struct {
+	// Policy names the admission policy (see PolicyNames); empty means
+	// least-loaded.
+	Policy string
+	// Compress divides every session's wall-clock duration: at Compress C a
+	// D-second video holds its bandwidth for D/C seconds of real time, so a
+	// recorded trace replayed C× faster reproduces the simulator's
+	// occupancy process in C× less wall time. 0 means 1 (real time).
+	Compress float64
+	// MaxSessionWall caps any single session's wall-clock lifetime
+	// regardless of compression; 0 means no cap beyond the video duration.
+	MaxSessionWall time.Duration
+}
+
+// Server is the live dispatch engine. Create with New; all exported methods
+// are safe for concurrent use.
+type Server struct {
+	c        *Cluster
+	pol      Policy
+	met      *Metrics
+	compress float64
+	maxWall  time.Duration
+
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+
+	mu       sync.Mutex
+	sessions map[int64]*session
+	nextID   atomic.Int64
+	draining atomic.Bool
+
+	wg sync.WaitGroup // live session goroutines
+}
+
+// New builds a Server for a validated problem/layout pair.
+func New(p *core.Problem, layout *core.Layout, cfg Config) (*Server, error) {
+	c, err := NewCluster(p, layout)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := NewPolicy(cfg.Policy, c)
+	if err != nil {
+		return nil, err
+	}
+	compress := cfg.Compress
+	if compress == 0 {
+		compress = 1
+	}
+	if compress < 0 {
+		return nil, fmt.Errorf("serve: compression factor must be positive, got %g", compress)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	return &Server{
+		c:        c,
+		pol:      pol,
+		met:      &Metrics{},
+		compress: compress,
+		maxWall:  cfg.MaxSessionWall,
+		baseCtx:  ctx,
+		baseStop: stop,
+		sessions: make(map[int64]*session),
+	}, nil
+}
+
+// Cluster exposes the concurrent accounting state (for metrics and tests).
+func (s *Server) Cluster() *Cluster { return s.c }
+
+// Metrics exposes the instrument panel.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// PolicyName reports the active admission policy.
+func (s *Server) PolicyName() string { return s.pol.Name() }
+
+// Compress reports the time-compression factor sessions run under.
+func (s *Server) Compress() float64 { return s.compress }
+
+// Active returns the number of live sessions.
+func (s *Server) Active() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.sessions))
+}
+
+// Draining reports whether the daemon refuses new sessions.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// wallDuration returns the compressed wall-clock lifetime of video v.
+func (s *Server) wallDuration(v int) time.Duration {
+	d := time.Duration(s.c.Problem().Catalog[v].Duration / s.compress * float64(time.Second))
+	if s.maxWall > 0 && d > s.maxWall {
+		d = s.maxWall
+	}
+	return d
+}
+
+// Open runs one admission decision for video v. On acceptance the session
+// goroutine is already running and will release the reservation when the
+// session's context ends. The returned outcome distinguishes a capacity
+// rejection from a drain refusal.
+func (s *Server) Open(v int) (SessionInfo, Outcome, error) {
+	start := time.Now()
+	if v < 0 || v >= s.c.Videos() {
+		s.met.BadVideo()
+		return SessionInfo{}, OutcomeRejected, fmt.Errorf("serve: video %d outside catalog of %d", v, s.c.Videos())
+	}
+	if s.draining.Load() {
+		s.met.Decision(false, false, true, time.Since(start))
+		return SessionInfo{}, OutcomeDraining, nil
+	}
+	g, ok := s.pol.Admit(v)
+	if !ok {
+		s.met.Decision(false, false, false, time.Since(start))
+		return SessionInfo{}, OutcomeRejected, nil
+	}
+	wall := s.wallDuration(v)
+	ctx, cancel := context.WithTimeout(s.baseCtx, wall)
+	sess := &session{id: s.nextID.Add(1), video: v, grant: g, cancel: cancel}
+	s.mu.Lock()
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		<-ctx.Done()
+		cancel()
+		s.finish(sess, ctx.Err() == context.DeadlineExceeded)
+	}()
+
+	s.met.Decision(true, g.Redirected, false, time.Since(start))
+	return SessionInfo{
+		ID:         sess.id,
+		Video:      v,
+		Server:     g.Server,
+		Source:     g.Source,
+		RateBps:    g.Rate,
+		Redirected: g.Redirected,
+		ExpiresInS: wall.Seconds(),
+	}, OutcomeAccepted, nil
+}
+
+// finish settles one ended session exactly once: it removes the registry
+// entry (if a drain or close has not already done so) and returns the
+// current grant's resources. natural reports whether the context ended by
+// its own deadline (a completed playback) rather than a cancel.
+func (s *Server) finish(sess *session, natural bool) {
+	s.mu.Lock()
+	cur, ok := s.sessions[sess.id]
+	if ok {
+		delete(s.sessions, sess.id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return // dropped by a drain; resources already settled there
+	}
+	s.pol.Release(cur.grant)
+	if natural {
+		s.met.Completed()
+	} else {
+		s.met.Canceled()
+	}
+}
+
+// Close ends session id early (the client hung up). It reports whether the
+// session was live.
+func (s *Server) Close(id int64) bool {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	sess.cancel() // the session goroutine settles it via finish
+	return true
+}
+
+// DrainBackend takes backend b out of service: no new placements land on it
+// and every session it was serving (or sourcing, for redirected streams) is
+// failed over to a surviving replica holder where capacity allows. Sessions
+// with no failover target are dropped. It returns the failed-over and
+// dropped counts.
+func (s *Server) DrainBackend(b int) (failedOver, dropped int, err error) {
+	if b < 0 || b >= s.c.Servers() {
+		return 0, 0, fmt.Errorf("serve: backend %d outside cluster of %d", b, s.c.Servers())
+	}
+	s.c.SetDraining(b, true)
+	if d, ok := s.pol.(interface{ DrainBackend(int) }); ok {
+		d.DrainBackend(b) // sim-parity policies mirror the drain into their state
+	}
+	// Snapshot the affected sessions, then settle each: swap the grant on
+	// failover (the session goroutine keeps its original deadline — the
+	// viewer's playback position does not reset), cancel on drop.
+	s.mu.Lock()
+	var affected []*session
+	for _, sess := range s.sessions {
+		if sess.grant.Server == b || sess.grant.Source == b {
+			affected = append(affected, sess)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range affected {
+		ng, ok := s.pol.Failover(sess.video, b)
+		s.mu.Lock()
+		cur, live := s.sessions[sess.id]
+		if !live { // ended concurrently; undo the failover reservation
+			s.mu.Unlock()
+			if ok {
+				s.pol.Release(ng)
+			}
+			continue
+		}
+		old := cur.grant
+		if ok {
+			cur.grant = ng
+		} else {
+			delete(s.sessions, sess.id)
+		}
+		s.mu.Unlock()
+		s.pol.Release(old)
+		if ok {
+			s.met.FailedOver()
+			failedOver++
+		} else {
+			sess.cancel()
+			s.met.Dropped()
+			dropped++
+		}
+	}
+	return failedOver, dropped, nil
+}
+
+// RestoreBackend returns a drained backend to service.
+func (s *Server) RestoreBackend(b int) error {
+	if b < 0 || b >= s.c.Servers() {
+		return fmt.Errorf("serve: backend %d outside cluster of %d", b, s.c.Servers())
+	}
+	s.c.SetDraining(b, false)
+	if d, ok := s.pol.(interface{ RestoreBackend(int) }); ok {
+		d.RestoreBackend(b)
+	}
+	return nil
+}
+
+// Drain gracefully stops the daemon: new sessions are refused with the
+// draining outcome, and Drain waits until every active session ends or ctx
+// expires, whichever is first. On ctx expiry the remaining sessions are
+// force-canceled so their reservations still release before return.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseStop() // cancel every session context
+		<-done
+		return fmt.Errorf("serve: drain timed out; %w", ctx.Err())
+	}
+}
+
+// Shutdown force-cancels every session and waits for their goroutines.
+func (s *Server) Shutdown() {
+	s.draining.Store(true)
+	s.baseStop()
+	s.wg.Wait()
+}

@@ -1,0 +1,577 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vodcluster/internal/cluster"
+	"vodcluster/internal/core"
+)
+
+// testProblem: 3 videos, 2 servers, 10 Mb/s links, 4 Mb/s videos — each
+// server carries at most 2 concurrent streams, the same micro-cluster the
+// cluster package tests use so behaviors stay comparable.
+func testProblem(t testing.TB, backbone float64) *core.Problem {
+	t.Helper()
+	c := core.Catalog{
+		{ID: 0, Popularity: 0.5, BitRate: 4 * core.Mbps, Duration: 90 * core.Minute},
+		{ID: 1, Popularity: 0.3, BitRate: 4 * core.Mbps, Duration: 90 * core.Minute},
+		{ID: 2, Popularity: 0.2, BitRate: 4 * core.Mbps, Duration: 90 * core.Minute},
+	}
+	p := &core.Problem{
+		Catalog:            c,
+		NumServers:         2,
+		StoragePerServer:   2 * c[0].SizeBytes(),
+		BandwidthPerServer: 10 * core.Mbps,
+		ArrivalRate:        1.0 / core.Minute,
+		PeakPeriod:         90 * core.Minute,
+		BackboneBandwidth:  backbone,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// testLayout: v0 on both servers, v1 on s0 only, v2 on s1 only.
+func testLayout(t testing.TB) *core.Layout {
+	t.Helper()
+	l := core.NewLayout(3)
+	l.Replicas = []int{2, 1, 1}
+	for _, pl := range []struct{ v, s int }{{0, 0}, {0, 1}, {1, 0}, {2, 1}} {
+		if err := l.Place(pl.v, pl.s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func newTestCluster(t testing.TB, backbone float64) *Cluster {
+	t.Helper()
+	c, err := NewCluster(testProblem(t, backbone), testLayout(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestTryReserveNeverOversubscribes is the CAS invariant under contention:
+// many goroutines race for a 2-slot link and exactly 2 win; releasing
+// returns the accounting to zero.
+func TestTryReserveNeverOversubscribes(t *testing.T) {
+	c := newTestCluster(t, 0)
+	rate := c.Rate(0)
+	const racers = 64
+	var wg sync.WaitGroup
+	wins := make(chan struct{}, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c.TryReserve(0, rate) {
+				wins <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	won := 0
+	for range wins {
+		won++
+	}
+	if won != 2 {
+		t.Fatalf("%d reservations won on a 2-slot link", won)
+	}
+	if got := c.Used(0); got != 2*rate {
+		t.Fatalf("used = %d, want %d", got, 2*rate)
+	}
+	c.Release(0, rate)
+	c.Release(0, rate)
+	if got := c.Used(0); got != 0 {
+		t.Fatalf("used = %d after full release, want 0", got)
+	}
+	if got := c.Active(0); got != 0 {
+		t.Fatalf("active = %d after full release, want 0", got)
+	}
+}
+
+// TestPolicyAdmitUntilSaturated: every policy admits exactly the cluster's
+// stream capacity for v0 (2 per holder), then rejects, and recovers a slot
+// on release.
+func TestPolicyAdmitUntilSaturated(t *testing.T) {
+	for _, name := range PolicyNames() {
+		t.Run(name, func(t *testing.T) {
+			c := newTestCluster(t, 0)
+			pol, err := NewPolicy(name, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var grants []Grant
+			for i := 0; i < 4; i++ {
+				g, ok := pol.Admit(0)
+				if !ok {
+					t.Fatalf("admission %d rejected below capacity", i)
+				}
+				grants = append(grants, g)
+			}
+			if _, ok := pol.Admit(0); ok {
+				t.Fatal("admission beyond cluster capacity")
+			}
+			pol.Release(grants[0])
+			// Static round-robin only tries the rotation's designated
+			// holder, so the freed slot may take a full rotation to reach.
+			var g Grant
+			ok := false
+			for i := 0; i < 2 && !ok; i++ {
+				g, ok = pol.Admit(0)
+			}
+			if !ok {
+				t.Fatal("admission after release rejected for a full rotation")
+			}
+			pol.Release(g)
+			for _, g := range grants[1:] {
+				pol.Release(g)
+			}
+			for s := 0; s < c.Servers(); s++ {
+				if c.Used(s) != 0 {
+					t.Fatalf("server %d used = %d after full release", s, c.Used(s))
+				}
+			}
+		})
+	}
+	if _, err := NewPolicy("nope", newTestCluster(t, 0)); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestStaticRRMatchesSimPolicy: the lock-free static round-robin makes the
+// same sequential accept/reject and placement decisions as the locked
+// adapter over the simulator's actual scheduler.
+func TestStaticRRMatchesSimPolicy(t *testing.T) {
+	fast, err := NewPolicy("static-rr", newTestCluster(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewPolicy("sim:static-rr", newTestCluster(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	videos := []int{0, 1, 0, 2, 0, 0, 1, 2, 0, 1, 2, 0}
+	for i, v := range videos {
+		fg, fok := fast.Admit(v)
+		sg, sok := slow.Admit(v)
+		if fok != sok {
+			t.Fatalf("request %d (video %d): lock-free ok=%v, sim ok=%v", i, v, fok, sok)
+		}
+		if fok && fg.Server != sg.Server {
+			t.Fatalf("request %d (video %d): lock-free server %d, sim server %d", i, v, fg.Server, sg.Server)
+		}
+	}
+}
+
+// TestServerSessionLifecycle: open → natural expiry under compression
+// releases the reservation and counts a completion.
+func TestServerSessionLifecycle(t *testing.T) {
+	// 5400 s video at 100000× compression ≈ 54 ms of wall time.
+	srv, err := New(testProblem(t, 0), testLayout(t), Config{Compress: 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	info, outcome, err := srv.Open(0)
+	if err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("open: outcome %q, err %v", outcome, err)
+	}
+	if info.ExpiresInS <= 0 || info.ExpiresInS > 1 {
+		t.Fatalf("expires_in_s = %g, want ≈0.054", info.ExpiresInS)
+	}
+	if srv.Active() != 1 {
+		t.Fatalf("active = %d, want 1", srv.Active())
+	}
+	waitUntil(t, 2*time.Second, "session expiry", func() bool { return srv.Active() == 0 })
+	if got := srv.Metrics().completed.Load(); got != 1 {
+		t.Fatalf("completed = %d, want 1", got)
+	}
+	if got := srv.Cluster().Used(info.Server); got != 0 {
+		t.Fatalf("server %d used = %d after expiry", info.Server, got)
+	}
+}
+
+// TestServerClose: an early client close cancels the session exactly once.
+func TestServerClose(t *testing.T) {
+	srv, err := New(testProblem(t, 0), testLayout(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	info, outcome, err := srv.Open(0)
+	if err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("open: outcome %q, err %v", outcome, err)
+	}
+	if !srv.Close(info.ID) {
+		t.Fatal("close reported no such session")
+	}
+	waitUntil(t, 2*time.Second, "session teardown", func() bool { return srv.Active() == 0 })
+	if srv.Close(info.ID) {
+		t.Fatal("second close found the session again")
+	}
+	if got := srv.Metrics().canceled.Load(); got != 1 {
+		t.Fatalf("canceled = %d, want 1", got)
+	}
+	if got := srv.Cluster().Used(info.Server); got != 0 {
+		t.Fatalf("used = %d after close", got)
+	}
+}
+
+// TestOpenRejectsBadVideo: out-of-catalog ranks error without touching the
+// admission counters.
+func TestOpenRejectsBadVideo(t *testing.T) {
+	srv, err := New(testProblem(t, 0), testLayout(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	for _, v := range []int{-1, 3, 1 << 20} {
+		if _, _, err := srv.Open(v); err == nil {
+			t.Fatalf("video %d admitted", v)
+		}
+	}
+	if got := srv.Metrics().badVideo.Load(); got != 3 {
+		t.Fatalf("bad_video = %d, want 3", got)
+	}
+	if got := srv.Metrics().Requests(); got != 0 {
+		t.Fatalf("requests = %d, want 0", got)
+	}
+}
+
+// TestDrainBackendFailover: draining a backend moves its sessions to the
+// surviving replica holder when capacity allows and drops them otherwise.
+func TestDrainBackendFailover(t *testing.T) {
+	srv, err := New(testProblem(t, 0), testLayout(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	info, outcome, err := srv.Open(0) // least-loaded tie → server 0
+	if err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("open: outcome %q, err %v", outcome, err)
+	}
+	if info.Server != 0 {
+		t.Fatalf("session landed on server %d, want 0", info.Server)
+	}
+
+	failedOver, dropped, err := srv.DrainBackend(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failedOver != 1 || dropped != 0 {
+		t.Fatalf("drain: failedOver=%d dropped=%d, want 1,0", failedOver, dropped)
+	}
+	if got := srv.Cluster().Used(0); got != 0 {
+		t.Fatalf("drained server still charged %d", got)
+	}
+	if got := srv.Cluster().Used(1); got != srv.Cluster().Rate(0) {
+		t.Fatalf("survivor charged %d, want %d", got, srv.Cluster().Rate(0))
+	}
+	if srv.Active() != 1 {
+		t.Fatalf("active = %d after failover, want 1", srv.Active())
+	}
+
+	// v1 lives only on the drained server: admission must now fail.
+	if _, outcome, _ := srv.Open(1); outcome != OutcomeRejected {
+		t.Fatalf("video on drained backend: outcome %q, want rejected", outcome)
+	}
+
+	// Draining the survivor leaves v0 nowhere to go: the session drops.
+	failedOver, dropped, err = srv.DrainBackend(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failedOver != 0 || dropped != 1 {
+		t.Fatalf("second drain: failedOver=%d dropped=%d, want 0,1", failedOver, dropped)
+	}
+	waitUntil(t, 2*time.Second, "dropped session teardown", func() bool { return srv.Active() == 0 })
+	for s := 0; s < srv.Cluster().Servers(); s++ {
+		if got := srv.Cluster().Used(s); got != 0 {
+			t.Fatalf("server %d used = %d after drop", s, got)
+		}
+	}
+
+	if err := srv.RestoreBackend(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RestoreBackend(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome, err := srv.Open(1); err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("open after restore: outcome %q, err %v", outcome, err)
+	}
+	if _, _, err := srv.DrainBackend(7); err == nil {
+		t.Fatal("drain of nonexistent backend accepted")
+	}
+}
+
+// TestDrainBackendSimPolicy: the locked sim-parity policy mirrors drain and
+// failover through the real cluster.State without leaking accounting.
+func TestDrainBackendSimPolicy(t *testing.T) {
+	srv, err := New(testProblem(t, 0), testLayout(t), Config{Policy: "sim:least-loaded"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	if _, outcome, err := srv.Open(0); err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("open: outcome %q, err %v", outcome, err)
+	}
+	failedOver, dropped, err := srv.DrainBackend(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failedOver+dropped != 1 {
+		t.Fatalf("drain settled %d sessions, want 1", failedOver+dropped)
+	}
+	if got := srv.Cluster().Used(0); got != 0 {
+		t.Fatalf("drained server still charged %d", got)
+	}
+	if failedOver == 1 {
+		if got := srv.Cluster().Used(1); got != srv.Cluster().Rate(0) {
+			t.Fatalf("survivor charged %d, want %d", got, srv.Cluster().Rate(0))
+		}
+	}
+}
+
+// TestServerDrainGraceful: daemon drain refuses new work, waits for active
+// sessions, and a timed-out drain force-releases everything.
+func TestServerDrainGraceful(t *testing.T) {
+	srv, err := New(testProblem(t, 0), testLayout(t), Config{Compress: 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	for i := 0; i < 2; i++ {
+		if _, outcome, err := srv.Open(0); err != nil || outcome != OutcomeAccepted {
+			t.Fatalf("open %d: outcome %q, err %v", i, outcome, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if srv.Active() != 0 {
+		t.Fatalf("active = %d after drain", srv.Active())
+	}
+	if _, outcome, _ := srv.Open(0); outcome != OutcomeDraining {
+		t.Fatalf("open during drain: outcome %q, want draining", outcome)
+	}
+	if got := srv.Metrics().draining.Load(); got != 1 {
+		t.Fatalf("draining rejections = %d, want 1", got)
+	}
+}
+
+func TestServerDrainTimeout(t *testing.T) {
+	srv, err := New(testProblem(t, 0), testLayout(t), Config{}) // real-time: sessions outlive the test
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, outcome, err := srv.Open(0)
+	if err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("open: outcome %q, err %v", outcome, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err == nil {
+		t.Fatal("drain of an immortal session reported success")
+	}
+	if srv.Active() != 0 {
+		t.Fatalf("active = %d after forced drain", srv.Active())
+	}
+	if got := srv.Cluster().Used(info.Server); got != 0 {
+		t.Fatalf("used = %d after forced drain", got)
+	}
+}
+
+// TestSimPolicyRedirect: with backbone bandwidth, the sim-parity policy
+// serves an exhausted video's requests over the backbone like the
+// simulator's redirect scheduler, and the backbone gauge tracks it.
+func TestSimPolicyRedirect(t *testing.T) {
+	srv, err := New(testProblem(t, 100*core.Mbps), testLayout(t), Config{Policy: "sim:least-loaded"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	if name := srv.PolicyName(); !strings.Contains(name, "redirect") {
+		t.Fatalf("policy %q lacks redirect with a backbone", name)
+	}
+	// v1 lives only on s0 (2 slots). The third request must cross the
+	// backbone to s1.
+	for i := 0; i < 2; i++ {
+		info, outcome, err := srv.Open(1)
+		if err != nil || outcome != OutcomeAccepted || info.Redirected {
+			t.Fatalf("open %d: outcome %q, redirected=%v, err %v", i, outcome, info.Redirected, err)
+		}
+	}
+	info, outcome, err := srv.Open(1)
+	if err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("redirect open: outcome %q, err %v", outcome, err)
+	}
+	if !info.Redirected {
+		t.Fatal("third v1 session was not redirected")
+	}
+	if got := srv.Cluster().BackboneUsed(); got != srv.Cluster().Rate(1) {
+		t.Fatalf("backbone used = %d, want %d", got, srv.Cluster().Rate(1))
+	}
+	if !srv.Close(info.ID) {
+		t.Fatal("close failed")
+	}
+	waitUntil(t, 2*time.Second, "redirected session teardown", func() bool {
+		return srv.Cluster().BackboneUsed() == 0
+	})
+}
+
+// TestConcurrentOpenCloseStress drives many concurrent admissions, closes,
+// and natural expiries; afterwards every gauge must read zero — the
+// accounting audit the race detector runs alongside.
+func TestConcurrentOpenCloseStress(t *testing.T) {
+	p := testProblem(t, 0)
+	p.BandwidthPerServer = 400 * core.Mbps // 100 slots per server
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []string{"least-loaded", "static-rr", "sim:first-available"} {
+		t.Run(policy, func(t *testing.T) {
+			srv, err := New(p, testLayout(t), Config{Policy: policy, Compress: 2e5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers, perWorker = 8, 40
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						info, outcome, err := srv.Open((w + i) % 3)
+						if err != nil {
+							t.Errorf("open: %v", err)
+							return
+						}
+						if outcome == OutcomeAccepted && i%2 == 0 {
+							srv.Close(info.ID)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			waitUntil(t, 5*time.Second, "all sessions to end", func() bool { return srv.Active() == 0 })
+			for s := 0; s < srv.Cluster().Servers(); s++ {
+				if got := srv.Cluster().Used(s); got != 0 {
+					t.Fatalf("server %d used = %d after all sessions ended", s, got)
+				}
+				if got := srv.Cluster().Active(s); got != 0 {
+					t.Fatalf("server %d active = %d after all sessions ended", s, got)
+				}
+			}
+			m := srv.Metrics()
+			if m.completed.Load()+m.canceled.Load() != m.accepted.Load() {
+				t.Fatalf("ended %d+%d sessions, accepted %d",
+					m.completed.Load(), m.canceled.Load(), m.accepted.Load())
+			}
+			srv.Shutdown()
+		})
+	}
+}
+
+// TestConcurrentAdmissionAgainstSequentialCapacity: under full contention
+// the admitted count can never exceed what the sequential cluster.State
+// would admit, and with releases disabled both sides admit exactly the
+// cluster's stream capacity.
+func TestConcurrentAdmissionAgainstSequentialCapacity(t *testing.T) {
+	c := newTestCluster(t, 0)
+	pol, err := NewPolicy("least-loaded", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cluster.New(testProblem(t, 0), testLayout(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := 0
+	for {
+		if _, ok := st.Admit(0, cluster.LeastLoaded{}); !ok {
+			break
+		}
+		seq++
+	}
+	var wg sync.WaitGroup
+	admitted := make(chan Grant, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if g, ok := pol.Admit(0); ok {
+				admitted <- g
+			}
+		}()
+	}
+	wg.Wait()
+	close(admitted)
+	conc := 0
+	for range admitted {
+		conc++
+	}
+	if conc != seq {
+		t.Fatalf("concurrent policy admitted %d, sequential state admits %d", conc, seq)
+	}
+}
+
+func TestNewClusterRejectsInvalidLayout(t *testing.T) {
+	p := testProblem(t, 0)
+	if _, err := NewCluster(p, core.NewLayout(3)); err == nil {
+		t.Fatal("layout with no placements accepted")
+	}
+}
+
+func TestWallDurationCompression(t *testing.T) {
+	srv, err := New(testProblem(t, 0), testLayout(t), Config{Compress: 5400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	if got := srv.wallDuration(0); got != time.Second {
+		t.Fatalf("wall duration = %s, want 1s", got)
+	}
+	capped, err := New(testProblem(t, 0), testLayout(t), Config{MaxSessionWall: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer capped.Shutdown()
+	if got := capped.wallDuration(0); got != 100*time.Millisecond {
+		t.Fatalf("capped wall duration = %s, want 100ms", got)
+	}
+	if _, err := New(testProblem(t, 0), testLayout(t), Config{Compress: -1}); err == nil {
+		t.Fatal("negative compression accepted")
+	}
+}
+
+func TestPolicyNamesResolve(t *testing.T) {
+	for _, name := range PolicyNames() {
+		if _, err := NewPolicy(name, newTestCluster(t, 0)); err != nil {
+			t.Fatalf("advertised policy %q does not resolve: %v", name, err)
+		}
+	}
+}

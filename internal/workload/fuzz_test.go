@@ -18,6 +18,17 @@ func FuzzTraceLoad(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed.String())
+	// The compressed-timestamp path: fractional sub-second arrival times and
+	// rescaled meta, the shape live replay feeds back through Save/Load.
+	compressed, err := gen.Generate(300, 1).Compress(60)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var cseed bytes.Buffer
+	if err := compressed.Save(&cseed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cseed.String())
 	f.Add(`{"requests":[],"meta":{}}`)
 	f.Add(`{"requests":[{"t":1,"v":0}],"meta":{"videos":1}}`)
 	f.Add(`{"requests":[{"t":-1,"v":0}]}`)

@@ -120,6 +120,28 @@ func Load(r io.Reader) (*Trace, error) {
 	return &tr, nil
 }
 
+// Compress returns a copy of the trace with every timestamp divided by
+// factor — the time-compression transform live trace replay uses: a trace
+// compressed by C and replayed in real time reproduces the original virtual
+// timeline C× faster. Meta is rescaled to stay self-describing (duration
+// shrinks, the mean rate grows), so a compressed trace still validates and
+// round-trips like any other.
+func (tr *Trace) Compress(factor float64) (*Trace, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("workload: compression factor must be positive, got %g", factor)
+	}
+	out := &Trace{Meta: tr.Meta}
+	out.Meta.Duration = tr.Meta.Duration / factor
+	out.Meta.MeanRate = tr.Meta.MeanRate * factor
+	if len(tr.Requests) > 0 {
+		out.Requests = make([]Request, len(tr.Requests))
+		for i, r := range tr.Requests {
+			out.Requests[i] = Request{Time: r.Time / factor, Video: r.Video}
+		}
+	}
+	return out, nil
+}
+
 // VideoCounts tallies how many requests target each video rank.
 func (tr *Trace) VideoCounts() []int {
 	m := tr.Meta.Videos

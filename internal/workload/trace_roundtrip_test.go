@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestTraceRoundTrip is the save→load property: for traces across the
+// generator's parameter space — including time-compressed ones, whose
+// fractional timestamps and rescaled meta exercise the float path — the
+// JSON round trip must reproduce the trace exactly (encoding/json emits the
+// shortest representation that parses back to the same float64, so
+// DeepEqual is the right bar, not approximate equality).
+func TestTraceRoundTrip(t *testing.T) {
+	cases := []struct {
+		name     string
+		videos   int
+		theta    float64
+		perMin   float64
+		duration float64
+		seed     int64
+		compress float64 // 0 = no compression
+	}{
+		{name: "paper-point", videos: 100, theta: 0.75, perMin: 40, duration: 5400, seed: 42},
+		{name: "single-video", videos: 1, theta: 0, perMin: 5, duration: 60, seed: 1},
+		{name: "deep-catalog", videos: 500, theta: 1.0, perMin: 120, duration: 600, seed: 7},
+		{name: "compressed", videos: 100, theta: 0.75, perMin: 40, duration: 5400, seed: 42, compress: 3600},
+		{name: "expanded", videos: 20, theta: 0.271, perMin: 15, duration: 900, seed: 3, compress: 0.25},
+		{name: "compressed-odd-factor", videos: 12, theta: 0.6, perMin: 33, duration: 777, seed: 9, compress: 7.3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gen, err := NewGenerator(NewPoissonPerMinute(tc.perMin), tc.videos, tc.theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := gen.Generate(tc.duration, tc.seed)
+			if tc.compress != 0 {
+				if tr, err = tr.Compress(tc.compress); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if len(tr.Requests) == 0 {
+				t.Fatal("generated trace is empty; the case exercises nothing")
+			}
+			var buf bytes.Buffer
+			if err := tr.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tr) {
+				t.Fatalf("round trip changed the trace:\n got %+v\nwant %+v", got, tr)
+			}
+		})
+	}
+
+	t.Run("empty", func(t *testing.T) {
+		tr := &Trace{Meta: TraceMeta{Videos: 3, Process: "poisson"}}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Fatalf("empty trace round trip: got %+v, want %+v", got, tr)
+		}
+	})
+}
+
+// TestTraceCompress pins the compression transform: timestamps divide by the
+// factor, meta rescales (duration shrinks, rate grows), the original is
+// untouched, and compress∘expand is the identity up to float rounding.
+func TestTraceCompress(t *testing.T) {
+	gen, err := NewGenerator(NewPoissonPerMinute(40), 50, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.Generate(600, 11)
+	orig := make([]Request, len(tr.Requests))
+	copy(orig, tr.Requests)
+
+	c, err := tr.Compress(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Requests) != len(tr.Requests) {
+		t.Fatalf("compression changed the request count: %d → %d", len(tr.Requests), len(c.Requests))
+	}
+	for i, r := range c.Requests {
+		if want := tr.Requests[i].Time / 60; r.Time != want {
+			t.Fatalf("request %d: time %g, want %g", i, r.Time, want)
+		}
+		if r.Video != tr.Requests[i].Video {
+			t.Fatalf("request %d: compression changed the video", i)
+		}
+	}
+	if c.Meta.Duration != tr.Meta.Duration/60 {
+		t.Fatalf("meta duration %g, want %g", c.Meta.Duration, tr.Meta.Duration/60)
+	}
+	if c.Meta.MeanRate != tr.Meta.MeanRate*60 {
+		t.Fatalf("meta rate %g, want %g", c.Meta.MeanRate, tr.Meta.MeanRate*60)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("compressed trace fails validation: %v", err)
+	}
+	if !reflect.DeepEqual(tr.Requests, orig) {
+		t.Fatal("Compress mutated the original trace")
+	}
+
+	back, err := c.Compress(1.0 / 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range back.Requests {
+		if math.Abs(r.Time-tr.Requests[i].Time) > 1e-9 {
+			t.Fatalf("request %d: expand(compress(t)) = %g, want %g", i, r.Time, tr.Requests[i].Time)
+		}
+	}
+
+	for _, bad := range []float64{0, -1} {
+		if _, err := tr.Compress(bad); err == nil {
+			t.Fatalf("Compress(%g) must fail", bad)
+		}
+	}
+}

@@ -1,6 +1,17 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke serve-smoke figures examples fuzz clean ci fmt-check
+# Fuzzing time per target; the nightly workflow raises this to 60s.
+FUZZTIME ?= 30s
+# Where serve-smoke writes its benchmark record. CI points this at a temp
+# path so the checked-in baseline is never overwritten by a workflow run.
+SERVE_BENCH ?= BENCH_serve.json
+# Perf-gate knobs: fresh records land under PERF_OUT and are compared
+# against the checked-in baselines at PERF_TOLERANCE relative worsening
+# (plus the noise margin vodperf derives from the samples).
+PERF_OUT ?= /tmp/vodperf
+PERF_TOLERANCE ?= 0.10
+
+.PHONY: all build test race cover bench bench-smoke serve-smoke perf perf-gate figures figures-smoke examples fuzz clean ci fmt-check
 
 all: build test
 
@@ -37,13 +48,33 @@ bench-smoke:
 # Boot the live daemon in-process, fire a 1-second 8000 req/s burst through
 # the open-loop load generator, scrape /metrics for non-zero admissions,
 # cross-validate the rejection rate against sim.Run, and record throughput
-# plus admission-latency percentiles in BENCH_serve.json.
+# plus admission-latency percentiles in $(SERVE_BENCH).
 serve-smoke:
-	$(GO) run ./cmd/vodload -selftest -rate 8000 -burst 1 -validate -bench-out BENCH_serve.json
+	$(GO) run ./cmd/vodload -selftest -rate 8000 -burst 1 -validate -bench-out $(SERVE_BENCH)
+
+# Re-measure the canonical benchmarks (Fig. 4 quick sweep + serve burst)
+# and refresh the checked-in multi-run baseline.
+perf:
+	$(GO) run ./cmd/vodperf -runs 5 -out BENCH_perf.json
+
+# The CI performance gate: measure fresh records into $(PERF_OUT) and
+# compare them against the checked-in baselines. Exits nonzero when a gated
+# metric is more than $(PERF_TOLERANCE) + noise margin worse.
+perf-gate:
+	mkdir -p $(PERF_OUT)
+	$(GO) run ./cmd/vodload -selftest -rate 8000 -burst 1 -bench-out $(PERF_OUT)/BENCH_serve.json
+	$(GO) run ./cmd/vodperf -runs 3 -out $(PERF_OUT)/BENCH_perf.json
+	$(GO) run ./cmd/vodperf -compare BENCH_serve.json $(PERF_OUT)/BENCH_serve.json -tolerance $(PERF_TOLERANCE)
+	$(GO) run ./cmd/vodperf -compare BENCH_perf.json $(PERF_OUT)/BENCH_perf.json -tolerance $(PERF_TOLERANCE)
 
 # Regenerate every paper figure (tables + ASCII charts + CSV series).
 figures:
 	$(GO) run ./cmd/vodbench -fig all -runs 20 -csv results/csv | tee results/vodbench-full.txt
+
+# Nightly smoke of the figure generators: every figure once, one
+# replication per point, no artifacts written into the tree.
+figures-smoke:
+	$(GO) run ./cmd/vodbench -fig all -runs 1
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -55,9 +86,9 @@ examples:
 	$(GO) run ./examples/hierarchical-sites
 
 fuzz:
-	$(GO) test -run=Fuzz -fuzz=FuzzLoad -fuzztime=30s ./internal/config/
-	$(GO) test -run=Fuzz -fuzz=FuzzTraceLoad -fuzztime=30s ./internal/workload/
-	$(GO) test -run=Fuzz -fuzz=FuzzApportion -fuzztime=30s ./internal/apportion/
+	$(GO) test -run=Fuzz -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/config/
+	$(GO) test -run=Fuzz -fuzz=FuzzTraceLoad -fuzztime=$(FUZZTIME) ./internal/workload/
+	$(GO) test -run=Fuzz -fuzz=FuzzApportion -fuzztime=$(FUZZTIME) ./internal/apportion/
 
 clean:
 	rm -f cover.out

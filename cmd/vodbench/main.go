@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"vodcluster/internal/exp"
+	"vodcluster/internal/obs"
 )
 
 // benchConfig carries the shared harness knobs into each figure generator.
@@ -114,17 +115,27 @@ func runFigure(fig string, cfg benchConfig) error {
 }
 
 // writeTiming records the wall clock of the figure run as JSON, so sweep
-// performance stays comparable across revisions (see BENCH_sweep.json).
+// performance stays comparable across revisions (see BENCH_sweep.json). The
+// embedded manifest pins the environment the number came from.
 func writeTiming(path, fig string, cfg benchConfig, elapsed time.Duration) error {
+	man := obs.NewManifest()
+	man.Seed = cfg.seed
+	man.Flags = map[string]string{
+		"fig":     fig,
+		"runs":    fmt.Sprint(cfg.runs),
+		"quick":   fmt.Sprint(cfg.quick),
+		"workers": fmt.Sprint(cfg.workers),
+	}
 	rec := struct {
-		Figure       string  `json:"figure"`
-		Runs         int     `json:"runs"`
-		Seed         int64   `json:"seed"`
-		Quick        bool    `json:"quick"`
-		Workers      int     `json:"workers"`
-		GOMAXPROCS   int     `json:"gomaxprocs"`
-		WallClockSec float64 `json:"wall_clock_sec"`
-	}{fig, cfg.runs, cfg.seed, cfg.quick, cfg.workers, runtime.GOMAXPROCS(0), elapsed.Seconds()}
+		Figure       string       `json:"figure"`
+		Manifest     obs.Manifest `json:"manifest"`
+		Runs         int          `json:"runs"`
+		Seed         int64        `json:"seed"`
+		Quick        bool         `json:"quick"`
+		Workers      int          `json:"workers"`
+		GOMAXPROCS   int          `json:"gomaxprocs"`
+		WallClockSec float64      `json:"wall_clock_sec"`
+	}{fig, man, cfg.runs, cfg.seed, cfg.quick, cfg.workers, runtime.GOMAXPROCS(0), elapsed.Seconds()}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err

@@ -31,6 +31,7 @@ import (
 	"vodcluster/internal/cluster"
 	"vodcluster/internal/config"
 	"vodcluster/internal/core"
+	"vodcluster/internal/obs"
 	"vodcluster/internal/report"
 	"vodcluster/internal/serve"
 	"vodcluster/internal/sim"
@@ -141,7 +142,7 @@ func run() error {
 	}
 
 	if *benchOut != "" {
-		if err := writeBench(*benchOut, tr, rep, *compress, *policy); err != nil {
+		if err := writeBench(*benchOut, tr, rep, *compress, *policy, *seed, *rate, *burst); err != nil {
 			return err
 		}
 		fmt.Printf("benchmark record written to %s\n", *benchOut)
@@ -284,25 +285,36 @@ func simSchedulerFor(policy string, backbone bool) (func() cluster.Scheduler, er
 
 // writeBench records the replay as a JSON benchmark artifact
 // (BENCH_serve.json in CI) so serving throughput stays comparable across
-// revisions.
-func writeBench(path string, tr *workload.Trace, rep *serve.Report, compress float64, policy string) error {
+// revisions. The embedded manifest pins the environment the numbers came
+// from (git SHA, CPU, GOMAXPROCS, seed, flags).
+func writeBench(path string, tr *workload.Trace, rep *serve.Report, compress float64, policy string, seed int64, rate, burst float64) error {
+	man := obs.NewManifest()
+	man.Seed = seed
+	man.Flags = map[string]string{
+		"policy":   policy,
+		"compress": fmt.Sprint(compress),
+		"rate":     fmt.Sprint(rate),
+		"burst":    fmt.Sprint(burst),
+	}
 	rec := struct {
-		Generated       string  `json:"generated"`
-		Policy          string  `json:"policy"`
-		Compress        float64 `json:"compress"`
-		Requests        int     `json:"requests"`
-		Accepted        int     `json:"accepted"`
-		Rejected        int     `json:"rejected"`
-		Redirected      int     `json:"redirected"`
-		WallSeconds     float64 `json:"wall_seconds"`
-		DecisionsPerSec float64 `json:"decisions_per_sec"`
-		LatencyP50Ms    float64 `json:"latency_p50_ms"`
-		LatencyP90Ms    float64 `json:"latency_p90_ms"`
-		LatencyP99Ms    float64 `json:"latency_p99_ms"`
-		LatencyMaxMs    float64 `json:"latency_max_ms"`
-		VirtualSeconds  float64 `json:"virtual_seconds"`
+		Generated       string       `json:"generated"`
+		Manifest        obs.Manifest `json:"manifest"`
+		Policy          string       `json:"policy"`
+		Compress        float64      `json:"compress"`
+		Requests        int          `json:"requests"`
+		Accepted        int          `json:"accepted"`
+		Rejected        int          `json:"rejected"`
+		Redirected      int          `json:"redirected"`
+		WallSeconds     float64      `json:"wall_seconds"`
+		DecisionsPerSec float64      `json:"decisions_per_sec"`
+		LatencyP50Ms    float64      `json:"latency_p50_ms"`
+		LatencyP90Ms    float64      `json:"latency_p90_ms"`
+		LatencyP99Ms    float64      `json:"latency_p99_ms"`
+		LatencyMaxMs    float64      `json:"latency_max_ms"`
+		VirtualSeconds  float64      `json:"virtual_seconds"`
 	}{
 		Generated:       time.Now().UTC().Format(time.RFC3339),
+		Manifest:        man,
 		Policy:          policy,
 		Compress:        compress,
 		Requests:        rep.Requests,

@@ -13,6 +13,11 @@
 // (Prometheus text), GET /healthz, GET /layout. SIGTERM/SIGINT drain the
 // daemon gracefully: new sessions are refused while active ones run out,
 // bounded by -drain-timeout.
+//
+// Observability: -pprof (default on) mounts the net/http/pprof profiling
+// endpoints under /debug/pprof/; -trace N enables the session tracer with
+// an N-event ring buffer, dumpable at GET /debug/trace (?format=chrome for
+// a chrome://tracing / Perfetto-loadable file) — see DESIGN.md §10.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +37,7 @@ import (
 	"vodcluster"
 	"vodcluster/internal/config"
 	"vodcluster/internal/core"
+	"vodcluster/internal/obs"
 	"vodcluster/internal/serve"
 )
 
@@ -48,22 +55,33 @@ func run() error {
 	policy := flag.String("policy", "least-loaded", fmt.Sprintf("admission policy: one of %v", serve.PolicyNames()))
 	compress := flag.Float64("compress", 1, "time-compression factor: a D-second video holds bandwidth for D/compress wall seconds")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for active sessions")
+	pprofOn := flag.Bool("pprof", true, "mount the net/http/pprof profiling endpoints under /debug/pprof/")
+	traceEvents := flag.Int("trace", 0, "enable session tracing with a ring buffer of this many events (0 = off); dump at GET /debug/trace")
 	flag.Parse()
 
 	p, layout, err := loadLayout(*scenarioPath, *planPath)
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(p, layout, serve.Config{Policy: *policy, Compress: *compress})
+	var tracer *obs.Tracer
+	if *traceEvents > 0 {
+		tracer = obs.NewTracer(*traceEvents)
+	}
+	srv, err := serve.New(p, layout, serve.Config{Policy: *policy, Compress: *compress, Tracer: tracer})
 	if err != nil {
 		return err
+	}
+
+	handler := obs.Middleware(tracer, srv.Handler())
+	if *pprofOn {
+		handler = withPprof(handler)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	log.Printf("vodserved: serving %d videos on %d backends at %s (policy %s, compress %gx)",
@@ -91,6 +109,20 @@ func run() error {
 	<-errCh // Serve has returned ErrServerClosed
 	log.Printf("vodserved: drained; bye")
 	return nil
+}
+
+// withPprof mounts the net/http/pprof handlers in front of the API handler.
+// The daemon uses its own ServeMux, so the pprof routes are registered
+// explicitly rather than through the package's DefaultServeMux side effect.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
 }
 
 // loadLayout materializes the problem/layout pair: a persisted plan wins,

@@ -34,6 +34,7 @@ import (
 	"vodcluster/internal/core"
 	"vodcluster/internal/dynrep"
 	"vodcluster/internal/exp"
+	"vodcluster/internal/obs"
 	"vodcluster/internal/report"
 	"vodcluster/internal/resilience"
 	"vodcluster/internal/sim"
@@ -81,6 +82,9 @@ func run() error {
 	sweepList := flag.String("sweep", "", "comma-separated arrival rates (req/min) to sweep instead of the single -lambda run; every other knob still applies")
 	seriesList := flag.String("series", "", fmt.Sprintf("comma-separated named series for -sweep, each a scheduling policy curve over the same layout; available: %s (default: baseline)", strings.Join(sweepSeriesNames(), ", ")))
 	workers := flag.Int("workers", 0, "parallel simulations across a -sweep; 0 = GOMAXPROCS, 1 = sequential")
+	tracePath := flag.String("trace", "", "dump a session-lifecycle trace of the run(s) to this file (ring buffer of -trace-events)")
+	traceFormat := flag.String("trace-format", "json", "trace dump format: json | chrome (chrome://tracing / Perfetto)")
+	traceEvents := flag.Int("trace-events", obs.DefaultTraceEvents, "trace ring-buffer capacity (oldest events are overwritten)")
 	flag.Parse()
 
 	if *scenarioPath != "" {
@@ -157,8 +161,45 @@ func run() error {
 		}
 		cfg.NewController = func() sim.Controller { return newManager() }
 	}
+	// Session tracing: one shared ring buffer across every replication. The
+	// tracer publishes with atomics, so sharing it between parallel runs is
+	// safe; events from different replications interleave in the dump (each
+	// run restarts virtual time at 0).
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		if *traceFormat != "json" && *traceFormat != "chrome" {
+			return fmt.Errorf("-trace-format must be json or chrome, got %q", *traceFormat)
+		}
+		tracer = obs.NewTracer(*traceEvents)
+		cfg.Hooks = append(cfg.Hooks, obs.NewSimHook(tracer))
+	}
+	dumpTrace := func() error {
+		if tracer == nil {
+			return nil
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if *traceFormat == "chrome" {
+			err = tracer.WriteChromeTrace(f)
+		} else {
+			err = tracer.WriteJSON(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "vodsim: trace (%d of %d events) written to %s\n",
+				min(tracer.Total(), uint64(tracer.Cap())), tracer.Total(), *tracePath)
+		}
+		return err
+	}
 	if *sweepList != "" {
-		return runSweep(s, cfg, *sweepList, *seriesList, *workers)
+		if err := runSweep(s, cfg, *sweepList, *seriesList, *workers); err != nil {
+			return err
+		}
+		return dumpTrace()
 	}
 	if *seriesList != "" {
 		return fmt.Errorf("-series only applies to a -sweep")
@@ -217,7 +258,7 @@ func run() error {
 			fmt.Printf("run %2d: %s\n", i, r)
 		}
 	}
-	return nil
+	return dumpTrace()
 }
 
 // sweepSeriesNames lists the named -series curves a sweep can plot, in the

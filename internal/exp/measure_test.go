@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTimed(t *testing.T) {
+	var calls []int
+	secs, err := Timed(3, func(i int) error {
+		calls = append(calls, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 3 {
+		t.Fatalf("got %d timings, want 3", len(secs))
+	}
+	for i, s := range secs {
+		if s < 0 {
+			t.Fatalf("timing %d negative: %g", i, s)
+		}
+	}
+	if len(calls) != 3 || calls[0] != 0 || calls[2] != 2 {
+		t.Fatalf("run indices = %v", calls)
+	}
+}
+
+func TestTimedStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	n := 0
+	secs, err := Timed(5, func(i int) error {
+		n++
+		if i == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 2 || len(secs) != 1 {
+		t.Fatalf("ran %d times with %d timings; want the error to stop the loop", n, len(secs))
+	}
+}

@@ -248,6 +248,12 @@ type Result struct {
 	// informative for scalable-bit-rate layouts where the served copy
 	// decides the quality.
 	MeanSessionRateMbps float64
+	// Events counts the discrete events the engine executed during the
+	// run. It is deterministic for a given configuration and seed (so it
+	// survives the bit-identical replay tests), and dividing it by a
+	// measured wall clock gives the simulator's events/s throughput — the
+	// raw-speed metric the perf-regression gate tracks.
+	Events int
 }
 
 // String summarizes the run; resilience counters appear only when exercised.

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"vodcluster/internal/stats"
+)
+
+// BenchMetric is one measured quantity of a benchmark record: its samples
+// (one per repetition) plus the direction a change must move in to count as
+// a regression. Gate marks metrics the CI comparison fails on; ungated
+// metrics are reported for context only — single-shot tail percentiles, for
+// example, are too noise-dominated to block a merge on.
+type BenchMetric struct {
+	Name           string    `json:"name"`
+	Unit           string    `json:"unit"`
+	HigherIsBetter bool      `json:"higher_is_better"`
+	Gate           bool      `json:"gate"`
+	Samples        []float64 `json:"samples"`
+	Mean           float64   `json:"mean"`
+	Stddev         float64   `json:"stddev"`
+}
+
+// NewBenchMetric summarizes samples into a metric.
+func NewBenchMetric(name, unit string, higherIsBetter, gate bool, samples []float64) BenchMetric {
+	var s stats.Summary
+	s.AddN(samples...)
+	return BenchMetric{
+		Name: name, Unit: unit,
+		HigherIsBetter: higherIsBetter, Gate: gate,
+		Samples: samples, Mean: s.Mean(), Stddev: s.StdDev(),
+	}
+}
+
+// BenchRecord is the manifest-stamped multi-sample benchmark artifact
+// cmd/vodperf writes and compares.
+type BenchRecord struct {
+	Manifest   Manifest      `json:"manifest"`
+	Benchmarks []BenchMetric `json:"benchmarks"`
+}
+
+// WriteFile persists the record as indented JSON.
+func (r *BenchRecord) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// flatMetrics maps the keys of the single-run BENCH_serve.json /
+// BENCH_sweep.json artifacts onto metric definitions, so vodperf -compare
+// accepts those records directly. Only rate- and wall-clock-type keys gate:
+// a single run's latency percentiles carry no noise estimate, so they are
+// extracted for the report but never fail the comparison (vodperf's own
+// multi-run records gate latency with a measured noise margin instead).
+// The serve keys load under vodperf's serve_* metric names, so a flat
+// serve-smoke artifact and a multi-run vodperf record compare against each
+// other directly; gating always follows the baseline (old) side.
+var flatMetrics = []struct {
+	key, name, unit string
+	higherIsBetter  bool
+	gate            bool
+}{
+	{"decisions_per_sec", "serve_decisions_per_sec", "decisions/s", true, true},
+	{"wall_clock_sec", "wall_clock_sec", "s", false, true},
+	{"latency_p50_ms", "serve_latency_p50_ms", "ms", false, false},
+	{"latency_p90_ms", "serve_latency_p90_ms", "ms", false, false},
+	{"latency_p99_ms", "serve_latency_p99_ms", "ms", false, false},
+	{"latency_max_ms", "serve_latency_max_ms", "ms", false, false},
+}
+
+// LoadBenchFile reads a benchmark artifact: a vodperf BenchRecord, or one
+// of the flat single-run records (BENCH_serve.json, BENCH_sweep.json) whose
+// known numeric keys become single-sample metrics.
+func LoadBenchFile(path string) (*BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(data, &rec); err == nil && len(rec.Benchmarks) > 0 {
+		return &rec, nil
+	}
+	var flat map[string]any
+	if err := json.Unmarshal(data, &flat); err != nil {
+		return nil, fmt.Errorf("obs: %s is neither a vodperf record nor a flat benchmark record: %w", path, err)
+	}
+	for _, def := range flatMetrics {
+		if v, ok := flat[def.key].(float64); ok {
+			rec.Benchmarks = append(rec.Benchmarks,
+				NewBenchMetric(def.name, def.unit, def.higherIsBetter, def.gate, []float64{v}))
+		}
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("obs: %s holds no recognized benchmark metrics", path)
+	}
+	return &rec, nil
+}
+
+// Noise-margin bounds for the regression decision, as relative fractions of
+// the old mean: singleSampleMargin stands in when either side has no
+// repetitions to estimate noise from; marginFloor keeps a lucky pair of
+// tight sample sets from tripping the gate on sub-percent jitter.
+const (
+	singleSampleMargin = 0.05
+	marginFloor        = 0.02
+)
+
+// Delta is one compared metric of a benchmark comparison.
+type Delta struct {
+	Name string
+	Unit string
+	// Old and New are the two records' means.
+	Old, New float64
+	// Pct is the relative change signed so positive is worse, regardless of
+	// the metric's direction.
+	Pct float64
+	// Margin is the noise allowance added to the tolerance: two standard
+	// errors of the difference when both sides carry samples, a fixed
+	// allowance otherwise.
+	Margin float64
+	// Gate reports whether this metric can fail the comparison.
+	Gate bool
+	// Regressed reports Pct > tolerance + Margin on a gated metric.
+	Regressed bool
+	// MissingNew marks a gated metric present in the baseline but absent
+	// from the new record — treated as a failure so a benchmark cannot be
+	// silently dropped.
+	MissingNew bool
+}
+
+// CompareBench compares a new record against a baseline at the given
+// relative tolerance (0.10 = a gated metric may be up to 10% worse plus the
+// noise margin). It returns one Delta per baseline metric and whether any
+// gated metric regressed or went missing.
+func CompareBench(old, new *BenchRecord, tolerance float64) ([]Delta, bool) {
+	byName := make(map[string]BenchMetric, len(new.Benchmarks))
+	for _, m := range new.Benchmarks {
+		byName[m.Name] = m
+	}
+	deltas := make([]Delta, 0, len(old.Benchmarks))
+	failed := false
+	for _, om := range old.Benchmarks {
+		d := Delta{Name: om.Name, Unit: om.Unit, Old: om.Mean, Gate: om.Gate}
+		nm, ok := byName[om.Name]
+		if !ok {
+			d.MissingNew = true
+			if om.Gate {
+				failed = true
+			}
+			deltas = append(deltas, d)
+			continue
+		}
+		d.New = nm.Mean
+		if om.Mean != 0 {
+			d.Pct = (nm.Mean - om.Mean) / math.Abs(om.Mean)
+			if om.HigherIsBetter {
+				d.Pct = -d.Pct
+			}
+		}
+		d.Margin = noiseMargin(om, nm)
+		if om.Gate && d.Pct > tolerance+d.Margin {
+			d.Regressed = true
+			failed = true
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, failed
+}
+
+// noiseMargin estimates how much of a relative delta is attributable to
+// run-to-run noise: two standard errors of the difference of means,
+// relative to the baseline mean. Either side lacking repetitions falls back
+// to the fixed single-sample allowance.
+func noiseMargin(old, new BenchMetric) float64 {
+	nOld, nNew := len(old.Samples), len(new.Samples)
+	if nOld < 2 || nNew < 2 {
+		return singleSampleMargin
+	}
+	se := 2 * math.Sqrt(old.Stddev*old.Stddev/float64(nOld)+new.Stddev*new.Stddev/float64(nNew))
+	margin := se / math.Abs(old.Mean)
+	if margin < marginFloor {
+		margin = marginFloor
+	}
+	return margin
+}

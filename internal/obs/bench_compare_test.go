@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func metric(name string, higher, gate bool, samples ...float64) BenchMetric {
+	return NewBenchMetric(name, "u", higher, gate, samples)
+}
+
+func record(ms ...BenchMetric) *BenchRecord {
+	return &BenchRecord{Manifest: NewManifest(), Benchmarks: ms}
+}
+
+// TestCompareBenchIdentical: a record against itself never regresses.
+func TestCompareBenchIdentical(t *testing.T) {
+	r := record(
+		metric("throughput", true, true, 100, 102, 98),
+		metric("latency", false, true, 5, 5.2, 4.9),
+	)
+	deltas, failed := CompareBench(r, r, 0.10)
+	if failed {
+		t.Fatalf("self-comparison failed: %+v", deltas)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+}
+
+// TestCompareBenchDirections: the signed delta counts a drop in a
+// higher-is-better metric and a rise in a lower-is-better metric both as
+// worse — and the symmetric improvements never fail.
+func TestCompareBenchDirections(t *testing.T) {
+	oldRec := record(
+		metric("throughput", true, true, 100, 100, 100),
+		metric("latency", false, true, 10, 10, 10),
+	)
+	worse := record(
+		metric("throughput", true, true, 50, 50, 50),
+		metric("latency", false, true, 20, 20, 20),
+	)
+	deltas, failed := CompareBench(oldRec, worse, 0.10)
+	if !failed {
+		t.Fatal("halved throughput and doubled latency passed the gate")
+	}
+	for _, d := range deltas {
+		if !d.Regressed {
+			t.Fatalf("%s should have regressed: %+v", d.Name, d)
+		}
+		if d.Pct < 0.45 {
+			t.Fatalf("%s Pct = %g, want ~+0.5/+1.0 (positive = worse)", d.Name, d.Pct)
+		}
+	}
+	better := record(
+		metric("throughput", true, true, 200, 200, 200),
+		metric("latency", false, true, 5, 5, 5),
+	)
+	if _, failed := CompareBench(oldRec, better, 0.10); failed {
+		t.Fatal("improvements tripped the gate")
+	}
+}
+
+// TestCompareBenchTolerance: a gated metric just inside tolerance + margin
+// passes; just outside fails. Three identical samples per side pin the noise
+// margin at its 2% floor, so the boundary sits at exactly 12%.
+func TestCompareBenchTolerance(t *testing.T) {
+	oldRec := record(metric("wall", false, true, 10, 10, 10))
+	within := record(metric("wall", false, true, 11.1, 11.1, 11.1)) // +11% < 12%
+	if _, failed := CompareBench(oldRec, within, 0.10); failed {
+		t.Fatal("+11% failed a 10%+2% gate")
+	}
+	outside := record(metric("wall", false, true, 11.3, 11.3, 11.3)) // +13% > 12%
+	if _, failed := CompareBench(oldRec, outside, 0.10); !failed {
+		t.Fatal("+13% passed a 10%+2% gate")
+	}
+}
+
+// TestCompareBenchNoiseMargin: noisy samples widen the allowance — the same
+// +20% mean delta that fails with tight samples passes when the measured
+// run-to-run scatter explains it.
+func TestCompareBenchNoiseMargin(t *testing.T) {
+	tight := record(metric("wall", false, true, 10, 10.01, 9.99))
+	noisy := record(metric("wall", false, true, 6, 10, 14))
+	newRec := record(metric("wall", false, true, 12, 12.01, 11.99))
+	if _, failed := CompareBench(tight, newRec, 0.10); !failed {
+		t.Fatal("+20% with tight samples passed")
+	}
+	if _, failed := CompareBench(noisy, newRec, 0.10); failed {
+		t.Fatal("+20% within the measured noise failed")
+	}
+}
+
+// TestCompareBenchSingleSample: one sample on either side falls back to the
+// fixed 5% allowance instead of a measured margin.
+func TestCompareBenchSingleSample(t *testing.T) {
+	oldRec := record(metric("dps", true, true, 100))
+	ok := record(metric("dps", true, true, 86)) // -14% < 10%+5%
+	if _, failed := CompareBench(oldRec, ok, 0.10); failed {
+		t.Fatal("-14% failed the single-sample 15% allowance")
+	}
+	bad := record(metric("dps", true, true, 80)) // -20% > 15%
+	if _, failed := CompareBench(oldRec, bad, 0.10); !failed {
+		t.Fatal("-20% passed the single-sample 15% allowance")
+	}
+}
+
+// TestCompareBenchMissing: a gated baseline metric absent from the new
+// record fails (a benchmark cannot be silently dropped); an ungated one is
+// only reported.
+func TestCompareBenchMissing(t *testing.T) {
+	oldRec := record(
+		metric("gated", false, true, 10),
+		metric("info", false, false, 10),
+	)
+	newRec := record(metric("gated", false, true, 10))
+	deltas, failed := CompareBench(oldRec, newRec, 0.10)
+	if failed {
+		t.Fatal("missing ungated metric failed the gate")
+	}
+	if !deltas[1].MissingNew {
+		t.Fatalf("info delta should be MissingNew: %+v", deltas[1])
+	}
+	if _, failed := CompareBench(oldRec, record(metric("info", false, false, 10)), 0.10); !failed {
+		t.Fatal("missing gated metric passed the gate")
+	}
+}
+
+// TestLoadBenchFileFlat: the flat single-run records (BENCH_serve.json
+// shape) load with only throughput-type keys gated, under the serve_*
+// names vodperf's own records use, so the two formats cross-compare.
+func TestLoadBenchFileFlat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flat.json")
+	flat := `{
+  "generated": "2026-08-05T00:00:00Z",
+  "policy": "least-loaded",
+  "decisions_per_sec": 8087.2,
+  "latency_p50_ms": 1.96,
+  "latency_p99_ms": 67.3,
+  "wall_seconds": 1.0004
+}`
+	if err := os.WriteFile(path, []byte(flat), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]BenchMetric, len(rec.Benchmarks))
+	for _, m := range rec.Benchmarks {
+		got[m.Name] = m
+	}
+	dps, ok := got["serve_decisions_per_sec"]
+	if !ok || !dps.Gate || !dps.HigherIsBetter || dps.Mean != 8087.2 {
+		t.Fatalf("serve_decisions_per_sec = %+v", dps)
+	}
+	p50, ok := got["serve_latency_p50_ms"]
+	if !ok || p50.Gate || p50.HigherIsBetter {
+		t.Fatalf("serve_latency_p50_ms should load ungated: %+v", p50)
+	}
+	if _, ok := got["wall_seconds"]; ok {
+		t.Fatal("wall_seconds is not a recognized metric key and must not load")
+	}
+}
+
+// TestLoadBenchFileRoundTrip: a written BenchRecord loads back intact.
+func TestLoadBenchFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rec.json")
+	r := record(metric("fig4_wall_sec", false, true, 0.07, 0.068))
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != 1 || back.Benchmarks[0].Name != "fig4_wall_sec" ||
+		len(back.Benchmarks[0].Samples) != 2 {
+		t.Fatalf("round trip lost data: %+v", back.Benchmarks)
+	}
+	if _, failed := CompareBench(r, back, 0.10); failed {
+		t.Fatal("round-tripped record failed self-comparison")
+	}
+}
+
+// TestLoadBenchFileRejectsGarbage: a file with no recognizable metrics is an
+// error, not an empty record that would vacuously pass comparisons.
+func TestLoadBenchFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte(`{"hello": "world"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchFile(path); err == nil {
+		t.Fatal("metric-free file loaded without error")
+	}
+}

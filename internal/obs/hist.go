@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"vodcluster/internal/stats"
+)
+
+// Hist is a concurrency-safe histogram built on stats.Histogram that
+// renders itself in the Prometheus text exposition format. Unlike the
+// serving daemon's atomic admission-latency histogram (whose bucket set is
+// fixed at compile time), Hist takes its range and resolution at
+// construction, which is what run-specific instruments — queue depth,
+// per-phase latencies — need. A nil *Hist is a valid no-op, mirroring the
+// nil-Tracer convention.
+type Hist struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// NewHist builds a histogram with n bins spanning [lo, hi).
+func NewHist(lo, hi float64, n int) *Hist {
+	return &Hist{h: stats.NewHistogram(lo, hi, n)}
+}
+
+// Observe records one observation; a no-op on a nil Hist.
+func (h *Hist) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Add(x)
+	h.mu.Unlock()
+}
+
+// WriteProm renders the histogram as one Prometheus histogram family:
+// cumulative buckets at each bin's upper edge plus +Inf, then _sum and
+// _count. Observations below the range count into every bucket (they are
+// ≤ every edge); observations at or above it only into +Inf. A nil Hist
+// writes nothing, so callers render optional instruments unconditionally.
+func (h *Hist) WriteProm(w io.Writer, name, help string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := h.h.Underflow()
+	for i := 0; i < h.h.Bins(); i++ {
+		cum += h.h.Count(i)
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, h.h.BinUpper(i), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.h.Total())
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.h.Total())
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHistWriteProm checks the Prometheus exposition invariants: cumulative
+// non-decreasing buckets, underflow counted into every bucket, overflow only
+// into +Inf, and _sum/_count matching the observations.
+func TestHistWriteProm(t *testing.T) {
+	h := NewHist(0, 10, 5) // bins of width 2: edges 2,4,6,8,10
+	for _, x := range []float64{-1, 0.5, 9.5, 100} {
+		h.Observe(x)
+	}
+	var buf bytes.Buffer
+	h.WriteProm(&buf, "test_depth", "help text")
+	out := buf.String()
+
+	if !strings.Contains(out, "# HELP test_depth help text\n") ||
+		!strings.Contains(out, "# TYPE test_depth histogram\n") {
+		t.Fatalf("missing HELP/TYPE headers:\n%s", out)
+	}
+
+	var prev, bucketCount int64 = -1, 0
+	for _, line := range strings.Split(out, "\n") {
+		rest, ok := strings.CutPrefix(line, "test_depth_bucket{le=\"")
+		if !ok {
+			continue
+		}
+		bucketCount++
+		_, val, ok := strings.Cut(rest, "\"} ")
+		if !ok {
+			t.Fatalf("malformed bucket line %q", line)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value in %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("cumulative buckets decreased (%d after %d):\n%s", n, prev, out)
+		}
+		prev = n
+	}
+	if bucketCount != 6 { // 5 edges + +Inf
+		t.Fatalf("got %d bucket lines, want 6:\n%s", bucketCount, out)
+	}
+	// The -1 underflow is ≤ every edge, so the first bucket already holds
+	// it plus the 0.5 observation; 100 only reaches +Inf.
+	if !strings.Contains(out, "test_depth_bucket{le=\"2\"} 2\n") {
+		t.Fatalf("first bucket should hold underflow + 0.5:\n%s", out)
+	}
+	if !strings.Contains(out, "test_depth_bucket{le=\"10\"} 3\n") {
+		t.Fatalf("last finite bucket should exclude the overflow:\n%s", out)
+	}
+	if !strings.Contains(out, "test_depth_bucket{le=\"+Inf\"} 4\n") {
+		t.Fatalf("+Inf bucket should hold everything:\n%s", out)
+	}
+	if !strings.Contains(out, "test_depth_sum 109\n") {
+		t.Fatalf("_sum should be 109:\n%s", out)
+	}
+	if !strings.Contains(out, "test_depth_count 4\n") {
+		t.Fatalf("_count should be 4:\n%s", out)
+	}
+}
+
+// TestHistNil: the nil histogram observes and renders as a no-op.
+func TestHistNil(t *testing.T) {
+	var h *Hist
+	h.Observe(3)
+	var buf bytes.Buffer
+	h.WriteProm(&buf, "x", "y")
+	if buf.Len() != 0 {
+		t.Fatalf("nil hist wrote %q", buf.String())
+	}
+}

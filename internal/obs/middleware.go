@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// statusWriter captures the response status for the traced span.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Middleware wraps an HTTP handler so every served request lands in the
+// tracer as one KindHTTP span: TS is the arrival instant, DurNS the handling
+// time, Detail "METHOD /path -> status". With a nil tracer the handler is
+// returned unwrapped, so wiring is unconditional and free when disabled.
+func Middleware(t *Tracer, next http.Handler) http.Handler {
+	if t == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := t.NowNS()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		t.Record(Event{
+			TS:     start,
+			Kind:   KindHTTP,
+			DurNS:  t.NowNS() - start,
+			Detail: r.Method + " " + r.URL.Path + " -> " + strconv.Itoa(sw.status),
+		})
+	})
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestMiddlewareRecords: each served request lands in the ring as one
+// KindHTTP event carrying method, path, status, and a span duration.
+func TestMiddlewareRecords(t *testing.T) {
+	tr := NewTracer(16)
+	h := Middleware(tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/session?video=3", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("middleware altered the response: %d", rec.Code)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("recorded %d events, want 1", len(snap))
+	}
+	e := snap[0]
+	if e.Kind != KindHTTP {
+		t.Fatalf("kind = %v, want http", e.Kind)
+	}
+	if e.Detail != "POST /session -> 418" {
+		t.Fatalf("detail = %q", e.Detail)
+	}
+	if e.DurNS < 0 {
+		t.Fatalf("negative span duration %d", e.DurNS)
+	}
+}
+
+// TestMiddlewareNilTracer: a nil tracer returns the handler unwrapped — no
+// per-request overhead when tracing is off.
+func TestMiddlewareNilTracer(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := Middleware(nil, inner); got == nil {
+		t.Fatal("nil tracer returned nil handler")
+	}
+	rec := httptest.NewRecorder()
+	Middleware(nil, inner).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+// TestMiddlewareImplicitOK: a handler that never calls WriteHeader records
+// the implicit 200.
+func TestMiddlewareImplicitOK(t *testing.T) {
+	tr := NewTracer(16)
+	h := Middleware(tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].Detail != "GET /metrics -> 200" {
+		t.Fatalf("events = %+v", snap)
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"strconv"
+
+	"vodcluster/internal/sim"
+)
+
+// SimHook adapts a Tracer to the simulator's session lifecycle: every
+// arrive → admit/reject → end/tear/failover transition of a run lands in
+// the ring with its virtual timestamp (1 simulated second = 1e9 ns), so a
+// dumped trace of a simulation renders on the same viewers as a live one.
+// Register it via sim.Config.Hooks (or NewHooks for parallel replications —
+// the tracer itself is concurrency-safe, so one tracer may serve them all).
+type SimHook struct {
+	sim.BaseHook
+	t *Tracer
+}
+
+// NewSimHook wraps a tracer as a simulation lifecycle hook.
+func NewSimHook(t *Tracer) *SimHook { return &SimHook{t: t} }
+
+// virtualNS converts virtual seconds to the trace's nanosecond domain.
+func virtualNS(now float64) int64 { return int64(now * 1e9) }
+
+func (h *SimHook) OnArrival(now float64, video int) {
+	h.t.Record(Event{TS: virtualNS(now), Kind: KindArrive, Video: video})
+}
+
+func (h *SimHook) OnAdmit(now float64, s *sim.Session) {
+	h.t.Record(Event{TS: virtualNS(now), Kind: KindAdmit,
+		Session: int64(s.ID), Video: s.Video, Server: s.Server})
+}
+
+func (h *SimHook) OnReject(now float64, video int, measured bool) {
+	h.t.Record(Event{TS: virtualNS(now), Kind: KindReject, Video: video})
+}
+
+func (h *SimHook) OnRetryQueued(now float64, video int, measured bool) {
+	h.t.Record(Event{TS: virtualNS(now), Kind: KindRetry, Video: video})
+}
+
+func (h *SimHook) OnRetryOutcome(now float64, video int, admitted, measured bool) {
+	// A successful retry already produced its OnAdmit event; only the
+	// abandonment is a distinct outcome.
+	if !admitted {
+		h.t.Record(Event{TS: virtualNS(now), Kind: KindRenege, Video: video})
+	}
+}
+
+func (h *SimHook) OnEnd(now float64, s *sim.Session) {
+	h.t.Record(Event{TS: virtualNS(now), Kind: KindEnd,
+		Session: int64(s.ID), Video: s.Video, Server: s.Server})
+}
+
+func (h *SimHook) OnTear(now float64, s *sim.Session) {
+	h.t.Record(Event{TS: virtualNS(now), Kind: KindTear,
+		Session: int64(s.ID), Video: s.Video, Server: s.Server})
+}
+
+func (h *SimHook) OnSalvage(now float64, old, s *sim.Session) {
+	h.t.Record(Event{TS: virtualNS(now), Kind: KindFailover,
+		Session: int64(s.ID), Video: s.Video, Server: s.Server,
+		Detail: "from server " + strconv.Itoa(old.Server)})
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestTracerNil: a nil tracer is a fully valid no-op, so call sites wire
+// tracing unconditionally.
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Kind: KindAdmit})
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil Snapshot = %v, want nil", got)
+	}
+	if tr.Total() != 0 || tr.Cap() != 0 || tr.NowNS() != 0 {
+		t.Fatalf("nil tracer leaked state: total=%d cap=%d now=%d", tr.Total(), tr.Cap(), tr.NowNS())
+	}
+}
+
+// TestTracerCapacityRounding: capacities round up to the next power of two,
+// and 0 gets the default.
+func TestTracerCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultTraceEvents}, {1, 1}, {3, 4}, {16, 16}, {100, 128},
+	} {
+		if got := NewTracer(tc.in).Cap(); got != tc.want {
+			t.Errorf("NewTracer(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestTracerWraparound: once the ring is full the oldest events are
+// overwritten — a 16-slot ring after 100 records holds exactly seqs 84..99.
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 100; i++ {
+		tr.Record(Event{Kind: KindArrive, Video: i})
+	}
+	if tr.Total() != 100 {
+		t.Fatalf("Total = %d, want 100", tr.Total())
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("resident events = %d, want 16", len(snap))
+	}
+	for i, e := range snap {
+		wantSeq := uint64(84 + i)
+		if e.Seq != wantSeq {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if e.Video != int(wantSeq) {
+			t.Fatalf("snapshot[%d].Video = %d, want %d (payload must travel with its seq)", i, e.Video, wantSeq)
+		}
+	}
+}
+
+// TestTracerConcurrentWriters drives the ring from many goroutines; under
+// -race this doubles as the data-race check for the lock-free publication
+// path. The snapshot taken after the fact must be the last Cap() sequences,
+// each exactly once.
+func TestTracerConcurrentWriters(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 10_000
+	)
+	tr := NewTracer(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Record(Event{Kind: KindAdmit, Server: w, Video: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	const total = writers * perWriter
+	if tr.Total() != total {
+		t.Fatalf("Total = %d, want %d", tr.Total(), total)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 1024 {
+		t.Fatalf("resident events = %d, want 1024", len(snap))
+	}
+	seen := make(map[uint64]bool, len(snap))
+	for _, e := range snap {
+		if e.Seq < total-1024 || e.Seq >= total {
+			t.Fatalf("seq %d outside the final window [%d, %d)", e.Seq, total-1024, total)
+		}
+		if seen[e.Seq] {
+			t.Fatalf("seq %d resident twice", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+// TestWriteJSON: the dump is valid JSON carrying the envelope counters and
+// the events with their wire-format kind names.
+func TestWriteJSON(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{TS: 10, Kind: KindArrive, Video: 3})
+	tr.Record(Event{TS: 20, Kind: KindAdmit, Session: 7, Video: 3, Server: 1})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Total    uint64 `json:"total_events"`
+		Capacity int    `json:"capacity"`
+		Events   []struct {
+			Seq     uint64 `json:"seq"`
+			Kind    string `json:"kind"`
+			Session int64  `json:"session"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if dump.Total != 2 || dump.Capacity != 8 || len(dump.Events) != 2 {
+		t.Fatalf("envelope = %+v, want total 2, capacity 8, 2 events", dump)
+	}
+	if dump.Events[0].Kind != "arrive" || dump.Events[1].Kind != "admit" {
+		t.Fatalf("kinds = %q, %q; want arrive, admit", dump.Events[0].Kind, dump.Events[1].Kind)
+	}
+	if dump.Events[1].Session != 7 {
+		t.Fatalf("session = %d, want 7", dump.Events[1].Session)
+	}
+}
+
+// TestWriteChromeTrace: every event renders as an instant mark, and an
+// admit+end pair for one session renders an extra complete ("X") span with
+// microsecond timestamps.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{TS: 1_000_000_000, Kind: KindAdmit, Session: 7, Video: 2, Server: 1})
+	tr.Record(Event{TS: 3_000_000_000, Kind: KindEnd, Session: 7, Video: 2, Server: 1})
+	tr.Record(Event{TS: 4_000_000_000, Kind: KindReject, Video: 5})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	instants, spans := 0, 0
+	for _, e := range out.TraceEvents {
+		switch e.Phase {
+		case "i":
+			instants++
+		case "X":
+			spans++
+			if e.TS != 1e6 || e.Dur != 2e6 {
+				t.Fatalf("span ts/dur = %g/%g µs, want 1e6/2e6", e.TS, e.Dur)
+			}
+			if e.TID != 1 {
+				t.Fatalf("span tid = %d, want server 1", e.TID)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	if instants != 3 || spans != 1 {
+		t.Fatalf("got %d instants and %d spans, want 3 and 1", instants, spans)
+	}
+}
+
+// TestKindString covers the wire names and the out-of-range fallback.
+func TestKindString(t *testing.T) {
+	if KindFailover.String() != "failover" {
+		t.Fatalf("KindFailover = %q", KindFailover.String())
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Fatalf("Kind(200) = %q", got)
+	}
+}

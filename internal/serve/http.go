@@ -42,6 +42,8 @@ type healthBody struct {
 //	GET    /metrics                Prometheus text exposition
 //	GET    /healthz                liveness + drain status
 //	GET    /layout                 the layout being served
+//	GET    /debug/trace            session-trace dump (when tracing is on);
+//	                               ?format=chrome renders Chrome trace_event
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /session", s.handleOpen)
@@ -51,6 +53,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /layout", s.handleLayout)
+	if s.tracer != nil {
+		mux.HandleFunc("GET /debug/trace", s.handleTraceDump)
+	}
 	return mux
 }
 
@@ -116,6 +121,19 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, errorBody{Outcome: "restored"})
+}
+
+func (s *Server) handleTraceDump(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var err error
+	if r.URL.Query().Get("format") == "chrome" {
+		err = s.tracer.WriteChromeTrace(w)
+	} else {
+		err = s.tracer.WriteJSON(w)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"vodcluster/internal/obs"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the admission-latency
@@ -35,7 +37,32 @@ type Metrics struct {
 	latCount atomic.Int64
 	latSumNs atomic.Int64
 	latBins  [len(latencyBuckets) + 1]atomic.Int64 // +Inf overflow last
+
+	// queueDepth samples the number of active sessions observed at each
+	// admission decision — the instantaneous system occupancy an arriving
+	// request competes against. Built on the shared obs histogram so its
+	// range follows the cluster's stream ceiling; nil (zero-value Metrics)
+	// skips both recording and rendering.
+	queueDepth *obs.Hist
 }
+
+// NewMetrics builds the instrument panel with a queue-depth histogram
+// spanning [0, maxDepth) sessions. The zero Metrics value stays valid for
+// callers that only need the atomic counters.
+func NewMetrics(maxDepth int) *Metrics {
+	if maxDepth <= 0 {
+		maxDepth = 1024
+	}
+	bins := 64
+	if maxDepth < bins {
+		bins = maxDepth
+	}
+	return &Metrics{queueDepth: obs.NewHist(0, float64(maxDepth), bins)}
+}
+
+// ObserveQueueDepth records the active-session count seen by one admission
+// decision.
+func (m *Metrics) ObserveQueueDepth(depth float64) { m.queueDepth.Observe(depth) }
 
 // Decision records one settled admission decision and its latency.
 func (m *Metrics) Decision(accepted, redirected, wasDraining bool, lat time.Duration) {
@@ -152,4 +179,7 @@ func (m *Metrics) Render(w io.Writer, c *Cluster, active int64, policy string) {
 	fmt.Fprintf(w, "vod_admission_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "vod_admission_latency_seconds_sum %g\n", float64(m.latSumNs.Load())/float64(time.Second))
 	fmt.Fprintf(w, "vod_admission_latency_seconds_count %d\n", m.latCount.Load())
+
+	m.queueDepth.WriteProm(w, "vod_queue_depth",
+		"Active sessions observed at each admission decision.")
 }

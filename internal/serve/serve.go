@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"vodcluster/internal/core"
+	"vodcluster/internal/obs"
 )
 
 // Outcome classifies one admission decision.
@@ -76,16 +77,29 @@ type Config struct {
 	// MaxSessionWall caps any single session's wall-clock lifetime
 	// regardless of compression; 0 means no cap beyond the video duration.
 	MaxSessionWall time.Duration
+	// Tracer, when non-nil, records every session lifecycle transition
+	// (arrive → admit/reject → end/tear/failover) into its ring buffer and
+	// exposes GET /debug/trace on the HTTP API. Nil disables tracing at the
+	// cost of one branch per event.
+	Tracer *obs.Tracer
+	// AdmitDelay inserts an artificial stall into every admission decision
+	// before the policy runs. It exists for the perf-regression test
+	// harness — a knob that provably slows the admit path so the vodperf
+	// gate can be shown to catch it — and for latency chaos experiments.
+	// Production configurations leave it zero.
+	AdmitDelay time.Duration
 }
 
 // Server is the live dispatch engine. Create with New; all exported methods
 // are safe for concurrent use.
 type Server struct {
-	c        *Cluster
-	pol      Policy
-	met      *Metrics
-	compress float64
-	maxWall  time.Duration
+	c          *Cluster
+	pol        Policy
+	met        *Metrics
+	tracer     *obs.Tracer
+	admitDelay time.Duration
+	compress   float64
+	maxWall    time.Duration
 
 	baseCtx  context.Context
 	baseStop context.CancelFunc
@@ -93,6 +107,7 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[int64]*session
 	nextID   atomic.Int64
+	activeN  atomic.Int64 // mirrors len(sessions) for lock-free depth reads
 	draining atomic.Bool
 
 	wg sync.WaitGroup // live session goroutines
@@ -117,15 +132,42 @@ func New(p *core.Problem, layout *core.Layout, cfg Config) (*Server, error) {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	return &Server{
-		c:        c,
-		pol:      pol,
-		met:      &Metrics{},
-		compress: compress,
-		maxWall:  cfg.MaxSessionWall,
-		baseCtx:  ctx,
-		baseStop: stop,
-		sessions: make(map[int64]*session),
+		c:          c,
+		pol:        pol,
+		met:        NewMetrics(streamCeiling(p)),
+		tracer:     cfg.Tracer,
+		admitDelay: cfg.AdmitDelay,
+		compress:   compress,
+		maxWall:    cfg.MaxSessionWall,
+		baseCtx:    ctx,
+		baseStop:   stop,
+		sessions:   make(map[int64]*session),
 	}, nil
+}
+
+// streamCeiling bounds how many sessions the cluster can ever hold
+// concurrently — total outgoing capacity over the cheapest encoding rate —
+// which sizes the queue-depth histogram so its range covers exactly the
+// reachable depths.
+func streamCeiling(p *core.Problem) int {
+	total := 0.0
+	for s := 0; s < p.N(); s++ {
+		total += p.BandwidthOf(s)
+	}
+	minRate := 0.0
+	for _, v := range p.Catalog {
+		if minRate == 0 || (v.BitRate > 0 && v.BitRate < minRate) {
+			minRate = v.BitRate
+		}
+	}
+	if minRate <= 0 {
+		return 1024
+	}
+	n := int(total / minRate)
+	if n < 16 {
+		n = 16
+	}
+	return n
 }
 
 // Cluster exposes the concurrent accounting state (for metrics and tests).
@@ -133,6 +175,9 @@ func (s *Server) Cluster() *Cluster { return s.c }
 
 // Metrics exposes the instrument panel.
 func (s *Server) Metrics() *Metrics { return s.met }
+
+// Tracer exposes the session-lifecycle tracer; nil when tracing is off.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // PolicyName reports the active admission policy.
 func (s *Server) PolicyName() string { return s.pol.Name() }
@@ -165,17 +210,27 @@ func (s *Server) wallDuration(v int) time.Duration {
 // rejection from a drain refusal.
 func (s *Server) Open(v int) (SessionInfo, Outcome, error) {
 	start := time.Now()
+	arriveNS := s.tracer.NowNS()
+	s.tracer.Record(obs.Event{TS: arriveNS, Kind: obs.KindArrive, Video: v})
 	if v < 0 || v >= s.c.Videos() {
 		s.met.BadVideo()
 		return SessionInfo{}, OutcomeRejected, fmt.Errorf("serve: video %d outside catalog of %d", v, s.c.Videos())
 	}
+	if s.admitDelay > 0 {
+		time.Sleep(s.admitDelay)
+	}
+	s.met.ObserveQueueDepth(float64(s.activeN.Load()))
 	if s.draining.Load() {
 		s.met.Decision(false, false, true, time.Since(start))
+		s.tracer.Record(obs.Event{TS: arriveNS, Kind: obs.KindDrain, Video: v,
+			DurNS: s.tracer.NowNS() - arriveNS})
 		return SessionInfo{}, OutcomeDraining, nil
 	}
 	g, ok := s.pol.Admit(v)
 	if !ok {
 		s.met.Decision(false, false, false, time.Since(start))
+		s.tracer.Record(obs.Event{TS: arriveNS, Kind: obs.KindReject, Video: v,
+			DurNS: s.tracer.NowNS() - arriveNS})
 		return SessionInfo{}, OutcomeRejected, nil
 	}
 	wall := s.wallDuration(v)
@@ -184,6 +239,7 @@ func (s *Server) Open(v int) (SessionInfo, Outcome, error) {
 	s.mu.Lock()
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
+	s.activeN.Add(1)
 
 	s.wg.Add(1)
 	go func() {
@@ -194,6 +250,9 @@ func (s *Server) Open(v int) (SessionInfo, Outcome, error) {
 	}()
 
 	s.met.Decision(true, g.Redirected, false, time.Since(start))
+	s.tracer.Record(obs.Event{TS: arriveNS, Kind: obs.KindAdmit,
+		Session: sess.id, Video: v, Server: g.Server,
+		DurNS: s.tracer.NowNS() - arriveNS})
 	return SessionInfo{
 		ID:         sess.id,
 		Video:      v,
@@ -219,11 +278,16 @@ func (s *Server) finish(sess *session, natural bool) {
 	if !ok {
 		return // dropped by a drain; resources already settled there
 	}
+	s.activeN.Add(-1)
 	s.pol.Release(cur.grant)
 	if natural {
 		s.met.Completed()
+		s.tracer.Record(obs.Event{TS: s.tracer.NowNS(), Kind: obs.KindEnd,
+			Session: sess.id, Video: sess.video, Server: cur.grant.Server})
 	} else {
 		s.met.Canceled()
+		s.tracer.Record(obs.Event{TS: s.tracer.NowNS(), Kind: obs.KindTear,
+			Session: sess.id, Video: sess.video, Server: cur.grant.Server, Detail: "canceled"})
 	}
 }
 
@@ -285,10 +349,16 @@ func (s *Server) DrainBackend(b int) (failedOver, dropped int, err error) {
 		s.pol.Release(old)
 		if ok {
 			s.met.FailedOver()
+			s.tracer.Record(obs.Event{TS: s.tracer.NowNS(), Kind: obs.KindFailover,
+				Session: sess.id, Video: sess.video, Server: ng.Server,
+				Detail: "from server " + fmt.Sprint(b)})
 			failedOver++
 		} else {
+			s.activeN.Add(-1)
 			sess.cancel()
 			s.met.Dropped()
+			s.tracer.Record(obs.Event{TS: s.tracer.NowNS(), Kind: obs.KindTear,
+				Session: sess.id, Video: sess.video, Server: b, Detail: "drained"})
 			dropped++
 		}
 	}

@@ -120,9 +120,11 @@ func Run(cfg Config) (metrics.Result, error) {
 	if err := r.schedule(cfg); err != nil {
 		return zero, err
 	}
-	r.eng.RunAll()
+	events := r.eng.RunAll()
 	r.fireDone(r.eng.Now())
-	return r.col.Result(), nil
+	res := r.col.Result()
+	res.Events = events
+	return res, nil
 }
 
 // newRun validates the configuration and assembles the run: cluster state,

@@ -15,6 +15,7 @@ type Histogram struct {
 	underflow int
 	overflow  int
 	total     int
+	sum       float64
 }
 
 // NewHistogram creates a histogram with n bins spanning [lo, hi).
@@ -32,6 +33,7 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 // Add records one observation.
 func (h *Histogram) Add(x float64) {
 	h.total++
+	h.sum += x
 	switch {
 	case x < h.Lo:
 		h.underflow++
@@ -61,10 +63,20 @@ func (h *Histogram) Underflow() int { return h.underflow }
 // Overflow returns the count of observations at or above Hi.
 func (h *Histogram) Overflow() int { return h.overflow }
 
+// Sum returns the sum of all observations, including under/overflow.
+func (h *Histogram) Sum() float64 { return h.sum }
+
 // BinCenter returns the midpoint of bin i.
 func (h *Histogram) BinCenter(i int) float64 {
 	w := (h.Hi - h.Lo) / float64(len(h.bins))
 	return h.Lo + w*(float64(i)+0.5)
+}
+
+// BinUpper returns the exclusive upper edge of bin i — the `le` bound a
+// cumulative (Prometheus-style) rendering labels the bucket with.
+func (h *Histogram) BinUpper(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.bins))
+	return h.Lo + w*float64(i+1)
 }
 
 // String renders a compact ASCII bar chart of the histogram.

@@ -47,10 +47,25 @@ func figureSA(cfg benchConfig) error {
 
 	opts := anneal.DefaultOptions()
 	opts.Seed = cfg.seed
+	// Delta evaluation made proposals ~80× cheaper (see DESIGN.md §11), so
+	// the figure runs a 10×-denser schedule than the scratch path could
+	// afford and still finishes faster than it used to.
+	opts.PlateauSteps = 2000
+	opts.MaxSteps = 0 // run the full cooling schedule (~360k proposals/chain)
 	chains := 4
 	if cfg.quick {
-		opts.MaxSteps = 20_000
+		opts.MaxSteps = 200_000
 		chains = 1
+	}
+	// The -anneal-* flags override the figure's schedule.
+	if cfg.annealSteps > 0 {
+		opts.MaxSteps = cfg.annealSteps
+	}
+	if cfg.annealChains > 0 {
+		chains = cfg.annealChains
+	}
+	if cfg.annealSeed >= 0 {
+		opts.Seed = cfg.annealSeed
 	}
 	best, bestEval, err := bp.Optimize(opts, chains)
 	if err != nil {

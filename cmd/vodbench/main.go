@@ -42,6 +42,11 @@ type benchConfig struct {
 	quick   bool
 	workers int
 	emit    *exp.Emitter
+	// Annealing overrides for the §4.3 runner (-fig sa): 0 / 0 / -1 mean
+	// "use the figure's own schedule".
+	annealSteps  int
+	annealChains int
+	annealSeed   int64
 }
 
 // figures maps -fig values to generators, in the order -fig all runs them.
@@ -72,14 +77,20 @@ func main() {
 	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
 	workers := flag.Int("workers", 0, "parallel simulations across each sweep; 0 = GOMAXPROCS, 1 = sequential")
 	timing := flag.String("timing", "", "write a JSON wall-clock record of the invoked figure(s) to this file")
+	annealSteps := flag.Int("anneal-steps", 0, "§4.3 annealer: cap proposals per chain (0 = figure default)")
+	annealChains := flag.Int("anneal-chains", 0, "§4.3 annealer: parallel independent chains (0 = figure default)")
+	annealSeed := flag.Int64("anneal-seed", -1, "§4.3 annealer: seed override (-1 = use -seed)")
 	flag.Parse()
 
 	cfg := benchConfig{
-		runs:    *runs,
-		seed:    *seed,
-		quick:   *quick,
-		workers: *workers,
-		emit:    &exp.Emitter{CSVDir: *csvDir},
+		runs:         *runs,
+		seed:         *seed,
+		quick:        *quick,
+		workers:      *workers,
+		emit:         &exp.Emitter{CSVDir: *csvDir},
+		annealSteps:  *annealSteps,
+		annealChains: *annealChains,
+		annealSeed:   *annealSeed,
 	}
 	if cfg.quick && cfg.runs > 5 {
 		cfg.runs = 5

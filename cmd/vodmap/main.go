@@ -43,6 +43,9 @@ func run() error {
 	optimize := flag.Bool("optimize", true, "run the simulated-annealing mapping")
 	simulate := flag.Bool("simulate", false, "also run the discrete-event simulation per mapping")
 	seed := flag.Int64("seed", 42, "random seed")
+	annealSteps := flag.Int("anneal-steps", 0, "annealer: cap proposals per chain (0 = default schedule)")
+	annealChains := flag.Int("anneal-chains", 4, "annealer: parallel independent chains")
+	annealSeed := flag.Int64("anneal-seed", -1, "annealer: seed override (-1 = use -seed)")
 	flag.Parse()
 
 	catalog, err := core.NewCatalog(*videos, *theta, *bitrate*core.Mbps, *durationMin*core.Minute)
@@ -111,7 +114,17 @@ func run() error {
 		opts := anneal.DefaultOptions()
 		opts.InitialTemp = 0.5
 		opts.Seed = *seed
-		best, _, err := hierarchy.Optimize(problem, opts, 4)
+		if *annealSteps > 0 {
+			opts.MaxSteps = *annealSteps
+		}
+		if *annealSeed >= 0 {
+			opts.Seed = *annealSeed
+		}
+		chains := *annealChains
+		if chains <= 0 {
+			chains = 1
+		}
+		best, _, err := hierarchy.Optimize(problem, opts, chains)
 		if err != nil {
 			return err
 		}

@@ -7,12 +7,14 @@
 //	vodperf -bench serve -runs 3 -out serve.json    # just the serving path
 //	vodperf -compare old.json new.json -tolerance 0.10
 //
-// Two benchmarks exist: "fig4" times the canonical Figure-4 quick sweep
+// Three benchmarks exist: "fig4" times the canonical Figure-4 quick sweep
 // (3 degrees × 3 arrival rates × 3 replications on the internal/exp
 // harness) and derives simulator events/second from the deterministic
 // engine event count; "serve" replays an open-loop burst against an
 // in-process daemon (the serve-smoke workload) and records admission
-// throughput and latency percentiles.
+// throughput and latency percentiles; "anneal" runs the §4.3
+// scalable-bit-rate annealer on the vodbench instance and records proposal
+// throughput, guarding the delta-evaluation fast path against regressions.
 //
 // -compare also accepts the flat single-run records the smoke targets
 // write (BENCH_serve.json, BENCH_sweep.json); those gate only on
@@ -37,6 +39,7 @@ import (
 	"time"
 
 	"vodcluster"
+	"vodcluster/internal/anneal"
 	"vodcluster/internal/config"
 	"vodcluster/internal/core"
 	"vodcluster/internal/exp"
@@ -57,7 +60,7 @@ func main() {
 func run() error {
 	out := flag.String("out", "BENCH_perf.json", "write the benchmark record to this file")
 	runs := flag.Int("runs", 5, "repetitions per benchmark; more runs tighten the noise margin")
-	bench := flag.String("bench", "all", "which benchmarks to run: all | fig4 | serve")
+	bench := flag.String("bench", "all", "which benchmarks to run: all | fig4 | serve | anneal")
 	seed := flag.Int64("seed", 42, "seed for the simulated sweep and the replay trace")
 	rate := flag.Float64("rate", 8000, "serve benchmark: admission decisions per wall second")
 	burst := flag.Float64("burst", 1, "serve benchmark: burst length in wall seconds")
@@ -91,8 +94,8 @@ func run() error {
 	if *runs < 1 {
 		return fmt.Errorf("-runs must be at least 1, got %d", *runs)
 	}
-	if *bench != "all" && *bench != "fig4" && *bench != "serve" {
-		return fmt.Errorf("-bench must be all, fig4, or serve, got %q", *bench)
+	if *bench != "all" && *bench != "fig4" && *bench != "serve" && *bench != "anneal" {
+		return fmt.Errorf("-bench must be all, fig4, serve, or anneal, got %q", *bench)
 	}
 
 	rec := &obs.BenchRecord{Manifest: obs.NewManifest()}
@@ -120,6 +123,13 @@ func run() error {
 	}
 	if *bench == "all" || *bench == "serve" {
 		ms, err := benchServe(*runs, *seed, *rate, *burst, *compress, *admitDelay, *traceEvents)
+		if err != nil {
+			return err
+		}
+		rec.Benchmarks = append(rec.Benchmarks, ms...)
+	}
+	if *bench == "all" || *bench == "anneal" {
+		ms, err := benchAnneal(*runs, *seed)
 		if err != nil {
 			return err
 		}
@@ -193,6 +203,58 @@ func benchFig4(runs int, seed int64, workers int) ([]obs.BenchMetric, error) {
 	return []obs.BenchMetric{
 		obs.NewBenchMetric("fig4_wall_sec", "s", false, false, secs),
 		obs.NewBenchMetric("fig4_events_per_sec", "events/s", true, false, eps),
+	}, nil
+}
+
+// benchAnneal times the §4.3 scalable-bit-rate annealer on the same instance
+// vodbench -fig sa optimizes: the paper cluster with 50 GB/server and the
+// {2, 4, 6, 8} Mb/s rate set. Proposal throughput gates: it is CPU-bound,
+// deterministic in work per step, and the direct measure of the
+// delta-evaluation fast path — a regression to clone-and-rescan evaluation
+// drops it by more than an order of magnitude. The final objective is
+// recorded report-only as a sanity check that speed never bought a worse
+// solution.
+func benchAnneal(runs int, seed int64) ([]obs.BenchMetric, error) {
+	s := config.Paper()
+	s.StorageGB = 50 // fixed storage: the annealer chooses rates vs replicas
+	p, err := s.Problem()
+	if err != nil {
+		return nil, err
+	}
+	bp := &anneal.BitRateProblem{
+		P:       p,
+		RateSet: []float64{2 * core.Mbps, 4 * core.Mbps, 6 * core.Mbps, 8 * core.Mbps},
+	}
+	init, err := bp.InitialSolution()
+	if err != nil {
+		return nil, err
+	}
+	const steps = 200_000
+	var sps, objs []float64
+	for i := 0; i < runs; i++ {
+		opts := anneal.DefaultOptions()
+		opts.Seed = seed
+		opts.MaxSteps = steps
+		opts.PlateauSteps = 2000 // stretch the schedule so MaxSteps terminates
+		start := time.Now()
+		res, err := anneal.Minimize[*anneal.BitRateLayout](bp, init, opts)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Seconds()
+		if res.Steps != steps {
+			return nil, fmt.Errorf("anneal benchmark ran %d steps, want %d", res.Steps, steps)
+		}
+		e := bp.Evaluate(res.Best)
+		if !e.Feasible() {
+			return nil, fmt.Errorf("anneal benchmark ended infeasible: %+v", e)
+		}
+		sps = append(sps, float64(res.Steps)/elapsed)
+		objs = append(objs, e.Objective)
+	}
+	return []obs.BenchMetric{
+		obs.NewBenchMetric("anneal_steps_per_sec", "proposals/s", true, true, sps),
+		obs.NewBenchMetric("anneal_objective", "", true, false, objs),
 	}, nil
 }
 

@@ -17,6 +17,13 @@ type BitRateLayout struct {
 	// RateIdx[v][s] is the index into the problem's RateSet of the copy of
 	// video v on server s, or -1 when s holds no copy of v.
 	RateIdx [][]int16
+
+	// cache is the delta-evaluation state the DeltaProblem fast path
+	// maintains alongside the layout; it is built lazily on the first
+	// Propose and dropped by clone, so every annealing chain owns exactly
+	// one. Mutating RateIdx directly invalidates it — external code must
+	// treat layouts handed to the delta engine as opaque.
+	cache *brCache
 }
 
 // NewBitRateLayout returns an empty layout for m videos and n servers.
@@ -109,7 +116,7 @@ func (bp *BitRateProblem) objective() core.Objective {
 
 // copySizeBytes returns the storage of one copy of video v at rate index ri.
 func (bp *BitRateProblem) copySizeBytes(v int, ri int16) float64 {
-	return bp.RateSet[ri] * bp.P.Catalog[v].Duration / 8
+	return bp.P.Catalog[v].SizeAtRate(bp.RateSet[ri])
 }
 
 // InitialSolution implements the paper's starting point: every video gets one
@@ -208,9 +215,15 @@ func (bp *BitRateProblem) Evaluate(l *BitRateLayout) Eval {
 }
 
 // Cost implements Problem: the negated objective plus severe penalties for
-// violated constraints.
+// violated constraints. It always evaluates from scratch — the delta fast
+// path keeps it as its cross-check.
 func (bp *BitRateProblem) Cost(l *BitRateLayout) float64 {
-	e := bp.Evaluate(l)
+	return bp.costOf(bp.Evaluate(l))
+}
+
+// costOf folds an evaluation into the annealing cost. The scratch Cost and
+// the delta cache share it so the two paths price states identically.
+func (bp *BitRateProblem) costOf(e Eval) float64 {
 	penalty := 0.0
 	if !e.Feasible() {
 		n := float64(bp.P.N())
@@ -229,9 +242,11 @@ func (bp *BitRateProblem) Clone(l *BitRateLayout) *BitRateLayout { return l.clon
 // server; either raise the rate of one of its copies or add a new video copy
 // at the lowest rate; then, while the server violates storage or bandwidth,
 // lower the rates of its copies and finally evict lowest-rate copies — never
-// a video's cluster-wide last copy.
+// a video's cluster-wide last copy. When the chosen server admits no move at
+// all (fully packed with every rate at the maximum), Neighbor returns l
+// itself — the no-op signal Unchanged recognizes — instead of an identical
+// clone the engine would re-evaluate and count as accepted.
 func (bp *BitRateProblem) Neighbor(l *BitRateLayout, rng *stats.RNG) *BitRateLayout {
-	nl := l.clone()
 	p := bp.P
 	m, n := p.M(), p.N()
 	s := rng.Intn(n)
@@ -239,33 +254,40 @@ func (bp *BitRateProblem) Neighbor(l *BitRateLayout, rng *stats.RNG) *BitRateLay
 	onServer := make([]int, 0, m)
 	offServer := make([]int, 0, m)
 	for v := 0; v < m; v++ {
-		if nl.RateIdx[v][s] >= 0 {
+		if l.RateIdx[v][s] >= 0 {
 			onServer = append(onServer, v)
 		} else {
 			offServer = append(offServer, v)
 		}
 	}
 
+	// Decide the move against l, clone only once one exists.
+	mutV, mutRI := -1, int16(0)
 	grow := rng.Bernoulli(0.5)
 	switch {
 	case (grow || len(onServer) == 0) && len(offServer) > 0:
-		v := offServer[rng.Intn(len(offServer))]
-		nl.RateIdx[v][s] = 0
+		mutV = offServer[rng.Intn(len(offServer))]
 	case len(onServer) > 0:
 		v := onServer[rng.Intn(len(onServer))]
-		if int(nl.RateIdx[v][s]) < len(bp.RateSet)-1 {
-			nl.RateIdx[v][s]++
+		if int(l.RateIdx[v][s]) < len(bp.RateSet)-1 {
+			mutV, mutRI = v, l.RateIdx[v][s]+1
 		} else if len(offServer) > 0 { // already at max: add instead
-			v = offServer[rng.Intn(len(offServer))]
-			nl.RateIdx[v][s] = 0
+			mutV = offServer[rng.Intn(len(offServer))]
 		}
-	default:
-		return nl // fully packed server with every rate at max
+	}
+	if mutV < 0 {
+		return l // no move on this server: recognized no-op
 	}
 
+	nl := l.clone()
+	nl.RateIdx[mutV][s] = mutRI
 	bp.repair(nl, rng)
 	return nl
 }
+
+// Unchanged implements NoopDetector: Neighbor signals a no-op by returning
+// its argument itself.
+func (bp *BitRateProblem) Unchanged(prev, cand *BitRateLayout) bool { return prev == cand }
 
 // serverLoad computes server s's storage use and expected peak bandwidth
 // demand under layout l.
@@ -341,7 +363,80 @@ func (bp *BitRateProblem) repair(l *BitRateLayout, rng *stats.RNG) {
 	}
 }
 
-var _ Problem[*BitRateLayout] = (*BitRateProblem)(nil)
+var (
+	_ Problem[*BitRateLayout]           = (*BitRateProblem)(nil)
+	_ NoopDetector[*BitRateLayout]      = (*BitRateProblem)(nil)
+	_ DeltaProblem[*BitRateLayout, any] = (*BitRateProblem)(nil)
+)
+
+// Propose implements DeltaProblem: the same move structure as Neighbor, but
+// executed in place against the layout's cached evaluation state, so the
+// cost delta comes out in O(changed cells) instead of an M×N rescan. The
+// returned move is a reused scratch buffer owned by the layout's cache —
+// valid only until the next Propose, per the DeltaProblem contract.
+func (bp *BitRateProblem) Propose(l *BitRateLayout, rng *stats.RNG) (any, float64) {
+	c := bp.ensureCache(l)
+	c.maybeRebuild(l)
+	mv := &c.mv
+	mv.cells = mv.cells[:0]
+	mv.preCost = c.cost
+
+	s := rng.Intn(bp.P.N())
+	onS, offS := c.on[s], c.off[s]
+	grow := rng.Bernoulli(0.5)
+	switch {
+	case (grow || len(onS) == 0) && len(offS) > 0:
+		v := int(offS[rng.Intn(len(offS))])
+		c.setCell(l, v, s, 0, true)
+	case len(onS) > 0:
+		v := int(onS[rng.Intn(len(onS))])
+		if int(l.RateIdx[v][s]) < len(bp.RateSet)-1 {
+			c.setCell(l, v, s, l.RateIdx[v][s]+1, true)
+		} else if len(offS) > 0 { // already at max: add instead
+			v = int(offS[rng.Intn(len(offS))])
+			c.setCell(l, v, s, 0, true)
+		} else {
+			return mv, 0 // no move on this server
+		}
+	default:
+		return mv, 0 // fully packed server with every rate at max
+	}
+
+	c.repair(l, rng)
+	c.cost = bp.costOf(c.eval())
+	return mv, c.cost - mv.preCost
+}
+
+// Apply implements DeltaProblem: Propose already mutated the state, so
+// committing only advances the rebuild counter that bounds float drift.
+func (bp *BitRateProblem) Apply(l *BitRateLayout, move any) {
+	l.cache.applies++
+}
+
+// Revert implements DeltaProblem: undo the proposal's cell changes in
+// reverse order, restoring the cached accumulators alongside the layout.
+func (bp *BitRateProblem) Revert(l *BitRateLayout, move any) {
+	mv := move.(*brMove)
+	c := l.cache
+	for i := len(mv.cells) - 1; i >= 0; i-- {
+		cell := mv.cells[i]
+		c.setCell(l, int(cell.v), int(cell.s), cell.old, false)
+	}
+	c.cost = mv.preCost
+}
+
+// IsNoop implements DeltaProblem: a proposal that found no move carries no
+// cell changes.
+func (bp *BitRateProblem) IsNoop(move any) bool { return len(move.(*brMove).cells) == 0 }
+
+// ensureCache returns the layout's delta-evaluation cache, building it on
+// first use or after the layout was handed over from a different problem.
+func (bp *BitRateProblem) ensureCache(l *BitRateLayout) *brCache {
+	if l.cache == nil || l.cache.bp != bp {
+		l.cache = newBRCache(bp, l)
+	}
+	return l.cache
+}
 
 // Optimize runs the full §4.3 pipeline: initial solution, annealing, and a
 // final evaluation. chains > 1 runs parallel independent searches.

@@ -211,6 +211,14 @@ func (p *Problem) StreamCapacityPerServer() (int, error) {
 // period.
 func (p *Problem) PeakRequests() float64 { return p.ArrivalRate * p.PeakPeriod }
 
+// PeakWeight returns p_v·λ·T, video v's expected number of peak-period
+// requests. Divided by the video's copy count it is the per-copy
+// communication weight w_i the bandwidth-demand terms are built from; the
+// scalable-bit-rate delta cache precomputes it per video.
+func (p *Problem) PeakWeight(v int) float64 {
+	return p.Catalog[v].Popularity * p.PeakRequests()
+}
+
 // SaturationArrivalRate returns the arrival rate (requests/s) at which the
 // cluster's aggregate outgoing bandwidth is exactly consumed for a fixed-rate
 // catalog, assuming perfectly balanced traffic: Σ_s ⌊B_s/b⌋ / T. The paper's

@@ -25,7 +25,12 @@ type Video struct {
 
 // SizeBytes returns the storage required by one replica of the video:
 // BitRate × Duration, converted from bits to bytes.
-func (v Video) SizeBytes() float64 { return v.BitRate * v.Duration / 8 }
+func (v Video) SizeBytes() float64 { return v.SizeAtRate(v.BitRate) }
+
+// SizeAtRate returns the storage required by one replica of the video if it
+// were encoded at rate bits/s instead of its catalog rate. The
+// scalable-bit-rate optimizer prices every (video, rate) cell with it.
+func (v Video) SizeAtRate(rate float64) float64 { return rate * v.Duration / 8 }
 
 // Catalog is an ordered set of videos, most popular first.
 type Catalog []Video

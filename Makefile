@@ -11,13 +11,14 @@ SERVE_BENCH ?= BENCH_serve.json
 PERF_OUT ?= /tmp/vodperf
 PERF_TOLERANCE ?= 0.10
 
-.PHONY: all build test race cover bench bench-smoke serve-smoke perf perf-gate figures figures-smoke examples fuzz clean ci fmt-check
+.PHONY: all build test race cover bench bench-smoke serve-smoke chaos-smoke perf perf-gate figures figures-smoke examples fuzz clean ci fmt-check
 
 all: build test
 
 # Everything the CI workflow runs: formatting, build+vet, tests, race,
-# the one-iteration benchmark smoke pass, and the live-serving smoke.
-ci: fmt-check build test race bench-smoke serve-smoke
+# the one-iteration benchmark smoke pass, the live-serving smoke, and the
+# fault-injection chaos smoke.
+ci: fmt-check build test race bench-smoke serve-smoke chaos-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -46,11 +47,20 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=Fig4 -benchtime=1x .
 
 # Boot the live daemon in-process, fire a 1-second 8000 req/s burst through
-# the open-loop load generator, scrape /metrics for non-zero admissions,
-# cross-validate the rejection rate against sim.Run, and record throughput
-# plus admission-latency percentiles in $(SERVE_BENCH).
+# the open-loop load generator while the scripted fault schedule crashes and
+# recovers a backend mid-trace, scrape /metrics for non-zero admissions,
+# cross-validate the rejection rate (overall and post-failure) against
+# sim.Run with the same scripted failures, and record throughput plus
+# admission-latency percentiles in $(SERVE_BENCH).
 serve-smoke:
-	$(GO) run ./cmd/vodload -selftest -rate 8000 -burst 1 -validate -bench-out $(SERVE_BENCH)
+	$(GO) run ./cmd/vodload -selftest -rate 8000 -burst 1 -validate -faults testdata/faults_smoke.json -bench-out $(SERVE_BENCH)
+
+# The failure-drill integration test under the race detector: a scripted
+# mid-trace crash with health checking, admission retry, and automatic
+# re-replication, asserting single settlement, zero leaked bandwidth, and
+# live-vs-sim post-failure parity.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaos' -v .
 
 # Re-measure the canonical benchmarks (Fig. 4 quick sweep + serve burst)
 # and refresh the checked-in multi-run baseline.
@@ -62,7 +72,7 @@ perf:
 # metric is more than $(PERF_TOLERANCE) + noise margin worse.
 perf-gate:
 	mkdir -p $(PERF_OUT)
-	$(GO) run ./cmd/vodload -selftest -rate 8000 -burst 1 -bench-out $(PERF_OUT)/BENCH_serve.json
+	$(GO) run ./cmd/vodload -selftest -rate 8000 -burst 1 -faults testdata/faults_smoke.json -bench-out $(PERF_OUT)/BENCH_serve.json
 	$(GO) run ./cmd/vodperf -runs 3 -out $(PERF_OUT)/BENCH_perf.json
 	$(GO) run ./cmd/vodperf -compare BENCH_serve.json $(PERF_OUT)/BENCH_serve.json -tolerance $(PERF_TOLERANCE)
 	$(GO) run ./cmd/vodperf -compare BENCH_perf.json $(PERF_OUT)/BENCH_perf.json -tolerance $(PERF_TOLERANCE)

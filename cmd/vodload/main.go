@@ -12,6 +12,16 @@
 // within -tolerance percentage points — the cross-validation tying the
 // serving layer back to the paper's Fig. 4 predictions. With -bench-out,
 // a JSON benchmark record (throughput, latency percentiles) is written.
+//
+// With -faults, a scripted fault schedule replays against the daemon over
+// HTTP while the trace runs: backends crash, recover, drain, and restore at
+// their scheduled virtual times (the failure drill of DESIGN.md §12). The
+// selftest daemon then runs with the re-replication repairer attached so it
+// heals itself, -validate feeds the same failures to sim.Run
+// (Config.FailAt + Resilience) and additionally compares the post-failure
+// rejection rates — live decisions dispatched after the first crash against
+// a simulator run warmed up to that instant — and the benchmark record
+// gains post_failure_decisions_per_sec, which the vodperf gate tracks.
 package main
 
 import (
@@ -31,8 +41,10 @@ import (
 	"vodcluster/internal/cluster"
 	"vodcluster/internal/config"
 	"vodcluster/internal/core"
+	"vodcluster/internal/faults"
 	"vodcluster/internal/obs"
 	"vodcluster/internal/report"
+	"vodcluster/internal/resilience"
 	"vodcluster/internal/serve"
 	"vodcluster/internal/sim"
 	"vodcluster/internal/workload"
@@ -59,6 +71,7 @@ func run() error {
 	validate := flag.Bool("validate", false, "cross-validate the live rejection rate against sim.Run on the same trace")
 	tolerance := flag.Float64("tolerance", 2, "allowed |live−sim| rejection-rate gap in percentage points (-validate)")
 	benchOut := flag.String("bench-out", "", "write a JSON benchmark record (throughput, latency percentiles) to this file")
+	faultsPath := flag.String("faults", "", "replay this JSON fault schedule against the daemon over HTTP during the trace")
 	flag.Parse()
 
 	if !*selftest && *addr == "" {
@@ -74,6 +87,22 @@ func run() error {
 	p, layout, err := loadLayout(*scenarioPath, *planPath)
 	if err != nil {
 		return err
+	}
+
+	var sched *faults.Schedule
+	if *faultsPath != "" {
+		f, err := os.Open(*faultsPath)
+		if err != nil {
+			return err
+		}
+		sched, err = faults.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := sched.Validate(p.N()); err != nil {
+			return err
+		}
 	}
 
 	// The trace drives both the live replay and (under -validate) the
@@ -103,7 +132,9 @@ func run() error {
 
 	base := *addr
 	if *selftest {
-		srv, stop, baseURL, err := startInProcess(p, layout, *policy, *compress)
+		// A fault drill needs the daemon to heal itself, so the repairer
+		// rides along exactly when a schedule is loaded.
+		srv, stop, baseURL, err := startInProcess(p, layout, *policy, *compress, sched != nil)
 		if err != nil {
 			return err
 		}
@@ -114,15 +145,35 @@ func run() error {
 	}
 
 	client := serve.NewClient(base)
-	rep, err := client.Replay(context.Background(), tr, *compress)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The fault schedule replays over HTTP concurrently with the trace, from
+	// the same starting instant, so an event at virtual time t lands t/compress
+	// wall seconds into the replay — on the same clock the requests use.
+	var schedErr chan error
+	if sched != nil {
+		schedErr = make(chan error, 1)
+		go func() {
+			schedErr <- sched.Run(ctx, *compress, func(e faults.Event) error {
+				fmt.Printf("fault: %s backend %d (t=%gs)\n", e.Action, e.Backend, e.At)
+				return client.Fault(ctx, e)
+			})
+		}()
+	}
+	rep, err := client.Replay(ctx, tr, *compress)
 	if err != nil {
 		return err
+	}
+	if schedErr != nil {
+		if err := <-schedErr; err != nil {
+			return err
+		}
 	}
 	if rep.Errors > 0 {
 		return fmt.Errorf("%d transport errors during replay; first: %v", rep.Errors, rep.FirstError)
 	}
 
-	if err := printReport(tr, rep, *compress); err != nil {
+	if err := printReport(tr, rep, sched, *compress); err != nil {
 		return err
 	}
 
@@ -142,16 +193,43 @@ func run() error {
 	}
 
 	if *benchOut != "" {
-		if err := writeBench(*benchOut, tr, rep, *compress, *policy, *seed, *rate, *burst); err != nil {
+		if err := writeBench(*benchOut, tr, rep, sched, *compress, *policy, *seed, *rate, *burst); err != nil {
 			return err
 		}
 		fmt.Printf("benchmark record written to %s\n", *benchOut)
 	}
 
 	if *validate {
-		return crossValidate(p, layout, *policy, tr, rep, *tolerance)
+		return crossValidate(p, layout, *policy, tr, rep, sched, *seed, *tolerance)
 	}
 	return nil
+}
+
+// postFailureWindow returns the virtual time of the schedule's first crash
+// and whether there is a post-failure window to measure at all.
+func postFailureWindow(tr *workload.Trace, sched *faults.Schedule) (float64, bool) {
+	if sched == nil {
+		return 0, false
+	}
+	failAt := sched.FirstFailAt()
+	return failAt, failAt >= 0 && failAt < tr.Meta.Duration
+}
+
+// postFailureDecisionsPerSec measures settled admission throughput over the
+// window from the first scripted crash to the end of the trace — the gated
+// proof that failure handling (eviction scans, health state reads, repair
+// traffic) does not stall the admission path.
+func postFailureDecisionsPerSec(tr *workload.Trace, rep *serve.Report, sched *faults.Schedule, compress float64) float64 {
+	failAt, ok := postFailureWindow(tr, sched)
+	if !ok {
+		return 0
+	}
+	wall := (tr.Meta.Duration - failAt) / compress
+	if wall <= 0 {
+		return 0
+	}
+	n, _ := rep.Since(failAt)
+	return float64(n) / wall
 }
 
 // estimateThetaOf recovers the Zipf skew the catalog was built with by
@@ -170,7 +248,7 @@ func estimateThetaOf(p *core.Problem) float64 {
 }
 
 // printReport renders the replay outcome tables.
-func printReport(tr *workload.Trace, rep *serve.Report, compress float64) error {
+func printReport(tr *workload.Trace, rep *serve.Report, sched *faults.Schedule, compress float64) error {
 	fmt.Printf("replayed %d requests (%.0fs of virtual time at %gx compression) in %.2fs wall\n",
 		len(tr.Requests), tr.Meta.Duration, compress, rep.Wall.Seconds())
 	t := report.NewTable("outcome", "count", "% of decisions")
@@ -195,16 +273,35 @@ func printReport(tr *workload.Trace, rep *serve.Report, compress float64) error 
 		return err
 	}
 	fmt.Printf("throughput: %.0f admission decisions/sec\n", rep.DecisionsPerSec())
+	if failAt, ok := postFailureWindow(tr, sched); ok {
+		n, rej := rep.Since(failAt)
+		pct := 0.0
+		if n > 0 {
+			pct = 100 * float64(rej) / float64(n)
+		}
+		fmt.Printf("post-failure window (t ≥ %gs): %d decisions, %.2f%% rejected, %.0f decisions/sec\n",
+			failAt, n, pct, postFailureDecisionsPerSec(tr, rep, sched, compress))
+	}
 	return nil
 }
 
 // startInProcess boots a vodserved instance on a loopback port inside this
 // process — the zero-dependency path the smoke target and quick experiments
-// use.
-func startInProcess(p *core.Problem, layout *core.Layout, policy string, compress float64) (*serve.Server, func(), string, error) {
+// use. withRepair attaches and starts the re-replication repairer (at the
+// simulator-parity defaults) so a scripted crash heals the same way a
+// sim.Run with Resilience.Repair does.
+func startInProcess(p *core.Problem, layout *core.Layout, policy string, compress float64, withRepair bool) (*serve.Server, func(), string, error) {
 	srv, err := serve.New(p, layout, serve.Config{Policy: policy, Compress: compress})
 	if err != nil {
 		return nil, nil, "", err
+	}
+	srv.AttachInjector(faults.NewInjector())
+	if withRepair {
+		rep, err := serve.NewRepairer(srv, serve.RepairConfig{})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		rep.Start()
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -234,28 +331,37 @@ func scrapeAccepted(client *serve.Client) (int64, error) {
 
 // crossValidate replays the same trace through sim.Run and compares
 // rejection rates: the serving layer must reproduce the simulator (and so
-// the paper's Fig. 4 curve) within the tolerance.
-func crossValidate(p *core.Problem, layout *core.Layout, policy string, tr *workload.Trace, rep *serve.Report, tolPts float64) error {
-	sched, err := simSchedulerFor(policy, p.BackboneBandwidth > 0)
+// the paper's Fig. 4 curve) within the tolerance. Under a fault schedule the
+// simulator injects the same scripted crashes (Config.FailAt) with failover
+// and repair enabled at the live daemon's defaults, and a second comparison
+// covers only the decisions dispatched after the first crash — the window
+// where failure handling, not steady-state admission, sets the rate.
+func crossValidate(p *core.Problem, layout *core.Layout, policy string, tr *workload.Trace, rep *serve.Report, fsched *faults.Schedule, seed int64, tolPts float64) error {
+	newSched, err := simSchedulerFor(policy, p.BackboneBandwidth > 0)
 	if err != nil {
 		return err
 	}
-	res, err := sim.Run(sim.Config{
+	cfg := sim.Config{
 		Problem:      p,
 		Layout:       layout,
-		NewScheduler: sched,
+		NewScheduler: newSched,
 		Trace:        tr,
 		Duration:     tr.Meta.Duration,
-	})
+		Seed:         seed,
+	}
+	if fsched != nil {
+		cfg.FailAt = fsched.FailAt()
+		// Failover is always on in the live engine; repair matches the
+		// selftest daemon's RepairConfig defaults (shared with the sim).
+		cfg.Resilience = &resilience.Policy{Failover: true, Repair: true}
+	}
+	res, err := sim.Run(cfg)
 	if err != nil {
 		return err
 	}
 	livePct := 100 * rep.RejectionRate()
 	simPct := 100 * res.RejectionRate
-	delta := livePct - simPct
-	if delta < 0 {
-		delta = -delta
-	}
+	delta := math.Abs(livePct - simPct)
 	t := report.NewTable("side", "requests", "rejected %", "accepted")
 	t.AddRowf("live daemon", rep.Requests, livePct, rep.Accepted)
 	t.AddRowf("sim.Run", res.Requests, simPct, res.Accepted)
@@ -266,6 +372,38 @@ func crossValidate(p *core.Problem, layout *core.Layout, policy string, tr *work
 	if delta > tolPts {
 		return fmt.Errorf("live rejection rate %.2f%% deviates from simulated %.2f%% by more than %.2f points", livePct, simPct, tolPts)
 	}
+	fmt.Printf("cross-validation OK: %.2f points of margin under the %.2f-point tolerance\n", tolPts-delta, tolPts)
+
+	failAt, ok := postFailureWindow(tr, fsched)
+	if !ok {
+		return nil
+	}
+	// Post-failure window: sim.Run with Warmup counts only arrivals at or
+	// after the boundary, exactly what Report.Since measures on the live side.
+	pfCfg := cfg
+	pfCfg.Warmup = failAt
+	pfRes, err := sim.Run(pfCfg)
+	if err != nil {
+		return err
+	}
+	liveN, liveRej := rep.Since(failAt)
+	if liveN == 0 {
+		return fmt.Errorf("no live decisions dispatched after the first crash at t=%gs", failAt)
+	}
+	livePct = 100 * float64(liveRej) / float64(liveN)
+	simPct = 100 * pfRes.RejectionRate
+	delta = math.Abs(livePct - simPct)
+	pt := report.NewTable("post-failure side", "requests", "rejected %")
+	pt.AddRowf("live daemon", liveN, livePct)
+	pt.AddRowf("sim.Run (warmup)", pfRes.Requests, simPct)
+	if err := pt.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("post-failure cross-validation: |live − sim| = %.2f points (tolerance %.2f)\n", delta, tolPts)
+	if delta > tolPts {
+		return fmt.Errorf("post-failure live rejection rate %.2f%% deviates from simulated %.2f%% by more than %.2f points", livePct, simPct, tolPts)
+	}
+	fmt.Printf("post-failure cross-validation OK: %.2f points of margin under the %.2f-point tolerance\n", tolPts-delta, tolPts)
 	return nil
 }
 
@@ -287,7 +425,7 @@ func simSchedulerFor(policy string, backbone bool) (func() cluster.Scheduler, er
 // (BENCH_serve.json in CI) so serving throughput stays comparable across
 // revisions. The embedded manifest pins the environment the numbers came
 // from (git SHA, CPU, GOMAXPROCS, seed, flags).
-func writeBench(path string, tr *workload.Trace, rep *serve.Report, compress float64, policy string, seed int64, rate, burst float64) error {
+func writeBench(path string, tr *workload.Trace, rep *serve.Report, sched *faults.Schedule, compress float64, policy string, seed int64, rate, burst float64) error {
 	man := obs.NewManifest()
 	man.Seed = seed
 	man.Flags = map[string]string{
@@ -295,6 +433,9 @@ func writeBench(path string, tr *workload.Trace, rep *serve.Report, compress flo
 		"compress": fmt.Sprint(compress),
 		"rate":     fmt.Sprint(rate),
 		"burst":    fmt.Sprint(burst),
+	}
+	if sched != nil {
+		man.Flags["faults"] = fmt.Sprintf("%d events", len(sched.Events))
 	}
 	rec := struct {
 		Generated       string       `json:"generated"`
@@ -307,27 +448,33 @@ func writeBench(path string, tr *workload.Trace, rep *serve.Report, compress flo
 		Redirected      int          `json:"redirected"`
 		WallSeconds     float64      `json:"wall_seconds"`
 		DecisionsPerSec float64      `json:"decisions_per_sec"`
-		LatencyP50Ms    float64      `json:"latency_p50_ms"`
-		LatencyP90Ms    float64      `json:"latency_p90_ms"`
-		LatencyP99Ms    float64      `json:"latency_p99_ms"`
-		LatencyMaxMs    float64      `json:"latency_max_ms"`
-		VirtualSeconds  float64      `json:"virtual_seconds"`
+		// PostFailureDecisionsPerSec is settled throughput over the window
+		// from the first scripted crash to the end of the trace; present
+		// only when a fault schedule ran (vodperf -compare gates it, so a
+		// faulted baseline keeps every later run honest about it).
+		PostFailureDecisionsPerSec float64 `json:"post_failure_decisions_per_sec,omitempty"`
+		LatencyP50Ms               float64 `json:"latency_p50_ms"`
+		LatencyP90Ms               float64 `json:"latency_p90_ms"`
+		LatencyP99Ms               float64 `json:"latency_p99_ms"`
+		LatencyMaxMs               float64 `json:"latency_max_ms"`
+		VirtualSeconds             float64 `json:"virtual_seconds"`
 	}{
-		Generated:       time.Now().UTC().Format(time.RFC3339),
-		Manifest:        man,
-		Policy:          policy,
-		Compress:        compress,
-		Requests:        rep.Requests,
-		Accepted:        rep.Accepted,
-		Rejected:        rep.Rejected + rep.Draining,
-		Redirected:      rep.Redirected,
-		WallSeconds:     rep.Wall.Seconds(),
-		DecisionsPerSec: rep.DecisionsPerSec(),
-		LatencyP50Ms:    rep.LatencyQuantile(0.50).Seconds() * 1e3,
-		LatencyP90Ms:    rep.LatencyQuantile(0.90).Seconds() * 1e3,
-		LatencyP99Ms:    rep.LatencyQuantile(0.99).Seconds() * 1e3,
-		LatencyMaxMs:    rep.LatencyQuantile(1).Seconds() * 1e3,
-		VirtualSeconds:  tr.Meta.Duration,
+		Generated:                  time.Now().UTC().Format(time.RFC3339),
+		Manifest:                   man,
+		Policy:                     policy,
+		Compress:                   compress,
+		Requests:                   rep.Requests,
+		Accepted:                   rep.Accepted,
+		Rejected:                   rep.Rejected + rep.Draining,
+		Redirected:                 rep.Redirected,
+		WallSeconds:                rep.Wall.Seconds(),
+		DecisionsPerSec:            rep.DecisionsPerSec(),
+		PostFailureDecisionsPerSec: postFailureDecisionsPerSec(tr, rep, sched, compress),
+		LatencyP50Ms:               rep.LatencyQuantile(0.50).Seconds() * 1e3,
+		LatencyP90Ms:               rep.LatencyQuantile(0.90).Seconds() * 1e3,
+		LatencyP99Ms:               rep.LatencyQuantile(0.99).Seconds() * 1e3,
+		LatencyMaxMs:               rep.LatencyQuantile(1).Seconds() * 1e3,
+		VirtualSeconds:             tr.Meta.Duration,
 	}
 	f, err := os.Create(path)
 	if err != nil {

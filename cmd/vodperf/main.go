@@ -43,6 +43,7 @@ import (
 	"vodcluster/internal/config"
 	"vodcluster/internal/core"
 	"vodcluster/internal/exp"
+	"vodcluster/internal/faults"
 	"vodcluster/internal/obs"
 	"vodcluster/internal/report"
 	"vodcluster/internal/serve"
@@ -301,7 +302,11 @@ func benchServe(runs int, seed int64, rate, burst, compress float64, admitDelay 
 }
 
 // replayOnce stands up a fresh loopback daemon, replays the trace open-loop,
-// and tears the daemon down.
+// and tears the daemon down. The daemon runs with the health-check loop
+// attached and probing aggressively (100 ms cadence against an all-healthy
+// injector), so the gated serve_decisions_per_sec covers the failure
+// machinery's steady-state cost on the admission hot path — the state loads,
+// probe bookkeeping, and retry branch a production daemon pays.
 func replayOnce(p *core.Problem, layout *core.Layout, compress float64, admitDelay time.Duration, traceEvents int, tr *workload.Trace) (*serve.Report, error) {
 	var tracer *obs.Tracer
 	if traceEvents > 0 {
@@ -311,6 +316,10 @@ func replayOnce(p *core.Problem, layout *core.Layout, compress float64, admitDel
 	if err != nil {
 		return nil, err
 	}
+	in := faults.NewInjector()
+	srv.AttachInjector(in)
+	hc := serve.NewHealthChecker(srv, in, serve.HealthConfig{Interval: 100 * time.Millisecond})
+	hc.Start()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err

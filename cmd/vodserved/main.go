@@ -18,6 +18,15 @@
 // endpoints under /debug/pprof/; -trace N enables the session tracer with
 // an N-event ring buffer, dumpable at GET /debug/trace (?format=chrome for
 // a chrome://tracing / Perfetto-loadable file) — see DESIGN.md §10.
+//
+// Failure handling (DESIGN.md §12): -faults replays a scripted fault
+// schedule (crash/recover/slow/drain/restore events at virtual times)
+// against the daemon's own backends; -health-interval starts the
+// health-check loop that confirms crashes and promotes recovering backends
+// through probation; -repair starts the automatic re-replication repairer;
+// -retry enables admission retry-with-backoff. POST /backend/{id}/fail,
+// POST /backend/{id}/recover, and POST /fault inject the same faults over
+// HTTP.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"vodcluster"
 	"vodcluster/internal/config"
 	"vodcluster/internal/core"
+	"vodcluster/internal/faults"
 	"vodcluster/internal/obs"
 	"vodcluster/internal/serve"
 )
@@ -57,6 +67,13 @@ func run() error {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for active sessions")
 	pprofOn := flag.Bool("pprof", true, "mount the net/http/pprof profiling endpoints under /debug/pprof/")
 	traceEvents := flag.Int("trace", 0, "enable session tracing with a ring buffer of this many events (0 = off); dump at GET /debug/trace")
+	faultsPath := flag.String("faults", "", "replay this JSON fault schedule (crash/recover/slow/drain/restore at virtual times) against the daemon's backends")
+	healthInterval := flag.Duration("health-interval", 0, "health-probe cadence per backend; 0 disables the health checker")
+	healthFail := flag.Int("health-fail-threshold", 0, "consecutive probe failures that confirm a crash (0 = default 3)")
+	healthRecover := flag.Int("health-recover-threshold", 0, "consecutive clean probes that promote a suspect/recovering backend to up (0 = default 2)")
+	retryOn := flag.Bool("retry", false, "enable admission retry-with-backoff (simulator resilience defaults: base 5s, factor 2, patience 120s, all virtual time)")
+	repairOn := flag.Bool("repair", false, "enable automatic re-replication of under-replicated videos after a backend crash")
+	repairBudget := flag.Float64("repair-budget", 0, "cap on total concurrent repair-copy bandwidth, bits/s (0 = per-copy reservations only)")
 	flag.Parse()
 
 	p, layout, err := loadLayout(*scenarioPath, *planPath)
@@ -67,9 +84,52 @@ func run() error {
 	if *traceEvents > 0 {
 		tracer = obs.NewTracer(*traceEvents)
 	}
-	srv, err := serve.New(p, layout, serve.Config{Policy: *policy, Compress: *compress, Tracer: tracer})
+	cfg := serve.Config{Policy: *policy, Compress: *compress, Tracer: tracer}
+	if *retryOn {
+		cfg.Retry = &serve.RetryConfig{}
+	}
+	srv, err := serve.New(p, layout, cfg)
 	if err != nil {
 		return err
+	}
+
+	// The injector is always attached: it is what makes injected crashes
+	// observable to health probes and slow faults expressible at all.
+	injector := faults.NewInjector()
+	srv.AttachInjector(injector)
+	if *healthInterval > 0 {
+		hc := serve.NewHealthChecker(srv, injector, serve.HealthConfig{
+			Interval:         *healthInterval,
+			FailThreshold:    *healthFail,
+			RecoverThreshold: *healthRecover,
+		})
+		hc.Start()
+		c := hc.Config()
+		log.Printf("vodserved: health checker probing every %s (fail threshold %d, recover threshold %d)",
+			c.Interval, c.FailThreshold, c.RecoverThreshold)
+	}
+	if *repairOn {
+		rep, err := serve.NewRepairer(srv, serve.RepairConfig{Budget: *repairBudget})
+		if err != nil {
+			return err
+		}
+		rep.Start()
+		log.Printf("vodserved: re-replication repairer started (budget %g bit/s)", *repairBudget)
+	}
+	var sched *faults.Schedule
+	if *faultsPath != "" {
+		f, err := os.Open(*faultsPath)
+		if err != nil {
+			return err
+		}
+		sched, err = faults.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := sched.Validate(p.N()); err != nil {
+			return err
+		}
 	}
 
 	handler := obs.Middleware(tracer, srv.Handler())
@@ -89,6 +149,18 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+	if sched != nil {
+		log.Printf("vodserved: replaying %d scripted fault events at %gx compression", len(sched.Events), srv.Compress())
+		go func() {
+			err := sched.Run(ctx, srv.Compress(), func(e faults.Event) error {
+				log.Printf("vodserved: fault: %s backend %d (t=%gs)", e.Action, e.Backend, e.At)
+				return srv.ApplyFault(e)
+			})
+			if err != nil {
+				log.Printf("vodserved: fault schedule: %v", err)
+			}
+		}()
+	}
 	select {
 	case err := <-errCh:
 		return err
@@ -101,6 +173,8 @@ func run() error {
 	if err := srv.Drain(drainCtx); err != nil {
 		log.Printf("vodserved: %v", err)
 	}
+	srv.Shutdown() // stop the health-check and repair loops
+
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,0 +1,152 @@
+// Package faults is the fault-injection layer of the live serving stack: a
+// scriptable schedule of backend fail/recover/slow/drain events pinned to
+// trace (virtual) times, and a thread-safe Injector that makes injected
+// conditions observable to health probes. The schedule's JSON format is what
+// `vodserved -faults` and `vodload -faults` load, and its FailAt projection
+// is what cross-validation feeds to sim.Run so the simulator injects the
+// same failures at the same virtual times.
+package faults
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"vodcluster/internal/avail"
+)
+
+// Actions a scheduled event can take.
+const (
+	// ActionFail crashes a backend (serve.Server.FailBackend).
+	ActionFail = "fail"
+	// ActionRecover brings a crashed backend back (RecoverBackend).
+	ActionRecover = "recover"
+	// ActionSlow makes a backend's health probes stall for SlowMS each —
+	// a gray failure the flap-damping thresholds have to ride out or
+	// confirm. It requires an Injector-backed prober to observe.
+	ActionSlow = "slow"
+	// ActionDrain drains a backend cooperatively (DrainBackend).
+	ActionDrain = "drain"
+	// ActionRestore restores a drained backend (RestoreBackend).
+	ActionRestore = "restore"
+)
+
+// Event is one scripted fault at a virtual (trace) time.
+type Event struct {
+	// At is the event instant in virtual seconds from the start of the run.
+	At float64 `json:"at"`
+	// Action is one of fail, recover, slow, drain, restore.
+	Action string `json:"action"`
+	// Backend is the target server index.
+	Backend int `json:"backend"`
+	// SlowMS is the per-probe stall for slow events, milliseconds; 0 clears
+	// an earlier slow.
+	SlowMS int `json:"slow_ms,omitempty"`
+}
+
+// Schedule is a fault script: events applied in time order.
+type Schedule struct {
+	Events []Event `json:"events"`
+}
+
+// Load parses a JSON schedule and sorts its events by time.
+func Load(r io.Reader) (*Schedule, error) {
+	var s Schedule
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return &s, nil
+}
+
+// Validate checks every event against the cluster size.
+func (s *Schedule) Validate(numServers int) error {
+	for i, e := range s.Events {
+		if e.At < 0 {
+			return fmt.Errorf("faults: event %d at negative time %g", i, e.At)
+		}
+		if e.Backend < 0 || e.Backend >= numServers {
+			return fmt.Errorf("faults: event %d targets backend %d of %d", i, e.Backend, numServers)
+		}
+		switch e.Action {
+		case ActionFail, ActionRecover, ActionDrain, ActionRestore:
+		case ActionSlow:
+			if e.SlowMS < 0 {
+				return fmt.Errorf("faults: event %d has negative slow_ms %d", i, e.SlowMS)
+			}
+		default:
+			return fmt.Errorf("faults: event %d has unknown action %q", i, e.Action)
+		}
+	}
+	return nil
+}
+
+// FailAt projects the schedule onto the simulator's scripted-failure config:
+// each fail event becomes an avail.FailureEvent whose Down is the delay to
+// that backend's next recover event (0 — down for the rest of the run — when
+// none follows). Slow and drain events have no simulator analogue and are
+// omitted: a slow backend still serves, and cross-validation scenarios use
+// crash faults.
+func (s *Schedule) FailAt() []avail.FailureEvent {
+	var out []avail.FailureEvent
+	for i, e := range s.Events {
+		if e.Action != ActionFail {
+			continue
+		}
+		ev := avail.FailureEvent{At: e.At, Server: e.Backend}
+		for _, later := range s.Events[i+1:] {
+			if later.Action == ActionRecover && later.Backend == e.Backend {
+				ev.Down = later.At - e.At
+				break
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// FirstFailAt returns the virtual time of the earliest fail event, or -1
+// when the schedule crashes nothing — the boundary post-failure measurements
+// (sim Warmup, live dispatch-offset filtering) cut at.
+func (s *Schedule) FirstFailAt() float64 {
+	for _, e := range s.Events {
+		if e.Action == ActionFail {
+			return e.At
+		}
+	}
+	return -1
+}
+
+// Run replays the schedule against apply on the compressed wall clock: an
+// event at virtual time t fires t/compress wall seconds after the call.
+// Apply errors abort the replay; ctx cancellation stops it silently. Run
+// blocks until the last event fired, so callers usually run it in a
+// goroutine alongside the trace replay they started at the same instant.
+func (s *Schedule) Run(ctx context.Context, compress float64, apply func(Event) error) error {
+	if compress <= 0 {
+		compress = 1
+	}
+	start := time.Now()
+	for _, e := range s.Events {
+		wall := time.Duration(e.At / compress * float64(time.Second))
+		delay := wall - time.Since(start)
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil
+			}
+		}
+		if err := apply(e); err != nil {
+			return fmt.Errorf("faults: applying %s on backend %d at t=%g: %w", e.Action, e.Backend, e.At, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadSortsEvents: events parse in file order but come out time-sorted,
+// and the stable sort keeps same-instant events in file order.
+func TestLoadSortsEvents(t *testing.T) {
+	in := `{"events": [
+		{"at": 300, "action": "recover", "backend": 1},
+		{"at": 100, "action": "fail", "backend": 1},
+		{"at": 100, "action": "drain", "backend": 0}
+	]}`
+	s, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 3 {
+		t.Fatalf("loaded %d events, want 3", len(s.Events))
+	}
+	if s.Events[0].Action != ActionFail || s.Events[0].At != 100 {
+		t.Fatalf("first event = %+v, want the t=100 fail", s.Events[0])
+	}
+	if s.Events[1].Action != ActionDrain {
+		t.Fatalf("stable sort reordered same-instant events: %+v", s.Events[1])
+	}
+	if s.Events[2].Action != ActionRecover {
+		t.Fatalf("last event = %+v, want the t=300 recover", s.Events[2])
+	}
+}
+
+// TestLoadRejectsUnknownFields: a typo'd key is an error, not a silent no-op
+// fault script.
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	in := `{"events": [{"at": 10, "action": "fail", "bakend": 2}]}`
+	if _, err := Load(strings.NewReader(in)); err == nil {
+		t.Fatal("schedule with unknown field loaded")
+	}
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("non-JSON schedule loaded")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Schedule{Events: []Event{
+		{At: 0, Action: ActionDrain, Backend: 0},
+		{At: 5, Action: ActionSlow, Backend: 1, SlowMS: 50},
+		{At: 10, Action: ActionFail, Backend: 2},
+		{At: 20, Action: ActionRecover, Backend: 2},
+		{At: 30, Action: ActionRestore, Backend: 0},
+	}}
+	if err := good.Validate(3); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []Schedule{
+		{Events: []Event{{At: -1, Action: ActionFail, Backend: 0}}},
+		{Events: []Event{{At: 1, Action: ActionFail, Backend: -1}}},
+		{Events: []Event{{At: 1, Action: ActionFail, Backend: 3}}},
+		{Events: []Event{{At: 1, Action: "explode", Backend: 0}}},
+		{Events: []Event{{At: 1, Action: ActionSlow, Backend: 0, SlowMS: -5}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(3); err == nil {
+			t.Fatalf("bad schedule %d (%+v) validated", i, s.Events[0])
+		}
+	}
+}
+
+// TestFailAt: fails project to simulator failure events, each Down spanning
+// to the same backend's next recover (0 when it never recovers); drains and
+// slows are omitted.
+func TestFailAt(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{At: 5, Action: ActionDrain, Backend: 0},
+		{At: 10, Action: ActionFail, Backend: 1},
+		{At: 15, Action: ActionSlow, Backend: 2, SlowMS: 20},
+		{At: 20, Action: ActionFail, Backend: 2},
+		{At: 25, Action: ActionRecover, Backend: 1}, // pairs with t=10, not t=20
+		{At: 40, Action: ActionRecover, Backend: 2},
+	}}
+	got := s.FailAt()
+	if len(got) != 2 {
+		t.Fatalf("projected %d failure events, want 2: %+v", len(got), got)
+	}
+	if got[0].Server != 1 || got[0].At != 10 || got[0].Down != 15 {
+		t.Fatalf("first failure = %+v, want server 1 at 10 down 15", got[0])
+	}
+	if got[1].Server != 2 || got[1].At != 20 || got[1].Down != 20 {
+		t.Fatalf("second failure = %+v, want server 2 at 20 down 20", got[1])
+	}
+
+	forever := &Schedule{Events: []Event{{At: 7, Action: ActionFail, Backend: 0}}}
+	if got := forever.FailAt(); len(got) != 1 || got[0].Down != 0 {
+		t.Fatalf("unrecovered fail projected %+v, want Down 0", got)
+	}
+}
+
+func TestFirstFailAt(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{At: 5, Action: ActionDrain, Backend: 0},
+		{At: 12, Action: ActionFail, Backend: 1},
+		{At: 30, Action: ActionFail, Backend: 0},
+	}}
+	if got := s.FirstFailAt(); got != 12 {
+		t.Fatalf("FirstFailAt = %g, want 12", got)
+	}
+	crashless := &Schedule{Events: []Event{{At: 5, Action: ActionDrain, Backend: 0}}}
+	if got := crashless.FirstFailAt(); got != -1 {
+		t.Fatalf("FirstFailAt of a crashless schedule = %g, want -1", got)
+	}
+}
+
+// TestRunFiresInOrder: Run applies events in time order on the compressed
+// clock and reports the virtual times faithfully.
+func TestRunFiresInOrder(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{At: 100, Action: ActionFail, Backend: 0},
+		{At: 200, Action: ActionRecover, Backend: 0},
+	}}
+	start := time.Now()
+	var fired []Event
+	err := s.Run(context.Background(), 1e4, func(e Event) error {
+		fired = append(fired, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("both events fired in %s; the t=200 event should wait 20ms of wall time", elapsed)
+	}
+	if len(fired) != 2 || fired[0].Action != ActionFail || fired[1].Action != ActionRecover {
+		t.Fatalf("fired %+v, want fail then recover", fired)
+	}
+}
+
+// TestRunAbortsOnApplyError: an apply error stops the replay and surfaces
+// with the event's context.
+func TestRunAbortsOnApplyError(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{At: 0, Action: ActionFail, Backend: 3},
+		{At: 1e9, Action: ActionRecover, Backend: 3}, // must never be reached
+	}}
+	boom := errors.New("boom")
+	calls := 0
+	err := s.Run(context.Background(), 1e6, func(Event) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want wrapped boom", err)
+	}
+	if calls != 1 {
+		t.Fatalf("apply ran %d times after the error, want 1", calls)
+	}
+}
+
+// TestRunStopsOnContextCancel: cancellation ends the replay silently.
+func TestRunStopsOnContextCancel(t *testing.T) {
+	s := &Schedule{Events: []Event{{At: 1e9, Action: ActionFail, Backend: 0}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Run(ctx, 1, func(Event) error {
+			t.Error("event fired despite cancellation")
+			return nil
+		})
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("canceled Run returned %v, want nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+// TestInjectorProbe: the injector's probe contract — crashed backends fail,
+// slow backends stall (and fail when the probe context expires first),
+// recover clears everything.
+func TestInjectorProbe(t *testing.T) {
+	in := NewInjector()
+	ctx := context.Background()
+	if err := in.Probe(ctx, 0); err != nil {
+		t.Fatalf("probe of a healthy backend failed: %v", err)
+	}
+
+	in.Crash(0)
+	if !in.Crashed(0) {
+		t.Fatal("Crashed(0) = false after Crash")
+	}
+	if err := in.Probe(ctx, 0); err == nil {
+		t.Fatal("probe of a crashed backend succeeded")
+	}
+	if err := in.Probe(ctx, 1); err != nil {
+		t.Fatalf("crash of backend 0 leaked into backend 1's probe: %v", err)
+	}
+
+	in.Recover(0)
+	if in.Crashed(0) {
+		t.Fatal("Crashed(0) = true after Recover")
+	}
+	if err := in.Probe(ctx, 0); err != nil {
+		t.Fatalf("probe after recover failed: %v", err)
+	}
+
+	// A stalled probe fails when its context expires mid-stall…
+	in.Slow(2, 500*time.Millisecond)
+	short, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+	defer cancel()
+	if err := in.Probe(short, 2); err == nil {
+		t.Fatal("stalled probe beat its context deadline")
+	}
+	// …and succeeds, slowly, when given time.
+	in.Slow(2, time.Millisecond)
+	start := time.Now()
+	if err := in.Probe(ctx, 2); err != nil {
+		t.Fatalf("stalled probe with headroom failed: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("slow probe returned without serving the stall")
+	}
+	// Slow(b, 0) clears the stall.
+	in.Slow(2, 0)
+	start = time.Now()
+	if err := in.Probe(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("cleared stall still delays probes")
+	}
+}

@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Injector is the thread-safe fault state health probes observe: which
+// backends are crashed, and which stall probes (gray failure). It implements
+// serve.Prober structurally — Probe fails for crashed backends and sleeps
+// out the configured stall for slow ones — so wiring an Injector as the
+// daemon's prober closes the loop: injected faults are *detected* by the
+// health checker rather than applied behind its back, exercising the
+// suspect/confirm path end to end.
+type Injector struct {
+	mu      sync.Mutex
+	crashed map[int]bool
+	slow    map[int]time.Duration
+}
+
+// NewInjector builds an empty injector (all backends healthy).
+func NewInjector() *Injector {
+	return &Injector{crashed: make(map[int]bool), slow: make(map[int]time.Duration)}
+}
+
+// Crash marks backend b crashed: probes fail until Recover.
+func (in *Injector) Crash(b int) {
+	in.mu.Lock()
+	in.crashed[b] = true
+	in.mu.Unlock()
+}
+
+// Recover clears backend b's crash (and any slowness).
+func (in *Injector) Recover(b int) {
+	in.mu.Lock()
+	delete(in.crashed, b)
+	delete(in.slow, b)
+	in.mu.Unlock()
+}
+
+// Slow stalls every probe of backend b by d; d <= 0 clears the stall.
+func (in *Injector) Slow(b int, d time.Duration) {
+	in.mu.Lock()
+	if d <= 0 {
+		delete(in.slow, b)
+	} else {
+		in.slow[b] = d
+	}
+	in.mu.Unlock()
+}
+
+// Crashed reports whether backend b is currently crashed.
+func (in *Injector) Crashed(b int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed[b]
+}
+
+// Probe implements the health-prober contract against the injected state:
+// crashed backends fail immediately, slow backends stall for the configured
+// delay (failing if ctx expires first), healthy backends succeed.
+func (in *Injector) Probe(ctx context.Context, b int) error {
+	in.mu.Lock()
+	crashed := in.crashed[b]
+	stall := in.slow[b]
+	in.mu.Unlock()
+	if crashed {
+		return fmt.Errorf("faults: backend %d is crashed", b)
+	}
+	if stall > 0 {
+		t := time.NewTimer(stall)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("faults: probe of backend %d timed out after injected stall: %w", b, ctx.Err())
+		}
+	}
+	return nil
+}

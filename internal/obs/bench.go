@@ -66,6 +66,7 @@ var flatMetrics = []struct {
 	gate            bool
 }{
 	{"decisions_per_sec", "serve_decisions_per_sec", "decisions/s", true, true},
+	{"post_failure_decisions_per_sec", "post_failure_decisions_per_sec", "decisions/s", true, true},
 	{"wall_clock_sec", "wall_clock_sec", "s", false, true},
 	{"latency_p50_ms", "serve_latency_p50_ms", "ms", false, false},
 	{"latency_p90_ms", "serve_latency_p90_ms", "ms", false, false},

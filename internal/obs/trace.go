@@ -49,6 +49,10 @@ const (
 	KindDrain
 	// KindHTTP is one served HTTP request (recorded by Middleware).
 	KindHTTP
+	// KindHealth is a backend health-state transition driven by the prober.
+	KindHealth
+	// KindRepair is a re-replication action (copy started, landed, aborted).
+	KindRepair
 )
 
 var kindNames = [...]string{
@@ -62,6 +66,8 @@ var kindNames = [...]string{
 	KindFailover: "failover",
 	KindDrain:    "drain",
 	KindHTTP:     "http",
+	KindHealth:   "health",
+	KindRepair:   "repair",
 }
 
 // String returns the kind's wire name.

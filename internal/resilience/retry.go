@@ -58,14 +58,27 @@ func (r *Retrier) PeakPending() int { return r.peak }
 // ok is false when waiting that long would exceed the client's patience —
 // the request reneges instead of retrying again.
 func (r *Retrier) Delay(attempt int, waited float64) (float64, bool) {
-	d := r.pol.RetryBase * math.Pow(r.pol.RetryFactor, float64(attempt))
-	if j := r.pol.RetryJitter; j > 0 {
-		// Draw even when the patience check below will renege, so the RNG
-		// stream position depends only on the number of Delay calls.
-		d *= 1 + j*(r.rng.Float64()-0.5)
-	}
+	// Draw even when the patience check below will renege, so the RNG
+	// stream position depends only on the number of Delay calls.
+	d := BackoffDelay(r.pol, attempt, r.rng.Float64())
 	if waited+d > r.pol.RetryPatience {
 		return 0, false
 	}
 	return d, true
+}
+
+// BackoffDelay is the pure backoff formula shared by the simulator's Retrier
+// and the live serving daemon's admission retry:
+//
+//	delay = base · factor^attempt · (1 + jitter·(u − ½))
+//
+// u is the caller's uniform [0,1) draw, so each side keeps its own
+// randomness source (the sim's deterministic RNG stream, the daemon's
+// math/rand) while the delay schedule itself stays identical.
+func BackoffDelay(pol Policy, attempt int, u float64) float64 {
+	d := pol.RetryBase * math.Pow(pol.RetryFactor, float64(attempt))
+	if j := pol.RetryJitter; j > 0 {
+		d *= 1 + j*(u-0.5)
+	}
+	return d
 }

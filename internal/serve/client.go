@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"vodcluster/internal/faults"
 	"vodcluster/internal/metrics"
 	"vodcluster/internal/stats"
 	"vodcluster/internal/workload"
@@ -129,9 +131,33 @@ type Report struct {
 	FirstError error
 	// Latencies holds every decision's observed latency, in arrival order.
 	Latencies []time.Duration
+	// Times holds each settled decision's dispatch offset in trace
+	// (virtual) seconds, aligned with Latencies and Outcomes — what
+	// windowed measurements (post-failure rejection rate, throughput after
+	// a scripted crash) slice on.
+	Times []float64
+	// Outcomes holds each settled decision's outcome, aligned with Times.
+	Outcomes []Outcome
 	// Wall is the wall-clock time from first dispatch to last settled
 	// decision.
 	Wall time.Duration
+}
+
+// Since aggregates the settled decisions dispatched at or after virtual
+// time t: how many there were and how many were refused (capacity
+// rejections plus drain refusals). It is the live counterpart of running
+// the simulator with Warmup=t — both count only what arrived in [t, end).
+func (r *Report) Since(t float64) (requests, rejected int) {
+	for i, at := range r.Times {
+		if at < t {
+			continue
+		}
+		requests++
+		if r.Outcomes[i] != OutcomeAccepted {
+			rejected++
+		}
+	}
+	return requests, rejected
 }
 
 // RejectionRate returns rejected (capacity + draining) over settled
@@ -227,29 +253,56 @@ dispatch:
 	wg.Wait()
 
 	rep := &Report{Wall: time.Since(start)}
-	for _, res := range results {
+	for i, res := range results {
 		switch {
 		case res.err != nil:
 			rep.Errors++
 			if rep.FirstError == nil {
 				rep.FirstError = res.err
 			}
+			continue
 		case res.out == OutcomeAccepted:
-			rep.Requests++
 			rep.Accepted++
 			if res.redirected {
 				rep.Redirected++
 			}
-			rep.Latencies = append(rep.Latencies, res.lat)
 		case res.out == OutcomeRejected:
-			rep.Requests++
 			rep.Rejected++
-			rep.Latencies = append(rep.Latencies, res.lat)
 		case res.out == OutcomeDraining:
-			rep.Requests++
 			rep.Draining++
-			rep.Latencies = append(rep.Latencies, res.lat)
+		default:
+			continue // never dispatched (ctx ended before its slot)
 		}
+		rep.Requests++
+		rep.Latencies = append(rep.Latencies, res.lat)
+		rep.Times = append(rep.Times, tr.Requests[i].Time)
+		rep.Outcomes = append(rep.Outcomes, res.out)
 	}
 	return rep, nil
+}
+
+// Fault applies one fault-schedule event on the daemon (POST /fault) — the
+// transport fault replay (vodload -faults) drives scripted crashes through.
+func (c *Client) Fault(ctx context.Context, e faults.Event) error {
+	body, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.Base+"/fault", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("serve: applying fault: %s: %s", resp.Status, e.Error)
+	}
+	return nil
 }

@@ -3,10 +3,57 @@ package serve
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync/atomic"
 
 	"vodcluster/internal/core"
 )
+
+// BackendState is the health/availability state of one backend server. The
+// live failure-handling state machine is
+//
+//	up ⇄ suspect → down → recovering → up
+//	up ⇄ draining            (operator-driven, orthogonal to health)
+//
+// Up, Suspect, and Recovering backends accept new stream placements; a
+// Suspect backend is one the health checker has seen fail probes but not yet
+// confirmed dead (flap damping), and a Recovering backend is back from a
+// failure but not yet trusted at full confidence. Draining and Down backends
+// refuse new placements; the difference is that a Draining backend's
+// replicas are still readable (cooperative maintenance) while a Down
+// backend's replicas are unreachable and count against live replication —
+// which is what triggers re-replication repair.
+type BackendState int32
+
+// Backend states. The zero value is BackendUp so a fresh cluster serves.
+const (
+	BackendUp BackendState = iota
+	BackendSuspect
+	BackendRecovering
+	BackendDraining
+	BackendDown
+)
+
+var backendStateNames = [...]string{
+	BackendUp:         "up",
+	BackendSuspect:    "suspect",
+	BackendRecovering: "recovering",
+	BackendDraining:   "draining",
+	BackendDown:       "down",
+}
+
+// String returns the state's wire name.
+func (s BackendState) String() string {
+	if int(s) < len(backendStateNames) {
+		return backendStateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Eligible reports whether a backend in this state accepts new placements.
+func (s BackendState) Eligible() bool {
+	return s == BackendUp || s == BackendSuspect || s == BackendRecovering
+}
 
 // Cluster is the concurrent runtime counterpart of cluster.State: per-server
 // outgoing-bandwidth accounting done with atomic compare-and-swap so the
@@ -19,13 +66,13 @@ type Cluster struct {
 	p      *core.Problem
 	layout *core.Layout
 
-	holders [][]int // video -> sorted servers holding it
-	rate    []int64 // video -> encoding rate, bits/s, rounded up
+	holders []atomic.Pointer[[]int] // video -> sorted servers holding it
+	rate    []int64                 // video -> encoding rate, bits/s, rounded up
 
-	capBps   []int64        // per-server outgoing capacity, bits/s
-	used     []atomic.Int64 // per-server outgoing bits/s in use
-	active   []atomic.Int64 // per-server active streams
-	draining []atomic.Bool  // per-server drain flag: no new placements
+	capBps []int64        // per-server outgoing capacity, bits/s
+	used   []atomic.Int64 // per-server outgoing bits/s in use
+	active []atomic.Int64 // per-server active streams
+	state  []atomic.Int32 // per-server BackendState
 
 	backboneCap  int64
 	backboneUsed atomic.Int64
@@ -43,16 +90,17 @@ func NewCluster(p *core.Problem, layout *core.Layout) (*Cluster, error) {
 	c := &Cluster{
 		p:           p,
 		layout:      layout,
-		holders:     make([][]int, p.M()),
+		holders:     make([]atomic.Pointer[[]int], p.M()),
 		rate:        make([]int64, p.M()),
 		capBps:      make([]int64, p.N()),
 		used:        make([]atomic.Int64, p.N()),
 		active:      make([]atomic.Int64, p.N()),
-		draining:    make([]atomic.Bool, p.N()),
+		state:       make([]atomic.Int32, p.N()),
 		backboneCap: int64(p.BackboneBandwidth),
 	}
 	for v := range c.holders {
-		c.holders[v] = append([]int(nil), layout.Servers[v]...)
+		hs := append([]int(nil), layout.Servers[v]...)
+		c.holders[v].Store(&hs)
 		c.rate[v] = int64(math.Ceil(p.Catalog[v].BitRate))
 	}
 	for s := range c.capBps {
@@ -64,11 +112,45 @@ func NewCluster(p *core.Problem, layout *core.Layout) (*Cluster, error) {
 // Problem returns the problem the cluster was built for.
 func (c *Cluster) Problem() *core.Problem { return c.p }
 
-// Layout returns the layout the cluster was built for.
+// Layout returns the layout the cluster was built for. Replicas added at
+// runtime by the repairer live in the cluster's holder lists, not here.
 func (c *Cluster) Layout() *core.Layout { return c.layout }
 
 // Holders returns the servers holding video v (shared slice; do not modify).
-func (c *Cluster) Holders(v int) []int { return c.holders[v] }
+func (c *Cluster) Holders(v int) []int { return *c.holders[v].Load() }
+
+// AddHolder registers a new replica of video v on server s at runtime — the
+// repair path landing a re-replicated copy. The holder list is republished
+// atomically so concurrent admissions always see a consistent sorted slice.
+// It reports false when s already held a copy.
+func (c *Cluster) AddHolder(v, s int) bool {
+	for {
+		old := c.holders[v].Load()
+		for _, h := range *old {
+			if h == s {
+				return false
+			}
+		}
+		hs := append(append([]int(nil), *old...), s)
+		sort.Ints(hs)
+		if c.holders[v].CompareAndSwap(old, &hs) {
+			return true
+		}
+	}
+}
+
+// LiveReplicas counts the replicas of v on backends that are not Down —
+// the quantity the repairer compares against its replication threshold.
+// Draining backends count: their data is still readable.
+func (c *Cluster) LiveReplicas(v int) int {
+	n := 0
+	for _, s := range c.Holders(v) {
+		if c.State(s) != BackendDown {
+			n++
+		}
+	}
+	return n
+}
 
 // Rate returns video v's encoding rate in bits/s.
 func (c *Cluster) Rate(v int) int64 { return c.rate[v] }
@@ -91,22 +173,48 @@ func (c *Cluster) Free(s int) int64 { return c.capBps[s] - c.used[s].Load() }
 // Active returns the number of active streams on server s's outgoing link.
 func (c *Cluster) Active(s int) int64 { return c.active[s].Load() }
 
-// Draining reports whether server s refuses new stream placements.
-func (c *Cluster) Draining(s int) bool { return c.draining[s].Load() }
+// State returns server s's backend state.
+func (c *Cluster) State(s int) BackendState { return BackendState(c.state[s].Load()) }
 
-// SetDraining toggles server s's drain flag.
-func (c *Cluster) SetDraining(s int, v bool) { c.draining[s].Store(v) }
+// SetState stores server s's backend state unconditionally.
+func (c *Cluster) SetState(s int, st BackendState) { c.state[s].Store(int32(st)) }
+
+// CASState transitions server s from one state to another atomically; it
+// reports whether the transition won. State-machine drivers (failure
+// injection, the health checker) use this so exactly one caller owns each
+// transition even when they race.
+func (c *Cluster) CASState(s int, from, to BackendState) bool {
+	return c.state[s].CompareAndSwap(int32(from), int32(to))
+}
+
+// Eligible reports whether server s accepts new stream placements.
+func (c *Cluster) Eligible(s int) bool { return c.State(s).Eligible() }
+
+// Draining reports whether server s refuses new stream placements — true
+// for both the cooperative Draining state and the crashed Down state.
+func (c *Cluster) Draining(s int) bool { return !c.Eligible(s) }
+
+// SetDraining toggles server s between the operator-driven Draining state
+// and Up. It is the legacy drain switch: state transitions richer than
+// up ⇄ draining go through CASState.
+func (c *Cluster) SetDraining(s int, v bool) {
+	if v {
+		c.SetState(s, BackendDraining)
+	} else {
+		c.SetState(s, BackendUp)
+	}
+}
 
 // BackboneUsed returns the backbone bandwidth in use, bits/s.
 func (c *Cluster) BackboneUsed() int64 { return c.backboneUsed.Load() }
 
 // TryReserve atomically charges rate bits/s to server s's outgoing link. It
-// fails when the server is draining or lacks headroom. The CAS loop makes
-// the capacity check and the charge one atomic step: two racing admissions
-// can both pass a read-then-check, but only one CAS wins and the loser
-// re-reads the new load.
+// fails when the server is ineligible (draining or down) or lacks headroom.
+// The CAS loop makes the capacity check and the charge one atomic step: two
+// racing admissions can both pass a read-then-check, but only one CAS wins
+// and the loser re-reads the new load.
 func (c *Cluster) TryReserve(s int, rate int64) bool {
-	if c.draining[s].Load() {
+	if !c.Eligible(s) {
 		return false
 	}
 	for {
@@ -120,6 +228,29 @@ func (c *Cluster) TryReserve(s int, rate int64) bool {
 		}
 	}
 }
+
+// TryReserveBandwidth charges rate bits/s to server s's outgoing link
+// without counting an active stream — repair copies occupying the link
+// without being viewer sessions. Unlike TryReserve it only requires the
+// server to be reachable (not Down), so a draining source can still feed a
+// re-replication copy.
+func (c *Cluster) TryReserveBandwidth(s int, rate int64) bool {
+	if c.State(s) == BackendDown {
+		return false
+	}
+	for {
+		u := c.used[s].Load()
+		if u+rate > c.capBps[s] {
+			return false
+		}
+		if c.used[s].CompareAndSwap(u, u+rate) {
+			return true
+		}
+	}
+}
+
+// ReleaseBandwidth frees a TryReserveBandwidth charge.
+func (c *Cluster) ReleaseBandwidth(s int, rate int64) { c.used[s].Add(-rate) }
 
 // ForceCharge charges rate to server s without a capacity check — used by
 // policies whose own accounting (a locked cluster.State) already admitted

@@ -1,0 +1,32 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BackendRangeError reports a backend index outside the cluster.
+type BackendRangeError struct {
+	Backend int // the requested backend index
+	Servers int // the cluster size
+}
+
+// Error implements error.
+func (e *BackendRangeError) Error() string {
+	return fmt.Sprintf("serve: backend %d outside cluster of %d", e.Backend, e.Servers)
+}
+
+// Sentinel errors of the backend state machine. Callers distinguish them
+// with errors.Is; BackendRangeError carries the index and is matched with
+// errors.As.
+var (
+	// ErrBackendDraining rejects a drain of a backend already draining.
+	ErrBackendDraining = errors.New("serve: backend is already draining")
+	// ErrBackendDown rejects an operation on a crashed backend: draining it
+	// (it is already out of service) or failing it again (the failure was
+	// already settled — this is what makes concurrent FailBackend calls
+	// settle each crash exactly once).
+	ErrBackendDown = errors.New("serve: backend is down")
+	// ErrBackendNotDown rejects a recovery of a backend that never crashed.
+	ErrBackendNotDown = errors.New("serve: backend is not down")
+)

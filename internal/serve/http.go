@@ -2,8 +2,13 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
+	"time"
+
+	"vodcluster/internal/faults"
 )
 
 // errorBody is the JSON error/outcome envelope of the HTTP API.
@@ -28,9 +33,21 @@ type layoutBody struct {
 
 // healthBody is the GET /healthz response.
 type healthBody struct {
-	Status          string `json:"status"`
-	ActiveSessions  int64  `json:"active_sessions"`
-	DrainedBackends int    `json:"drained_backends"`
+	Status          string   `json:"status"`
+	ActiveSessions  int64    `json:"active_sessions"`
+	DrainedBackends int      `json:"drained_backends"`
+	BackendStates   []string `json:"backend_states"`
+}
+
+// repairsBody is the GET /repairs response.
+type repairsBody struct {
+	Enabled   bool           `json:"enabled"`
+	Started   int64          `json:"started"`
+	Completed int64          `json:"completed"`
+	Aborted   int64          `json:"aborted"`
+	Skipped   int64          `json:"skipped"`
+	Inflight  int            `json:"inflight"`
+	Journal   []RepairAction `json:"journal"`
 }
 
 // Handler returns the daemon's HTTP API:
@@ -39,8 +56,12 @@ type healthBody struct {
 //	DELETE /session/{id}           end a session early
 //	POST   /backend/{id}/drain     drain a backend (fails sessions over)
 //	POST   /backend/{id}/restore   restore a drained backend
+//	POST   /backend/{id}/fail      crash a backend (evicts its sessions)
+//	POST   /backend/{id}/recover   recover a crashed backend
+//	POST   /fault                  apply one fault-schedule event (JSON body)
+//	GET    /repairs                re-replication journal and counters
 //	GET    /metrics                Prometheus text exposition
-//	GET    /healthz                liveness + drain status
+//	GET    /healthz                liveness + drain status + backend states
 //	GET    /layout                 the layout being served
 //	GET    /debug/trace            session-trace dump (when tracing is on);
 //	                               ?format=chrome renders Chrome trace_event
@@ -50,6 +71,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /session/{id}", s.handleClose)
 	mux.HandleFunc("POST /backend/{id}/drain", s.handleDrain)
 	mux.HandleFunc("POST /backend/{id}/restore", s.handleRestore)
+	mux.HandleFunc("POST /backend/{id}/fail", s.handleFail)
+	mux.HandleFunc("POST /backend/{id}/recover", s.handleRecover)
+	mux.HandleFunc("POST /fault", s.handleFault)
+	mux.HandleFunc("GET /repairs", s.handleRepairs)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /layout", s.handleLayout)
@@ -71,7 +96,7 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "video must be an integer catalog rank"})
 		return
 	}
-	info, outcome, err := s.Open(v)
+	info, outcome, err := s.OpenRetry(r.Context(), v)
 	switch {
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, errorBody{Outcome: outcome, Error: err.Error()})
@@ -123,6 +148,66 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, errorBody{Outcome: "restored"})
 }
 
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	b, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "backend id must be an integer"})
+		return
+	}
+	if err := s.ApplyFault(faults.Event{Action: faults.ActionFail, Backend: b}); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, errorBody{Outcome: "failed"})
+}
+
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	b, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "backend id must be an integer"})
+		return
+	}
+	if err := s.ApplyFault(faults.Event{Action: faults.ActionRecover, Backend: b}); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, errorBody{Outcome: "recovering"})
+}
+
+func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
+	var e faults.Event
+	if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "fault event body: " + err.Error()})
+		return
+	}
+	if e.Backend < 0 || e.Backend >= s.c.Servers() {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: (&BackendRangeError{Backend: e.Backend, Servers: s.c.Servers()}).Error()})
+		return
+	}
+	if err := s.ApplyFault(e); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, errorBody{Outcome: Outcome(e.Action)})
+}
+
+func (s *Server) handleRepairs(w http.ResponseWriter, _ *http.Request) {
+	rep := s.rep.Load()
+	if rep == nil {
+		writeJSON(w, http.StatusOK, repairsBody{})
+		return
+	}
+	writeJSON(w, http.StatusOK, repairsBody{
+		Enabled:   true,
+		Started:   rep.Started(),
+		Completed: rep.Completed(),
+		Aborted:   rep.Aborted(),
+		Skipped:   rep.Skipped(),
+		Inflight:  rep.Inflight(),
+		Journal:   rep.Journal(),
+	})
+}
+
 func (s *Server) handleTraceDump(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	var err error
@@ -136,6 +221,60 @@ func (s *Server) handleTraceDump(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// AttachInjector wires a fault injector into the daemon: crash/recover
+// faults applied through ApplyFault are mirrored into it so an
+// injector-backed health prober observes the same reality, and slow faults
+// become expressible at all.
+func (s *Server) AttachInjector(in *faults.Injector) { s.inj.Store(in) }
+
+// Injector returns the attached fault injector, or nil.
+func (s *Server) Injector() *faults.Injector { return s.inj.Load() }
+
+// ApplyFault applies one fault-schedule event to the live daemon. Crash and
+// recover events act immediately (deterministically, independent of probe
+// timing) and are mirrored into the attached injector so health probes
+// agree; already-settled transitions (backend already down / not down /
+// already draining) are not errors — a scripted schedule and the health
+// checker may legitimately race to the same conclusion.
+func (s *Server) ApplyFault(e faults.Event) error {
+	switch e.Action {
+	case faults.ActionFail:
+		if in := s.inj.Load(); in != nil {
+			in.Crash(e.Backend)
+		}
+		_, _, err := s.FailBackend(e.Backend)
+		if errors.Is(err, ErrBackendDown) {
+			err = nil
+		}
+		return err
+	case faults.ActionRecover:
+		if in := s.inj.Load(); in != nil {
+			in.Recover(e.Backend)
+		}
+		err := s.RecoverBackend(e.Backend)
+		if errors.Is(err, ErrBackendNotDown) {
+			err = nil
+		}
+		return err
+	case faults.ActionSlow:
+		in := s.inj.Load()
+		if in == nil {
+			return fmt.Errorf("serve: slow fault requires an attached injector")
+		}
+		in.Slow(e.Backend, time.Duration(e.SlowMS)*time.Millisecond)
+		return nil
+	case faults.ActionDrain:
+		_, _, err := s.DrainBackend(e.Backend)
+		if errors.Is(err, ErrBackendDraining) {
+			err = nil
+		}
+		return err
+	case faults.ActionRestore:
+		return s.RestoreBackend(e.Backend)
+	}
+	return fmt.Errorf("serve: unknown fault action %q", e.Action)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.Render(w, s.c, s.Active(), s.pol.Name())
@@ -143,16 +282,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	drained := 0
+	states := make([]string, s.c.Servers())
 	for b := 0; b < s.c.Servers(); b++ {
 		if s.c.Draining(b) {
 			drained++
 		}
+		states[b] = s.c.State(b).String()
 	}
 	status, code := "ok", http.StatusOK
 	if s.Draining() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, healthBody{Status: status, ActiveSessions: s.Active(), DrainedBackends: drained})
+	writeJSON(w, code, healthBody{Status: status, ActiveSessions: s.Active(),
+		DrainedBackends: drained, BackendStates: states})
 }
 
 func (s *Server) handleLayout(w http.ResponseWriter, _ *http.Request) {

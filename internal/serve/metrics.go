@@ -31,8 +31,15 @@ type Metrics struct {
 
 	completed  atomic.Int64 // sessions that ran to their natural end
 	canceled   atomic.Int64 // sessions closed early by the client
-	failedOver atomic.Int64 // sessions salvaged off a drained backend
-	dropped    atomic.Int64 // sessions lost to a drain with no failover
+	failedOver atomic.Int64 // sessions salvaged off a drained/failed backend
+	dropped    atomic.Int64 // sessions lost to a drain/crash with no failover
+
+	retried         atomic.Int64 // admission retry attempts after a rejection
+	reneged         atomic.Int64 // retrying requests that gave up (patience)
+	backendFailures atomic.Int64 // confirmed backend crashes (FailBackend)
+	rereplications  atomic.Int64 // repair copies landed as new replicas
+	probeOK         atomic.Int64 // successful health probes
+	probeFail       atomic.Int64 // failed health probes
 
 	latCount atomic.Int64
 	latSumNs atomic.Int64
@@ -100,8 +107,30 @@ func (m *Metrics) Canceled() { m.canceled.Add(1) }
 // FailedOver records a session salvaged onto another backend.
 func (m *Metrics) FailedOver() { m.failedOver.Add(1) }
 
-// Dropped records a session lost to a backend drain with no failover target.
+// Dropped records a session lost to a backend drain or crash with no
+// failover target.
 func (m *Metrics) Dropped() { m.dropped.Add(1) }
+
+// Retried records one admission retry attempt after a capacity rejection.
+func (m *Metrics) Retried() { m.retried.Add(1) }
+
+// Reneged records a retrying request that gave up before being admitted.
+func (m *Metrics) Reneged() { m.reneged.Add(1) }
+
+// BackendFailed records one confirmed backend crash.
+func (m *Metrics) BackendFailed() { m.backendFailures.Add(1) }
+
+// ReReplicated records one repair copy landing as a new replica.
+func (m *Metrics) ReReplicated() { m.rereplications.Add(1) }
+
+// Probe records one health-probe result.
+func (m *Metrics) Probe(ok bool) {
+	if ok {
+		m.probeOK.Add(1)
+	} else {
+		m.probeFail.Add(1)
+	}
+}
 
 // Accepted returns the number of accepted admission decisions so far.
 func (m *Metrics) Accepted() int64 { return m.accepted.Load() }
@@ -130,9 +159,25 @@ func (m *Metrics) Render(w io.Writer, c *Cluster, active int64, policy string) {
 	fmt.Fprintf(w, "vod_sessions_ended_total{cause=\"completed\"} %d\n", m.completed.Load())
 	fmt.Fprintf(w, "vod_sessions_ended_total{cause=\"canceled\"} %d\n", m.canceled.Load())
 	fmt.Fprintf(w, "vod_sessions_ended_total{cause=\"dropped\"} %d\n", m.dropped.Load())
-	fmt.Fprintf(w, "# HELP vod_failed_over_total Sessions salvaged off a drained backend.\n")
-	fmt.Fprintf(w, "# TYPE vod_failed_over_total counter\n")
-	fmt.Fprintf(w, "vod_failed_over_total %d\n", m.failedOver.Load())
+	fmt.Fprintf(w, "# HELP vod_failovers_total Sessions salvaged off a drained or failed backend.\n")
+	fmt.Fprintf(w, "# TYPE vod_failovers_total counter\n")
+	fmt.Fprintf(w, "vod_failovers_total %d\n", m.failedOver.Load())
+	fmt.Fprintf(w, "# HELP vod_retries_total Admission retry attempts after a capacity rejection.\n")
+	fmt.Fprintf(w, "# TYPE vod_retries_total counter\n")
+	fmt.Fprintf(w, "vod_retries_total %d\n", m.retried.Load())
+	fmt.Fprintf(w, "# HELP vod_reneges_total Retrying requests that gave up before admission.\n")
+	fmt.Fprintf(w, "# TYPE vod_reneges_total counter\n")
+	fmt.Fprintf(w, "vod_reneges_total %d\n", m.reneged.Load())
+	fmt.Fprintf(w, "# HELP vod_backend_failures_total Confirmed backend crashes.\n")
+	fmt.Fprintf(w, "# TYPE vod_backend_failures_total counter\n")
+	fmt.Fprintf(w, "vod_backend_failures_total %d\n", m.backendFailures.Load())
+	fmt.Fprintf(w, "# HELP vod_rereplications_total Repair copies landed as new replicas.\n")
+	fmt.Fprintf(w, "# TYPE vod_rereplications_total counter\n")
+	fmt.Fprintf(w, "vod_rereplications_total %d\n", m.rereplications.Load())
+	fmt.Fprintf(w, "# HELP vod_health_probes_total Health-probe results.\n")
+	fmt.Fprintf(w, "# TYPE vod_health_probes_total counter\n")
+	fmt.Fprintf(w, "vod_health_probes_total{result=\"ok\"} %d\n", m.probeOK.Load())
+	fmt.Fprintf(w, "vod_health_probes_total{result=\"fail\"} %d\n", m.probeFail.Load())
 	fmt.Fprintf(w, "# HELP vod_sessions_active Currently active sessions.\n")
 	fmt.Fprintf(w, "# TYPE vod_sessions_active gauge\n")
 	fmt.Fprintf(w, "vod_sessions_active %d\n", active)
@@ -163,6 +208,12 @@ func (m *Metrics) Render(w io.Writer, c *Cluster, active int64, policy string) {
 			d = 1
 		}
 		fmt.Fprintf(w, "vod_server_draining{server=\"%d\"} %d\n", s, d)
+	}
+	fmt.Fprintf(w, "# HELP vod_backend_state Backend health state (0 up, 1 suspect, 2 recovering, 3 draining, 4 down).\n")
+	fmt.Fprintf(w, "# TYPE vod_backend_state gauge\n")
+	for s := 0; s < c.Servers(); s++ {
+		st := c.State(s)
+		fmt.Fprintf(w, "vod_backend_state{server=\"%d\",state=%q} %d\n", s, st.String(), int(st))
 	}
 	fmt.Fprintf(w, "# HELP vod_backbone_used_bps Internal backbone bandwidth in use.\n")
 	fmt.Fprintf(w, "# TYPE vod_backbone_used_bps gauge\n")

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"vodcluster/internal/core"
+	"vodcluster/internal/faults"
 	"vodcluster/internal/obs"
 )
 
@@ -88,6 +89,12 @@ type Config struct {
 	// gate can be shown to catch it — and for latency chaos experiments.
 	// Production configurations leave it zero.
 	AdmitDelay time.Duration
+	// Retry enables admission retry-with-backoff: a capacity-rejected
+	// request waits (exponential backoff with jitter, in compressed virtual
+	// time) and retries until admitted or its patience runs out, instead of
+	// failing immediately. Nil disables retry; see RetryConfig for the
+	// tunables, whose defaults mirror the simulator's resilience policy.
+	Retry *RetryConfig
 }
 
 // Server is the live dispatch engine. Create with New; all exported methods
@@ -110,6 +117,12 @@ type Server struct {
 	activeN  atomic.Int64 // mirrors len(sessions) for lock-free depth reads
 	draining atomic.Bool
 
+	retry *retrier // nil unless Config.Retry enabled admission retry
+
+	hc  atomic.Pointer[HealthChecker] // attached health-check loop, if any
+	rep atomic.Pointer[Repairer]      // attached re-replication repairer, if any
+	inj atomic.Pointer[faults.Injector]
+
 	wg sync.WaitGroup // live session goroutines
 }
 
@@ -131,7 +144,7 @@ func New(p *core.Problem, layout *core.Layout, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: compression factor must be positive, got %g", compress)
 	}
 	ctx, stop := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		c:          c,
 		pol:        pol,
 		met:        NewMetrics(streamCeiling(p)),
@@ -142,7 +155,16 @@ func New(p *core.Problem, layout *core.Layout, cfg Config) (*Server, error) {
 		baseCtx:    ctx,
 		baseStop:   stop,
 		sessions:   make(map[int64]*session),
-	}, nil
+	}
+	if cfg.Retry != nil {
+		r, err := newRetrier(s, *cfg.Retry)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		s.retry = r
+	}
+	return s, nil
 }
 
 // streamCeiling bounds how many sessions the cluster can ever hold
@@ -209,13 +231,24 @@ func (s *Server) wallDuration(v int) time.Duration {
 // session's context ends. The returned outcome distinguishes a capacity
 // rejection from a drain refusal.
 func (s *Server) Open(v int) (SessionInfo, Outcome, error) {
-	start := time.Now()
 	arriveNS := s.tracer.NowNS()
 	s.tracer.Record(obs.Event{TS: arriveNS, Kind: obs.KindArrive, Video: v})
 	if v < 0 || v >= s.c.Videos() {
 		s.met.BadVideo()
 		return SessionInfo{}, OutcomeRejected, fmt.Errorf("serve: video %d outside catalog of %d", v, s.c.Videos())
 	}
+	info, outcome := s.attempt(v, arriveNS, true)
+	return info, outcome, nil
+}
+
+// attempt runs one admission attempt against the policy. settleReject
+// controls whether a capacity rejection is recorded as a settled decision:
+// the retry path passes false for attempts it may later convert into an
+// acceptance and records the one final outcome itself, so retries never
+// inflate the request counters. Accepted and draining outcomes are always
+// final and always recorded here.
+func (s *Server) attempt(v int, arriveNS int64, settleReject bool) (SessionInfo, Outcome) {
+	start := time.Now()
 	if s.admitDelay > 0 {
 		time.Sleep(s.admitDelay)
 	}
@@ -224,14 +257,16 @@ func (s *Server) Open(v int) (SessionInfo, Outcome, error) {
 		s.met.Decision(false, false, true, time.Since(start))
 		s.tracer.Record(obs.Event{TS: arriveNS, Kind: obs.KindDrain, Video: v,
 			DurNS: s.tracer.NowNS() - arriveNS})
-		return SessionInfo{}, OutcomeDraining, nil
+		return SessionInfo{}, OutcomeDraining
 	}
 	g, ok := s.pol.Admit(v)
 	if !ok {
-		s.met.Decision(false, false, false, time.Since(start))
-		s.tracer.Record(obs.Event{TS: arriveNS, Kind: obs.KindReject, Video: v,
-			DurNS: s.tracer.NowNS() - arriveNS})
-		return SessionInfo{}, OutcomeRejected, nil
+		if settleReject {
+			s.met.Decision(false, false, false, time.Since(start))
+			s.tracer.Record(obs.Event{TS: arriveNS, Kind: obs.KindReject, Video: v,
+				DurNS: s.tracer.NowNS() - arriveNS})
+		}
+		return SessionInfo{}, OutcomeRejected
 	}
 	wall := s.wallDuration(v)
 	ctx, cancel := context.WithTimeout(s.baseCtx, wall)
@@ -261,7 +296,7 @@ func (s *Server) Open(v int) (SessionInfo, Outcome, error) {
 		RateBps:    g.Rate,
 		Redirected: g.Redirected,
 		ExpiresInS: wall.Seconds(),
-	}, OutcomeAccepted, nil
+	}, OutcomeAccepted
 }
 
 // finish settles one ended session exactly once: it removes the registry
@@ -304,75 +339,177 @@ func (s *Server) Close(id int64) bool {
 	return true
 }
 
-// DrainBackend takes backend b out of service: no new placements land on it
-// and every session it was serving (or sourcing, for redirected streams) is
-// failed over to a surviving replica holder where capacity allows. Sessions
-// with no failover target are dropped. It returns the failed-over and
-// dropped counts.
+// claimState moves backend b into target (BackendDraining or BackendDown)
+// from whatever state it is in, returning the typed error for states the
+// transition is not allowed from. The CAS loop makes exactly one of several
+// racing claimants win, so every drain or crash is settled exactly once.
+func (s *Server) claimState(b int, target BackendState) error {
+	for {
+		st := s.c.State(b)
+		if st == BackendDown {
+			return ErrBackendDown
+		}
+		if st == BackendDraining && target == BackendDraining {
+			return ErrBackendDraining
+		}
+		if s.c.CASState(b, st, target) {
+			return nil
+		}
+	}
+}
+
+// DrainBackend takes backend b out of service cooperatively: no new
+// placements land on it and every session it was serving (or sourcing, for
+// redirected streams) is failed over to a surviving replica holder where
+// capacity allows. Sessions with no failover target are dropped. It returns
+// the failed-over and dropped counts; the error is a *BackendRangeError for
+// an index outside the cluster, ErrBackendDraining when the backend is
+// already draining, or ErrBackendDown when it has crashed.
 func (s *Server) DrainBackend(b int) (failedOver, dropped int, err error) {
 	if b < 0 || b >= s.c.Servers() {
-		return 0, 0, fmt.Errorf("serve: backend %d outside cluster of %d", b, s.c.Servers())
+		return 0, 0, &BackendRangeError{Backend: b, Servers: s.c.Servers()}
 	}
-	s.c.SetDraining(b, true)
+	if err := s.claimState(b, BackendDraining); err != nil {
+		return 0, 0, err
+	}
 	if d, ok := s.pol.(interface{ DrainBackend(int) }); ok {
 		d.DrainBackend(b) // sim-parity policies mirror the drain into their state
 	}
-	// Snapshot the affected sessions, then settle each: swap the grant on
-	// failover (the session goroutine keeps its original deadline — the
-	// viewer's playback position does not reset), cancel on drop.
-	s.mu.Lock()
-	var affected []*session
-	for _, sess := range s.sessions {
-		if sess.grant.Server == b || sess.grant.Source == b {
-			affected = append(affected, sess)
-		}
+	failedOver, dropped = s.evictSessions(b, "drained")
+	return failedOver, dropped, nil
+}
+
+// FailBackend crashes backend b: it goes BackendDown immediately (unlike the
+// cooperative drain there is no grace — its replicas become unreachable and
+// count against live replication, which is what wakes the repairer), and
+// every session it carried is failed over or torn. Concurrent FailBackend
+// calls settle the crash exactly once: the losers get ErrBackendDown.
+func (s *Server) FailBackend(b int) (failedOver, dropped int, err error) {
+	if b < 0 || b >= s.c.Servers() {
+		return 0, 0, &BackendRangeError{Backend: b, Servers: s.c.Servers()}
 	}
-	s.mu.Unlock()
-	for _, sess := range affected {
-		ng, ok := s.pol.Failover(sess.video, b)
-		s.mu.Lock()
-		cur, live := s.sessions[sess.id]
-		if !live { // ended concurrently; undo the failover reservation
-			s.mu.Unlock()
-			if ok {
-				s.pol.Release(ng)
-			}
-			continue
-		}
-		old := cur.grant
-		if ok {
-			cur.grant = ng
-		} else {
-			delete(s.sessions, sess.id)
-		}
-		s.mu.Unlock()
-		s.pol.Release(old)
-		if ok {
-			s.met.FailedOver()
-			s.tracer.Record(obs.Event{TS: s.tracer.NowNS(), Kind: obs.KindFailover,
-				Session: sess.id, Video: sess.video, Server: ng.Server,
-				Detail: "from server " + fmt.Sprint(b)})
-			failedOver++
-		} else {
-			s.activeN.Add(-1)
-			sess.cancel()
-			s.met.Dropped()
-			s.tracer.Record(obs.Event{TS: s.tracer.NowNS(), Kind: obs.KindTear,
-				Session: sess.id, Video: sess.video, Server: b, Detail: "drained"})
-			dropped++
-		}
+	if err := s.claimState(b, BackendDown); err != nil {
+		return 0, 0, err
+	}
+	s.met.BackendFailed()
+	s.tracer.Record(obs.Event{TS: s.tracer.NowNS(), Kind: obs.KindHealth,
+		Server: b, Detail: "down"})
+	if d, ok := s.pol.(interface{ FailBackend(int) }); ok {
+		d.FailBackend(b) // sim-parity policies mirror the crash into their state
+	}
+	failedOver, dropped = s.evictSessions(b, "failed")
+	if r := s.rep.Load(); r != nil {
+		r.Kick() // scan for under-replicated videos now, not at the next tick
 	}
 	return failedOver, dropped, nil
 }
 
-// RestoreBackend returns a drained backend to service.
+// evictSessions settles every session that ineligible backend b was serving
+// or sourcing: failover onto a surviving replica holder where capacity
+// allows, teardown otherwise. The registry lock makes each settlement
+// exclusive with the session's own finish path, so every affected session's
+// bandwidth is released exactly once however the eviction races against
+// natural completions, client closes, or other backends' evictions. The
+// snapshot-and-settle loop repeats until no session references b, catching
+// sessions another backend's eviction concurrently failed over *onto* b
+// after its reservation but before our snapshot.
+func (s *Server) evictSessions(b int, cause string) (failedOver, dropped int) {
+	for {
+		s.mu.Lock()
+		var affected []*session
+		for _, sess := range s.sessions {
+			if sess.grant.Server == b || sess.grant.Source == b {
+				affected = append(affected, sess)
+			}
+		}
+		s.mu.Unlock()
+		if len(affected) == 0 {
+			return failedOver, dropped
+		}
+		for _, sess := range affected {
+			ng, ok := s.pol.Failover(sess.video, b)
+			s.mu.Lock()
+			cur, live := s.sessions[sess.id]
+			if !live || (cur.grant.Server != b && cur.grant.Source != b) {
+				// Ended or moved concurrently; undo our failover reservation.
+				s.mu.Unlock()
+				if ok {
+					s.pol.Release(ng)
+				}
+				continue
+			}
+			// The failover target can crash between our reservation and this
+			// commit, and its own eviction scan may already have run and
+			// missed us — so never commit a grant onto a Down server; drop
+			// the session instead. (The state read happens under the same
+			// lock the crashed backend's eviction scan uses, so one of the
+			// two always sees the other.)
+			targetDown := ok && s.c.State(ng.Server) == BackendDown
+			old := cur.grant
+			if ok && !targetDown {
+				cur.grant = ng
+			} else {
+				delete(s.sessions, sess.id)
+			}
+			s.mu.Unlock()
+			s.pol.Release(old)
+			if ok && !targetDown {
+				s.met.FailedOver()
+				s.tracer.Record(obs.Event{TS: s.tracer.NowNS(), Kind: obs.KindFailover,
+					Session: sess.id, Video: sess.video, Server: ng.Server,
+					Detail: "from server " + fmt.Sprint(b)})
+				failedOver++
+				continue
+			}
+			if targetDown {
+				s.pol.Release(ng)
+			}
+			s.activeN.Add(-1)
+			sess.cancel()
+			s.met.Dropped()
+			s.tracer.Record(obs.Event{TS: s.tracer.NowNS(), Kind: obs.KindTear,
+				Session: sess.id, Video: sess.video, Server: b, Detail: cause})
+			dropped++
+		}
+	}
+}
+
+// RestoreBackend returns a drained backend to service. A crashed (Down)
+// backend does not restore this way — recovery from a crash goes through
+// RecoverBackend so re-replicated state is handled deliberately.
 func (s *Server) RestoreBackend(b int) error {
 	if b < 0 || b >= s.c.Servers() {
-		return fmt.Errorf("serve: backend %d outside cluster of %d", b, s.c.Servers())
+		return &BackendRangeError{Backend: b, Servers: s.c.Servers()}
 	}
-	s.c.SetDraining(b, false)
+	if s.c.State(b) == BackendDown {
+		return ErrBackendDown
+	}
+	s.c.SetState(b, BackendUp)
 	if d, ok := s.pol.(interface{ RestoreBackend(int) }); ok {
 		d.RestoreBackend(b)
+	}
+	return nil
+}
+
+// RecoverBackend brings a crashed backend back: Down → Recovering when a
+// health checker is attached (it promotes the backend to Up after enough
+// clean probes — flap damping), Down → Up directly otherwise. A backend
+// that is not Down returns ErrBackendNotDown.
+func (s *Server) RecoverBackend(b int) error {
+	if b < 0 || b >= s.c.Servers() {
+		return &BackendRangeError{Backend: b, Servers: s.c.Servers()}
+	}
+	target := BackendUp
+	if s.hc.Load() != nil {
+		target = BackendRecovering
+	}
+	if !s.c.CASState(b, BackendDown, target) {
+		return ErrBackendNotDown
+	}
+	s.tracer.Record(obs.Event{TS: s.tracer.NowNS(), Kind: obs.KindHealth,
+		Server: b, Detail: target.String()})
+	if d, ok := s.pol.(interface{ RecoverBackend(int) }); ok {
+		d.RecoverBackend(b)
 	}
 	return nil
 }
@@ -398,9 +535,16 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Shutdown force-cancels every session and waits for their goroutines.
+// Shutdown force-cancels every session, stops any attached health-check and
+// repair loops, and waits for their goroutines.
 func (s *Server) Shutdown() {
 	s.draining.Store(true)
+	if h := s.hc.Load(); h != nil {
+		h.Stop()
+	}
+	if r := s.rep.Load(); r != nil {
+		r.Stop()
+	}
 	s.baseStop()
 	s.wg.Wait()
 }

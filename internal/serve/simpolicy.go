@@ -132,4 +132,21 @@ func (p *SimPolicy) RestoreBackend(s int) {
 	p.mu.Unlock()
 }
 
+// FailBackend mirrors a backend crash into the locked state. It is the same
+// mirror as a drain: the simulator models both as a failed server whose
+// streams are torn and whose replicas are unreachable.
+func (p *SimPolicy) FailBackend(s int) { p.DrainBackend(s) }
+
+// RecoverBackend mirrors a crash recovery into the locked state.
+func (p *SimPolicy) RecoverBackend(s int) { p.RestoreBackend(s) }
+
+// AddReplica mirrors a repair copy landing into the locked state, so
+// subsequent sim-parity decisions see the restored replica exactly as the
+// simulator's repairer would have placed it.
+func (p *SimPolicy) AddReplica(v, s int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st.AddReplica(v, s)
+}
+
 var _ Policy = (*SimPolicy)(nil)

@@ -11,14 +11,14 @@ SERVE_BENCH ?= BENCH_serve.json
 PERF_OUT ?= /tmp/vodperf
 PERF_TOLERANCE ?= 0.10
 
-.PHONY: all build test race cover bench bench-smoke serve-smoke chaos-smoke perf perf-gate figures figures-smoke examples fuzz clean ci fmt-check
+.PHONY: all build test race cover bench bench-smoke serve-smoke chaos-smoke regret-smoke perf perf-gate figures figures-smoke examples fuzz clean ci fmt-check
 
 all: build test
 
 # Everything the CI workflow runs: formatting, build+vet, tests, race,
-# the one-iteration benchmark smoke pass, the live-serving smoke, and the
-# fault-injection chaos smoke.
-ci: fmt-check build test race bench-smoke serve-smoke chaos-smoke
+# the one-iteration benchmark smoke pass, the live-serving smoke, the
+# fault-injection chaos smoke, and the counterfactual-harness smoke.
+ci: fmt-check build test race bench-smoke serve-smoke chaos-smoke regret-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -61,6 +61,13 @@ serve-smoke:
 # live-vs-sim post-failure parity.
 chaos-smoke:
 	$(GO) test -race -run 'TestChaos' -v .
+
+# The counterfactual-harness self-check: a tiny two-policy lockstep over one
+# shared trace. -smoke asserts the reference compared against itself yields
+# exactly zero divergences and zero regret, and that the genuinely different
+# candidate diverges at least once — the invariants vodab's scoring leans on.
+regret-smoke:
+	$(GO) run ./cmd/vodab -policies static-rr,least-loaded -lambda 60 -runs 2 -smoke > /dev/null
 
 # Re-measure the canonical benchmarks (Fig. 4 quick sweep + serve burst)
 # and refresh the checked-in multi-run baseline.

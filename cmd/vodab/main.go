@@ -1,0 +1,249 @@
+// Command vodab is the counterfactual policy-scoring harness: it replays
+// the same arrival trace through several scheduling policies in lockstep and
+// scores every candidate decision-by-decision against a reference policy.
+// All candidates run under common random numbers — identical arrivals and
+// identical per-decision RNG streams — so every divergence and every unit of
+// regret is attributable to the policies alone, not to sampling noise.
+//
+//	vodab -policies static-rr,least-loaded -runs 20
+//	vodab -policies static-rr,least-loaded,random -reference least-loaded
+//	vodab -scenario scenario.json -policies static-rr,least-loaded -csv out/
+//	vodab -journal divergences.json -curve-stride 200
+//
+// The summary table reports each candidate's mean total regret (extra
+// rejections per replication relative to the reference) with a 95% paired
+// confidence interval, the divergence count, and the first request where the
+// candidate chose differently and why. -journal writes the full divergence
+// journal as JSON; -csv mirrors the tables as CSV.
+//
+// -smoke runs the harness self-check used by CI: the reference compared
+// against itself must produce exactly zero divergences and zero regret,
+// while a genuinely different candidate must diverge at least once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vodcluster"
+	"vodcluster/internal/config"
+	"vodcluster/internal/core"
+	"vodcluster/internal/exp"
+	"vodcluster/internal/policy"
+	"vodcluster/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vodab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	s := config.Paper()
+	scenarioPath := flag.String("scenario", "", "JSON scenario file; empty uses the paper defaults")
+	planPath := flag.String("plan", "", "replay a plan written by vodplace -out instead of recomputing the layout")
+	policies := flag.String("policies", "static-rr,least-loaded", "comma-separated candidate policies to compare (shared registry names)")
+	reference := flag.String("reference", "", "reference policy regret is measured against; empty means the first candidate")
+	flag.IntVar(&s.Runs, "runs", s.Runs, "number of replications (paired across candidates)")
+	flag.Int64Var(&s.Seed, "seed", s.Seed, "master random seed")
+	flag.Float64Var(&s.LambdaPerMin, "lambda", s.LambdaPerMin, "arrival rate (requests/minute)")
+	duration := flag.Float64("duration", 0, "arrival window in seconds; 0 means the scenario's peak period")
+	workers := flag.Int("workers", 0, "parallel simulations across the candidate × replication grid; 0 = GOMAXPROCS")
+	tracePath := flag.String("trace", "", "replay this JSON trace (workload format) for every replication instead of generating arrivals")
+	csvDir := flag.String("csv", "", "mirror the summary and regret-curve tables as CSV into this directory")
+	journalPath := flag.String("journal", "", "write the full divergence journal as JSON to this file")
+	curveStride := flag.Int("curve-stride", 100, "sample the cumulative regret curve every this many decisions")
+	smoke := flag.Bool("smoke", false, "run the harness self-check: reference-vs-itself must be exactly zero, a different candidate must diverge")
+	listPolicies := flag.Bool("list-policies", false, "print the scheduling-policy registry and exit")
+	flag.Parse()
+
+	if *listPolicies {
+		fmt.Print("Scheduling policies (shared registry, internal/policy):\n\n", policy.List())
+		return nil
+	}
+
+	if *scenarioPath != "" {
+		f, err := os.Open(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		runs, seed, lam := s.Runs, s.Seed, s.LambdaPerMin
+		s, err = config.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		s.Runs, s.Seed, s.LambdaPerMin = runs, seed, lam
+	}
+
+	var (
+		p      *core.Problem
+		layout *core.Layout
+		err    error
+	)
+	if *planPath != "" {
+		f, err := os.Open(*planPath)
+		if err != nil {
+			return err
+		}
+		plan, err := config.LoadPlan(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if p, layout, err = plan.Layout(); err != nil {
+			return err
+		}
+	} else {
+		if p, layout, _, err = vodcluster.Pipeline(s); err != nil {
+			return err
+		}
+	}
+	p = p.Clone()
+	p.ArrivalRate = s.LambdaPerMin / core.Minute
+
+	names := splitList(*policies)
+	if len(names) == 0 {
+		return fmt.Errorf("-policies needs at least one policy name")
+	}
+	candidates, err := resolveCandidates(names, p.BackboneBandwidth > 0)
+	if err != nil {
+		return err
+	}
+	ref := *reference
+	if ref == "" {
+		ref = candidates[0].Name
+	}
+	if *smoke {
+		// The self-check candidate: the reference policy under a second
+		// name, which must decide identically to the reference everywhere.
+		self, err := resolveCandidates([]string{ref}, p.BackboneBandwidth > 0)
+		if err != nil {
+			return err
+		}
+		self[0].Name = ref + "#self"
+		candidates = append(candidates, self[0])
+	}
+
+	var trace *workload.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		trace, err = workload.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	ls := &exp.Lockstep{
+		Problem:    p,
+		Layout:     layout,
+		Candidates: candidates,
+		Reference:  ref,
+		Trace:      trace,
+		Duration:   *duration,
+		Runs:       s.Runs,
+		Seed:       s.Seed,
+		Workers:    *workers,
+	}
+	res, err := ls.Run()
+	if err != nil {
+		return err
+	}
+
+	em := &exp.Emitter{CSVDir: *csvDir}
+	if err := res.Report(em, *curveStride); err != nil {
+		return err
+	}
+	if *journalPath != "" {
+		f, err := os.Create(*journalPath)
+		if err != nil {
+			return err
+		}
+		werr := res.WriteJournal(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "vodab: divergence journal written to %s\n", *journalPath)
+	}
+	if *smoke {
+		return smokeCheck(res, ref)
+	}
+	return nil
+}
+
+// splitList parses a comma-separated name list, trimming whitespace and
+// dropping empty parts.
+func splitList(list string) []string {
+	var names []string
+	for _, part := range strings.Split(list, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	return names
+}
+
+// resolveCandidates maps registry names to lockstep candidates; redirection
+// over the backbone is applied exactly when the cluster has one, the same
+// convention as the simulator pipeline.
+func resolveCandidates(names []string, backbone bool) ([]exp.Candidate, error) {
+	candidates := make([]exp.Candidate, 0, len(names))
+	for _, name := range names {
+		e, err := policy.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		factory, err := policy.SchedulerFactory(e.Name, backbone)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, exp.Candidate{Name: e.Name, NewScheduler: factory})
+	}
+	return candidates, nil
+}
+
+// smokeCheck enforces the harness invariants CI leans on: the reference
+// scored against itself (under its own name and the "#self" alias) yields
+// exactly zero divergences and zero regret, and at least one genuinely
+// different candidate diverges at least once.
+func smokeCheck(res *exp.LockstepResult, ref string) error {
+	otherDivergences := 0
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		selfNamed := c.Name == ref || c.Name == ref+"#self"
+		if selfNamed {
+			if len(c.Divergences) != 0 {
+				return fmt.Errorf("smoke: %s diverged %d times from the reference %s — lockstep replay is not deterministic",
+					c.Name, len(c.Divergences), ref)
+			}
+			if c.Regret.Mean() != 0 || c.Regret.Min() != 0 || c.Regret.Max() != 0 {
+				return fmt.Errorf("smoke: %s has nonzero self-regret (mean %g)", c.Name, c.Regret.Mean())
+			}
+			continue
+		}
+		otherDivergences += len(c.Divergences)
+	}
+	hasOther := false
+	for i := range res.Candidates {
+		name := res.Candidates[i].Name
+		if name != ref && name != ref+"#self" {
+			hasOther = true
+		}
+	}
+	if hasOther && otherDivergences == 0 {
+		return fmt.Errorf("smoke: no candidate ever diverged from %s — the harness is not distinguishing policies", ref)
+	}
+	fmt.Fprintf(os.Stderr, "vodab: smoke OK — reference self-check exactly zero, %d divergence(s) across other candidates\n", otherDivergences)
+	return nil
+}

@@ -48,6 +48,7 @@ import (
 	"vodcluster/internal/core"
 	"vodcluster/internal/faults"
 	"vodcluster/internal/obs"
+	"vodcluster/internal/policy"
 	"vodcluster/internal/serve"
 )
 
@@ -62,7 +63,8 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:8370", "listen address")
 	scenarioPath := flag.String("scenario", "", "JSON scenario file; empty uses the paper defaults")
 	planPath := flag.String("plan", "", "replay a plan written by vodplace -out instead of recomputing the layout")
-	policy := flag.String("policy", "least-loaded", fmt.Sprintf("admission policy: one of %v", serve.PolicyNames()))
+	policyName := flag.String("policy", "least-loaded", fmt.Sprintf("admission policy: one of %v", serve.PolicyNames()))
+	listPolicies := flag.Bool("list-policies", false, "print the admission-policy registry and exit")
 	compress := flag.Float64("compress", 1, "time-compression factor: a D-second video holds bandwidth for D/compress wall seconds")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for active sessions")
 	pprofOn := flag.Bool("pprof", true, "mount the net/http/pprof profiling endpoints under /debug/pprof/")
@@ -76,6 +78,11 @@ func run() error {
 	repairBudget := flag.Float64("repair-budget", 0, "cap on total concurrent repair-copy bandwidth, bits/s (0 = per-copy reservations only)")
 	flag.Parse()
 
+	if *listPolicies {
+		fmt.Print("Admission policies (shared registry, internal/policy):\n\n", policy.ServeList())
+		return nil
+	}
+
 	p, layout, err := loadLayout(*scenarioPath, *planPath)
 	if err != nil {
 		return err
@@ -84,7 +91,7 @@ func run() error {
 	if *traceEvents > 0 {
 		tracer = obs.NewTracer(*traceEvents)
 	}
-	cfg := serve.Config{Policy: *policy, Compress: *compress, Tracer: tracer}
+	cfg := serve.Config{Policy: *policyName, Compress: *compress, Tracer: tracer}
 	if *retryOn {
 		cfg.Retry = &serve.RetryConfig{}
 	}

@@ -35,6 +35,7 @@ import (
 	"vodcluster/internal/dynrep"
 	"vodcluster/internal/exp"
 	"vodcluster/internal/obs"
+	"vodcluster/internal/policy"
 	"vodcluster/internal/report"
 	"vodcluster/internal/resilience"
 	"vodcluster/internal/sim"
@@ -63,7 +64,8 @@ func run() error {
 	flag.Float64Var(&s.Degree, "degree", s.Degree, "target replication degree")
 	flag.StringVar(&s.Replicator, "replicator", s.Replicator, "replication algorithm: adams|zipf|classification|uniform")
 	flag.StringVar(&s.Placer, "placer", s.Placer, "placement algorithm: slf|roundrobin|greedy|random|wslf|bsr")
-	flag.StringVar(&s.Scheduler, "scheduler", s.Scheduler, "scheduling policy: static-rr|first-available|least-loaded")
+	flag.StringVar(&s.Scheduler, "scheduler", s.Scheduler, "scheduling policy: "+strings.Join(policy.Names(), "|"))
+	listPolicies := flag.Bool("list-policies", false, "print the scheduling-policy registry and exit")
 	flag.IntVar(&s.Runs, "runs", s.Runs, "number of simulation replications")
 	flag.Int64Var(&s.Seed, "seed", s.Seed, "master random seed")
 	perRun := flag.Bool("per-run", false, "print every run's result, not just the aggregate")
@@ -86,6 +88,11 @@ func run() error {
 	traceFormat := flag.String("trace-format", "json", "trace dump format: json | chrome (chrome://tracing / Perfetto)")
 	traceEvents := flag.Int("trace-events", obs.DefaultTraceEvents, "trace ring-buffer capacity (oldest events are overwritten)")
 	flag.Parse()
+
+	if *listPolicies {
+		fmt.Print("Scheduling policies (shared registry, internal/policy):\n\n", policy.List())
+		return nil
+	}
 
 	if *scenarioPath != "" {
 		f, err := os.Open(*scenarioPath)
@@ -261,30 +268,35 @@ func run() error {
 	return dumpTrace()
 }
 
-// sweepSeriesNames lists the named -series curves a sweep can plot, in the
-// order the table prints them.
+// sweepSeriesNames lists the named -series curves a sweep can plot: the
+// "baseline" pseudo-series, every policy from the shared registry, then the
+// "redirect" pseudo-series.
 func sweepSeriesNames() []string {
-	return []string{"baseline", "static-rr", "first-available", "least-loaded", "redirect"}
+	names := []string{"baseline"}
+	names = append(names, policy.Names()...)
+	return append(names, "redirect")
 }
 
 // sweepSchedulerFor resolves one -series name to its scheduler factory.
 // "baseline" is the scenario's own policy (with redirection exactly when the
-// cluster has a backbone); the bare policy names force that scheduler without
-// redirection; "redirect" wraps the scenario's policy with backbone
+// cluster has a backbone); a bare registry policy name forces that scheduler
+// without redirection; "redirect" wraps the scenario's policy with backbone
 // redirection regardless.
 func sweepSchedulerFor(name string, s config.Scenario, backbone bool) (func() cluster.Scheduler, error) {
 	switch name {
 	case "baseline":
 		return vodcluster.SchedulerFactory(s.Scheduler, backbone)
-	case "static-rr", "first-available", "least-loaded":
-		return vodcluster.SchedulerFactory(name, false)
 	case "redirect":
 		if !backbone {
 			return nil, fmt.Errorf("-series redirect needs -backbone > 0")
 		}
 		return vodcluster.SchedulerFactory(s.Scheduler, true)
 	}
-	return nil, fmt.Errorf("unknown sweep series %q (available: %s)", name, strings.Join(sweepSeriesNames(), ", "))
+	f, err := policy.SchedulerFactory(name, false)
+	if err != nil {
+		return nil, fmt.Errorf("unknown sweep series %q (available: %s)", name, strings.Join(sweepSeriesNames(), ", "))
+	}
+	return f, nil
 }
 
 // runSweep evaluates the assembled configuration across several arrival

@@ -1,5 +1,7 @@
 package cluster
 
+import "vodcluster/internal/stats"
+
 // Scheduler chooses which replica (if any) serves a request for a video.
 // Implementations may keep per-video state inside the State (the static
 // round-robin cursor) but must not mutate bandwidth accounting; Admit does
@@ -9,6 +11,21 @@ type Scheduler interface {
 	Schedule(st *State, v int) Decision
 	// Name identifies the policy in reports.
 	Name() string
+}
+
+// SeededScheduler is an optional interface a Scheduler may implement to
+// receive a fresh decision-scoped RNG before each Schedule call. The
+// simulator derives the stream from (run seed, decision index), so
+// randomized policies draw common random numbers: at decision k every
+// policy replaying the same trace sees the same stream, no matter how much
+// randomness earlier decisions consumed. That is what keeps counterfactual
+// lockstep comparisons paired even across randomized policies.
+//
+// Decorators that wrap a base Scheduler (redirect, degradation) expose the
+// wrapped policy via Unwrap() so the simulator can find the seeded
+// scheduler through the chain.
+type SeededScheduler interface {
+	SeedDecision(rng *stats.RNG)
 }
 
 // StaticRoundRobin is the paper's scheduling model (§3.2): requests for a
@@ -62,6 +79,46 @@ func (FirstAvailable) Schedule(st *State, v int) Decision {
 		}
 	}
 	return Reject
+}
+
+// RandomHolder serves each request from a uniformly random replica holder
+// that can serve it, rejecting only when no holder has room — the
+// memoryless baseline between the paper's static rotation and the
+// load-aware policies. It implements SeededScheduler: under the simulator
+// each decision draws from its own (seed, decision-index) substream, so two
+// runs at the same seed make identical random choices request for request
+// even when their cluster states have diverged. Outside the simulator (or
+// before the first SeedDecision) it draws from a private stream seeded at
+// construction, staying deterministic per seed.
+type RandomHolder struct {
+	rng *stats.RNG
+}
+
+// NewRandomHolder returns a random-holder policy whose fallback stream is
+// seeded with seed (used only until SeedDecision installs per-decision
+// streams).
+func NewRandomHolder(seed int64) *RandomHolder {
+	return &RandomHolder{rng: stats.NewRNG(seed).Derive(7)}
+}
+
+// Name implements Scheduler.
+func (r *RandomHolder) Name() string { return "random" }
+
+// SeedDecision implements SeededScheduler.
+func (r *RandomHolder) SeedDecision(rng *stats.RNG) { r.rng = rng }
+
+// Schedule implements Scheduler.
+func (r *RandomHolder) Schedule(st *State, v int) Decision {
+	feasible := make([]int, 0, len(st.holders[v]))
+	for _, s := range st.holders[v] {
+		if st.CanServe(s, v) {
+			feasible = append(feasible, s)
+		}
+	}
+	if len(feasible) == 0 {
+		return Reject
+	}
+	return Direct(feasible[r.rng.Intn(len(feasible))])
 }
 
 // LeastLoaded serves each request from the replica holder with the most free

@@ -17,6 +17,7 @@ type Collector struct {
 	numServers int
 	capacities []float64 // outgoing bits/s per server
 
+	arrivals  int
 	requests  int
 	accepted  int
 	rejected  int
@@ -62,6 +63,14 @@ func NewUniformCollector(n int, capacity float64) *Collector {
 		caps[i] = capacity
 	}
 	return NewCollector(caps)
+}
+
+// Arrival records one arriving request, measured or not. It counts every
+// request the run settled an admission decision for — the length of the
+// run's KindArrival decision stream — so decision journals can be checked
+// against results. Requests, by contrast, counts only measured arrivals.
+func (c *Collector) Arrival() {
+	c.arrivals++
 }
 
 // Request records an arrival and its outcome. server is the outgoing server
@@ -167,6 +176,7 @@ func (c *Collector) SampleLoads(usedBW []float64, concurrent int) {
 // Result freezes the collector into the per-run result record.
 func (c *Collector) Result() Result {
 	r := Result{
+		Arrivals:        c.arrivals,
 		Requests:        c.requests,
 		Accepted:        c.accepted,
 		Rejected:        c.rejected,
@@ -202,7 +212,13 @@ func (c *Collector) Result() Result {
 
 // Result is the outcome of one simulation run.
 type Result struct {
-	// Requests, Accepted, Rejected count arrivals and their outcomes.
+	// Arrivals counts every arriving request, measured or not — the
+	// length of the run's arrival-decision stream (warmup arrivals
+	// included), so a decision journal of the same run has exactly this
+	// many KindArrival records.
+	Arrivals int
+	// Requests, Accepted, Rejected count measured arrivals and their
+	// outcomes.
 	Requests, Accepted, Rejected int
 	// Redirected counts streams admitted over the backbone.
 	Redirected int

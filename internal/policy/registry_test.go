@@ -1,0 +1,158 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"vodcluster/internal/cluster"
+)
+
+func TestNamesAndEntries(t *testing.T) {
+	names := Names()
+	want := []string{"static-rr", "first-available", "least-loaded", "random"}
+	if len(names) < len(want) {
+		t.Fatalf("registry has %d policies, want at least %d", len(names), len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	for _, e := range Entries() {
+		if e.Description == "" {
+			t.Errorf("policy %q has no description", e.Name)
+		}
+		if e.NewScheduler == nil {
+			t.Errorf("policy %q has no constructor", e.Name)
+			continue
+		}
+		if got := e.NewScheduler().Name(); got != e.Name {
+			t.Errorf("policy %q constructs a scheduler named %q", e.Name, got)
+		}
+	}
+}
+
+func TestLookupDefaultAndUnknown(t *testing.T) {
+	e, err := Lookup("")
+	if err != nil {
+		t.Fatalf("Lookup(\"\"): %v", err)
+	}
+	if e.Name != Default {
+		t.Fatalf("empty name resolved to %q, want %q", e.Name, Default)
+	}
+	_, err = Lookup("no-such-policy")
+	if err == nil {
+		t.Fatal("Lookup of unknown policy succeeded")
+	}
+	for _, n := range Names() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("unknown-policy error %q does not list %q", err, n)
+		}
+	}
+}
+
+func TestSchedulerFactory(t *testing.T) {
+	for _, n := range Names() {
+		newSched, err := SchedulerFactory(n, false)
+		if err != nil {
+			t.Fatalf("SchedulerFactory(%q): %v", n, err)
+		}
+		if newSched() == nil {
+			t.Fatalf("SchedulerFactory(%q) built a nil scheduler", n)
+		}
+		withRedirect, err := SchedulerFactory(n, true)
+		if err != nil {
+			t.Fatalf("SchedulerFactory(%q, redirect): %v", n, err)
+		}
+		if got := withRedirect().Name(); !strings.HasSuffix(got, "+redirect") {
+			t.Errorf("redirecting factory for %q built %q", n, got)
+		}
+	}
+	if _, err := SchedulerFactory("bogus", false); err == nil {
+		t.Fatal("SchedulerFactory accepted an unknown name")
+	}
+}
+
+func TestServeNames(t *testing.T) {
+	names := ServeNames()
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate serve name %q", n)
+		}
+		seen[n] = true
+		if !IsServeName(n) {
+			t.Errorf("IsServeName(%q) = false for a listed name", n)
+		}
+	}
+	for _, n := range []string{"least-loaded", "sim:static-rr", "sim:random"} {
+		if !seen[n] {
+			t.Errorf("serve names missing %q (got %v)", n, names)
+		}
+	}
+	// random has no lock-free serve implementation, only the sim adapter.
+	if seen["random"] {
+		t.Error("serve names list bare \"random\", which serve does not implement")
+	}
+	if IsServeName("random") {
+		t.Error("IsServeName(\"random\") = true")
+	}
+	if !IsServeName("") {
+		t.Error("IsServeName(\"\") = false; empty must mean the default")
+	}
+	err := UnknownServeError("bogus")
+	if err == nil || !strings.Contains(err.Error(), "sim:least-loaded") {
+		t.Errorf("UnknownServeError does not list the adapters: %v", err)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	if err := Register(Entry{Name: "static-rr", NewScheduler: func() cluster.Scheduler { return cluster.StaticRoundRobin{} }}); err == nil {
+		t.Fatal("Register accepted a duplicate name")
+	}
+	if err := Register(Entry{Name: "x"}); err == nil {
+		t.Fatal("Register accepted a nil constructor")
+	}
+	if err := Register(Entry{Name: "sim:x", NewScheduler: func() cluster.Scheduler { return cluster.StaticRoundRobin{} }}); err == nil {
+		t.Fatal("Register accepted a sim:-prefixed name")
+	}
+	if err := Register(Entry{
+		Name:         "test-policy",
+		Description:  "registered by the test",
+		NewScheduler: func() cluster.Scheduler { return cluster.LeastLoaded{} },
+	}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	t.Cleanup(func() {
+		registry = registry[:len(registry)-1]
+		byName = buildIndex()
+	})
+	if _, err := Lookup("test-policy"); err != nil {
+		t.Fatalf("registered policy not found: %v", err)
+	}
+	if !strings.Contains(List(), "test-policy") {
+		t.Error("List() does not mention the registered policy")
+	}
+	found := false
+	for _, n := range ServeNames() {
+		if n == "sim:test-policy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered policy has no sim: serve adapter")
+	}
+}
+
+func TestListFormatting(t *testing.T) {
+	l := List()
+	for _, n := range Names() {
+		if !strings.Contains(l, n) {
+			t.Errorf("List() missing %q", n)
+		}
+	}
+	sl := ServeList()
+	if !strings.Contains(sl, "lock-free") || !strings.Contains(sl, "sim-parity") {
+		t.Errorf("ServeList() lacks layer annotations:\n%s", sl)
+	}
+}

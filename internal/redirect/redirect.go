@@ -31,6 +31,10 @@ func New(base cluster.Scheduler) *Scheduler { return &Scheduler{Base: base} }
 // Name implements cluster.Scheduler.
 func (r *Scheduler) Name() string { return r.Base.Name() + "+redirect" }
 
+// Unwrap exposes the base policy, so the simulator can find a
+// cluster.SeededScheduler through the decorator chain.
+func (r *Scheduler) Unwrap() cluster.Scheduler { return r.Base }
+
 // Redirected returns how many requests this scheduler admitted via the
 // backbone since creation.
 func (r *Scheduler) Redirected() int64 { return r.redirected }

@@ -211,6 +211,10 @@ func NewDegrader(base cluster.Scheduler, floor float64) *Degrader {
 // Name implements cluster.Scheduler.
 func (d *Degrader) Name() string { return d.base.Name() + "+degrade" }
 
+// Unwrap exposes the base policy, so the simulator can find a
+// cluster.SeededScheduler through the decorator chain.
+func (d *Degrader) Unwrap() cluster.Scheduler { return d.base }
+
 // Schedule implements cluster.Scheduler.
 func (d *Degrader) Schedule(st *cluster.State, v int) cluster.Decision {
 	d.degraded = false

@@ -1,9 +1,11 @@
 package serve
 
 import (
-	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
+
+	"vodcluster/internal/policy"
 )
 
 // Grant is one admitted stream's reservation: which server's outgoing link
@@ -35,18 +37,20 @@ type Policy interface {
 	Failover(v, exclude int) (Grant, bool)
 }
 
-// PolicyNames lists the accepted -policy values: the lock-free policies
-// first, then the locked sim-parity adapters (see NewSimPolicy).
-func PolicyNames() []string {
-	return []string{"least-loaded", "first-available", "static-rr",
-		"sim:least-loaded", "sim:first-available", "sim:static-rr"}
-}
+// PolicyNames lists the accepted -policy values from the shared registry:
+// the lock-free policies first, then the locked sim-parity adapters (see
+// NewSimPolicy).
+func PolicyNames() []string { return policy.ServeNames() }
 
 // NewPolicy resolves a policy name against a cluster. Names without the
 // "sim:" prefix select the lock-free implementations; "sim:" names wrap the
-// exact simulator schedulers (cluster.Scheduler, plus redirect when the
-// problem defines backbone bandwidth) behind a mutex.
+// exact simulator schedulers (any registered cluster.Scheduler, plus
+// redirect when the problem defines backbone bandwidth) behind a mutex.
+// Unknown names report the registry's full name table.
 func NewPolicy(name string, c *Cluster) (Policy, error) {
+	if base, ok := strings.CutPrefix(name, "sim:"); ok {
+		return NewSimPolicy(base, c)
+	}
 	switch name {
 	case "", "least-loaded":
 		return &leastLoaded{c: c}, nil
@@ -54,10 +58,8 @@ func NewPolicy(name string, c *Cluster) (Policy, error) {
 		return newRotating(c, true), nil
 	case "static-rr":
 		return newRotating(c, false), nil
-	case "sim:least-loaded", "sim:first-available", "sim:static-rr":
-		return NewSimPolicy(name[len("sim:"):], c)
 	}
-	return nil, fmt.Errorf("serve: unknown policy %q (want one of %v)", name, PolicyNames())
+	return nil, policy.UnknownServeError(name)
 }
 
 // leastLoaded is the lock-free analogue of cluster.LeastLoaded: serve from

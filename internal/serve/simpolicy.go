@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"vodcluster/internal/cluster"
+	"vodcluster/internal/policy"
 	"vodcluster/internal/redirect"
 	"vodcluster/internal/resilience"
 )
@@ -27,22 +28,17 @@ type SimPolicy struct {
 }
 
 // NewSimPolicy builds the locked sim-parity adapter for a base scheduler
-// name (static-rr | first-available | least-loaded). Redirection over the
-// backbone is enabled exactly when the problem defines backbone bandwidth,
-// matching the simulator pipeline's convention.
+// name, resolved through the shared policy registry (any registered
+// simulator policy works; the empty name takes the registry default).
+// Redirection over the backbone is enabled exactly when the problem defines
+// backbone bandwidth, matching the simulator pipeline's convention.
 func NewSimPolicy(base string, c *Cluster) (*SimPolicy, error) {
-	var sched cluster.Scheduler
-	switch base {
-	case "", "static-rr":
-		sched = cluster.StaticRoundRobin{}
-	case "first-available":
-		sched = cluster.FirstAvailable{}
-	case "least-loaded":
-		sched = cluster.LeastLoaded{}
-	default:
-		return nil, fmt.Errorf("serve: unknown sim policy base %q (want static-rr, first-available, or least-loaded)", base)
+	e, err := policy.Lookup(base)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
-	name := "sim:" + base
+	sched := e.NewScheduler()
+	name := "sim:" + e.Name
 	if c.Problem().BackboneBandwidth > 0 {
 		sched = redirect.New(sched)
 		name += "+redirect"

@@ -1,0 +1,163 @@
+package sim
+
+import "fmt"
+
+// DecisionKind classifies when in a request's lifecycle a decision settled.
+type DecisionKind uint8
+
+const (
+	// KindArrival is the admission attempt made the moment a request
+	// arrives. Exactly one KindArrival decision exists per arriving
+	// request, in arrival order, so two runs over the same trace align
+	// decision-for-decision by (KindArrival, Seq) — the invariant the
+	// counterfactual lockstep harness is built on.
+	KindArrival DecisionKind = iota
+	// KindRetry is a queued retry settling (re-attempt or renege).
+	KindRetry
+	// KindFailover is the re-admission attempt for a session torn down by
+	// a server failure (settled as Admitted on salvage, Rejected on a
+	// tear-for-good).
+	KindFailover
+
+	numDecisionKinds
+)
+
+func (k DecisionKind) String() string {
+	switch k {
+	case KindArrival:
+		return "arrival"
+	case KindRetry:
+		return "retry"
+	case KindFailover:
+		return "failover"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Outcome is how one admission decision settled.
+type Outcome uint8
+
+const (
+	// Admitted means the request got a stream.
+	Admitted Outcome = iota
+	// Rejected means the request left the system unserved.
+	Rejected
+	// Deferred means a reject interceptor (the retry queue) took
+	// ownership; a later KindRetry decision settles the request for good.
+	Deferred
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Admitted:
+		return "admitted"
+	case Rejected:
+		return "rejected"
+	case Deferred:
+		return "deferred"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Decision is one first-class, replayable admission decision: which request
+// it settled, what the policy could have done (the feasible set), and what
+// it did. Every admit/reject/failover in a run flows through exactly one
+// Decision, delivered to every registered DecisionObserver in event order;
+// journaling a run's decisions and replaying another policy over the same
+// trace is what turns end-of-run aggregates into per-decision comparisons.
+type Decision struct {
+	// Kind says which lifecycle stage settled the decision.
+	Kind DecisionKind `json:"kind"`
+	// Seq is the decision's index within its kind. For KindArrival it is
+	// the arrival index in the run's request sequence — identical across
+	// policies replaying the same trace.
+	Seq int `json:"seq"`
+	// Time is the decision's virtual time in seconds.
+	Time float64 `json:"t"`
+	// Video is the requested catalog rank.
+	Video int `json:"video"`
+	// Outcome is how the decision settled.
+	Outcome Outcome `json:"outcome"`
+	// Server is the server whose outgoing link carries the admitted
+	// stream; -1 unless Outcome is Admitted.
+	Server int `json:"server"`
+	// Source is the replica holder feeding the stream (== Server for
+	// direct service); -1 unless Outcome is Admitted.
+	Source int `json:"source"`
+	// Redirected reports an admission that crosses the backbone.
+	Redirected bool `json:"redirected,omitempty"`
+	// Measured reports whether the request falls inside the measurement
+	// window (after warmup).
+	Measured bool `json:"measured"`
+	// Feasible lists the servers that could have served the request
+	// directly at decision time (up, holding a replica, with bandwidth and
+	// stream-slot room) — the choice set the policy decided over, recorded
+	// before the decision charged any resources. A redirecting policy may
+	// admit via the backbone even when Feasible is empty.
+	Feasible []int `json:"feasible"`
+}
+
+// Loss is the per-decision loss the regret machinery accumulates: 1 for a
+// request that left unserved, 0 for an admission. A Deferred decision has
+// no loss yet; its KindRetry settlement carries it.
+func (d Decision) Loss() float64 {
+	if d.Outcome == Rejected {
+		return 1
+	}
+	return 0
+}
+
+// Divergent reports whether two decisions for the same request settled
+// differently, and classifies why ("" when identical). It compares what a
+// counterfactual cares about — outcome, chosen server, and route — not
+// bookkeeping like Feasible or Measured.
+func (d Decision) Divergent(o Decision) string {
+	switch {
+	case d.Outcome != o.Outcome:
+		return fmt.Sprintf("outcome: %s vs %s", d.Outcome, o.Outcome)
+	case d.Outcome != Admitted:
+		return ""
+	case d.Server != o.Server:
+		return fmt.Sprintf("server: %d vs %d", d.Server, o.Server)
+	case d.Source != o.Source || d.Redirected != o.Redirected:
+		return fmt.Sprintf("route: source %d (redirected=%t) vs source %d (redirected=%t)",
+			d.Source, d.Redirected, o.Source, o.Redirected)
+	}
+	return ""
+}
+
+// DecisionObserver is an optional interface a Hook may implement to receive
+// every settled admission decision of the run. Observers run synchronously
+// in registration order, after the lifecycle events of the decision (e.g.
+// OnAdmit/OnReject) have fired. The feasible set is only computed when at
+// least one observer is registered, so runs without observers pay nothing.
+type DecisionObserver interface {
+	OnDecision(d Decision)
+}
+
+// DecisionJournal is a Hook that records every decision of one run in event
+// order — the journal the counterfactual harness aligns and diffs. Journals
+// are per-run state: parallel replications must not share one (use
+// Config.NewHooks).
+type DecisionJournal struct {
+	BaseHook
+	// Decisions accumulate in event order.
+	Decisions []Decision
+}
+
+// OnDecision implements DecisionObserver.
+func (j *DecisionJournal) OnDecision(d Decision) {
+	j.Decisions = append(j.Decisions, d)
+}
+
+// Arrivals returns the journal's KindArrival decisions in arrival order —
+// the policy-independent spine two journals align on.
+func (j *DecisionJournal) Arrivals() []Decision {
+	out := make([]Decision, 0, len(j.Decisions))
+	for _, d := range j.Decisions {
+		if d.Kind == KindArrival {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -120,6 +120,10 @@ type metricsHook struct {
 	st  *cluster.State
 }
 
+func (h *metricsHook) OnArrival(now float64, video int) {
+	h.col.Arrival()
+}
+
 func (h *metricsHook) OnAdmit(now float64, s *Session) {
 	if !s.Measured {
 		return

@@ -38,6 +38,19 @@ type run struct {
 	rejectors []RejectInterceptor
 	tearers   []TearInterceptor
 	tickers   []Ticker
+	deciders  []DecisionObserver
+
+	// decSeq numbers decisions per kind. KindArrival sequence numbers are
+	// policy-independent (one per arriving request, in arrival order), so
+	// journals from different policies over the same trace align on them.
+	decSeq [numDecisionKinds]int
+	// seeded is the run's scheduler when it (or a policy under its
+	// decorators) wants per-decision RNG streams; decRNG is the base
+	// stream those are derived from — split from the run seed by decision
+	// index, so common random numbers hold across policies even after
+	// their states diverge.
+	seeded cluster.SeededScheduler
+	decRNG *stats.RNG
 }
 
 // register adds a hook and wires up any optional interfaces it implements.
@@ -51,6 +64,9 @@ func (r *run) register(h Hook) {
 	}
 	if tk, ok := h.(Ticker); ok {
 		r.tickers = append(r.tickers, tk)
+	}
+	if ob, ok := h.(DecisionObserver); ok {
+		r.deciders = append(r.deciders, ob)
 	}
 }
 
@@ -172,21 +188,90 @@ func (r *run) startSession(now float64, video int, measured bool) (*Session, boo
 	return s, true
 }
 
+// claimDecision hands out the next sequence number of the given kind.
+func (r *run) claimDecision(kind DecisionKind) int {
+	seq := r.decSeq[kind]
+	r.decSeq[kind]++
+	return seq
+}
+
+// seedDecision installs the (kind, seq) decision-scoped RNG stream on the
+// run's seeded scheduler, immediately before the scheduler runs. Deriving
+// by decision index rather than drawing from one shared stream is what
+// keeps randomized policies paired under common random numbers: decision k
+// sees the same stream in every run at this seed, no matter how much
+// randomness earlier decisions consumed.
+func (r *run) seedDecision(kind DecisionKind, seq int) {
+	if r.seeded == nil {
+		return
+	}
+	r.seeded.SeedDecision(r.decRNG.Derive(int64(seq)*int64(numDecisionKinds) + int64(kind)))
+}
+
+// feasibleSet returns the servers that could serve video directly right
+// now — the choice set a decision record documents. It returns nil without
+// scanning when no decision observer is registered, keeping the default
+// admission path cost-free.
+func (r *run) feasibleSet(video int) []int {
+	if len(r.deciders) == 0 {
+		return nil
+	}
+	holders := r.st.Holders(video)
+	feasible := make([]int, 0, len(holders))
+	for _, s := range holders {
+		if r.st.CanServe(s, video) {
+			feasible = append(feasible, s)
+		}
+	}
+	return feasible
+}
+
+// settleDecision builds and fires the decision record for one settled
+// admission attempt; s is nil unless the outcome is Admitted. Observers run
+// after the lifecycle events of the settlement (OnAdmit/OnReject/...).
+func (r *run) settleDecision(kind DecisionKind, seq int, now float64, video int, s *Session, out Outcome, measured bool, feasible []int) {
+	if len(r.deciders) == 0 {
+		return
+	}
+	d := Decision{
+		Kind: kind, Seq: seq, Time: now, Video: video,
+		Outcome: out, Server: -1, Source: -1, Measured: measured, Feasible: feasible,
+	}
+	if s != nil {
+		d.Server = s.Server
+		d.Source = s.Server
+		d.Redirected = s.Redirected
+		if str, ok := r.st.Lookup(s.ID); ok {
+			d.Source = str.Source
+		}
+	}
+	for _, ob := range r.deciders {
+		ob.OnDecision(d)
+	}
+}
+
 // admit settles one arrival: admission, a reject interceptor taking
-// ownership (retry queue), or a rejection.
+// ownership (retry queue), or a rejection. Every arrival produces exactly
+// one KindArrival decision record, so journals align across policies.
 func (r *run) admit(now float64, video int) {
 	r.fireArrival(now, video)
 	measured := r.warm(now)
+	seq := r.claimDecision(KindArrival)
+	r.seedDecision(KindArrival, seq)
+	feasible := r.feasibleSet(video)
 	if s, ok := r.startSession(now, video, measured); ok {
 		r.fireAdmit(now, s)
+		r.settleDecision(KindArrival, seq, now, video, s, Admitted, measured, feasible)
 		return
 	}
 	for _, ic := range r.rejectors {
 		if ic.InterceptReject(now, video, measured) {
+			r.settleDecision(KindArrival, seq, now, video, nil, Deferred, measured, feasible)
 			return
 		}
 	}
 	r.fireReject(now, video, measured)
+	r.settleDecision(KindArrival, seq, now, video, nil, Rejected, measured, feasible)
 }
 
 // failServer tears down one server and settles every interrupted stream: a
@@ -201,6 +286,8 @@ func (r *run) failServer(now float64, srv int) {
 			old = &Session{ID: t.ID, Video: t.Video, Server: t.Server}
 		}
 		delete(r.sessions, t.ID)
+		seq := r.claimDecision(KindFailover)
+		feasible := r.feasibleSet(old.Video)
 		salvaged := false
 		for _, ic := range r.tearers {
 			s, ok := ic.InterceptTear(now, old)
@@ -210,11 +297,13 @@ func (r *run) failServer(now float64, srv int) {
 			r.sessions[s.ID] = s
 			r.fireSalvage(now, old, s)
 			r.departAfter(s.ID, s.End-now)
+			r.settleDecision(KindFailover, seq, now, old.Video, s, Admitted, old.Measured, feasible)
 			salvaged = true
 			break
 		}
 		if !salvaged {
 			r.fireTear(now, old)
+			r.settleDecision(KindFailover, seq, now, old.Video, nil, Rejected, old.Measured, feasible)
 		}
 	}
 }
@@ -303,20 +392,30 @@ func (h *retryHook) InterceptReject(now float64, video int, measured bool) bool 
 
 // retryLater re-queues one rejected arrival: wait the backed-off delay,
 // attempt again, renege once the next delay would exhaust the patience.
+// Each re-attempt settles one KindRetry decision — Admitted on success,
+// Deferred when it re-queues, Rejected at the renege — so the decision
+// journal carries the full settlement history of a deferred arrival.
 func (h *retryHook) retryLater(now float64, video, attempt int, waited float64, measured bool) {
 	delay, ok := h.retrier.Delay(attempt, waited)
 	if !ok {
 		h.retrier.Resolve()
 		h.r.fireRetryOutcome(now, video, false, measured)
+		seq := h.r.claimDecision(KindRetry)
+		h.r.settleDecision(KindRetry, seq, now, video, nil, Rejected, measured, h.r.feasibleSet(video))
 		return
 	}
 	h.r.mustAfter(delay, func(tt float64) {
+		seq := h.r.claimDecision(KindRetry)
+		h.r.seedDecision(KindRetry, seq)
+		feasible := h.r.feasibleSet(video)
 		if s, ok := h.r.startSession(tt, video, measured); ok {
 			h.retrier.Resolve()
 			h.r.fireAdmit(tt, s)
 			h.r.fireRetryOutcome(tt, video, true, measured)
+			h.r.settleDecision(KindRetry, seq, tt, video, s, Admitted, measured, feasible)
 			return
 		}
+		h.r.settleDecision(KindRetry, seq, tt, video, nil, Deferred, measured, feasible)
 		h.retryLater(tt, video, attempt+1, waited+delay, measured)
 	})
 }

@@ -196,6 +196,14 @@ func newRun(cfg Config) (*run, error) {
 		degrader: degrader,
 		sessions: make(map[cluster.StreamID]*Session),
 	}
+	// Randomized policies (cluster.SeededScheduler, possibly under the
+	// degrade/redirect decorators) draw per-decision RNG streams derived
+	// from their own substream of the run seed — split from the arrival,
+	// video, retry, and failure streams, so enabling them shifts no other
+	// randomness of the run.
+	if r.seeded = seededScheduler(r.sched); r.seeded != nil {
+		r.decRNG = rng.Derive(4)
+	}
 
 	// Hook registration order fixes both the event order hooks observe and
 	// the scheduling order of tickers (ties at one instant fire FIFO):
@@ -230,6 +238,23 @@ func newRun(cfg Config) (*run, error) {
 		}
 	}
 	return r, nil
+}
+
+// seededScheduler walks a scheduler's decorator chain (redirect,
+// degradation — anything exposing Unwrap) looking for a policy that wants
+// per-decision RNG streams.
+func seededScheduler(s cluster.Scheduler) cluster.SeededScheduler {
+	for s != nil {
+		if ss, ok := s.(cluster.SeededScheduler); ok {
+			return ss
+		}
+		u, ok := s.(interface{ Unwrap() cluster.Scheduler })
+		if !ok {
+			return nil
+		}
+		s = u.Unwrap()
+	}
+	return nil
 }
 
 // schedule seeds the event queue: arrivals (trace replay or generated),

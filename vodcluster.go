@@ -21,7 +21,7 @@ import (
 	"vodcluster/internal/exp"
 	"vodcluster/internal/metrics"
 	"vodcluster/internal/place"
-	"vodcluster/internal/redirect"
+	"vodcluster/internal/policy"
 	"vodcluster/internal/replicate"
 	"vodcluster/internal/sim"
 )
@@ -70,24 +70,15 @@ func PlacerByName(name string) (place.Placer, error) {
 }
 
 // SchedulerFactory resolves a scheduling policy name to a per-run
-// constructor. withRedirect wraps the base policy with backbone request
-// redirection (meaningful only when the problem defines backbone bandwidth).
+// constructor through the shared policy registry (internal/policy).
+// withRedirect wraps the base policy with backbone request redirection
+// (meaningful only when the problem defines backbone bandwidth).
 func SchedulerFactory(name string, withRedirect bool) (func() cluster.Scheduler, error) {
-	var base func() cluster.Scheduler
-	switch name {
-	case "", "static-rr":
-		base = func() cluster.Scheduler { return cluster.StaticRoundRobin{} }
-	case "first-available":
-		base = func() cluster.Scheduler { return cluster.FirstAvailable{} }
-	case "least-loaded":
-		base = func() cluster.Scheduler { return cluster.LeastLoaded{} }
-	default:
-		return nil, fmt.Errorf("vodcluster: unknown scheduler %q (want static-rr, first-available, or least-loaded)", name)
+	f, err := policy.SchedulerFactory(name, withRedirect)
+	if err != nil {
+		return nil, fmt.Errorf("vodcluster: %w", err)
 	}
-	if !withRedirect {
-		return base, nil
-	}
-	return func() cluster.Scheduler { return redirect.New(base()) }, nil
+	return f, nil
 }
 
 // BuildLayout runs replication then placement for the target replication

@@ -11,14 +11,15 @@ SERVE_BENCH ?= BENCH_serve.json
 PERF_OUT ?= /tmp/vodperf
 PERF_TOLERANCE ?= 0.10
 
-.PHONY: all build test race cover bench bench-smoke serve-smoke chaos-smoke regret-smoke perf perf-gate figures figures-smoke examples fuzz clean ci fmt-check
+.PHONY: all build test race cover bench bench-smoke serve-smoke chaos-smoke regret-smoke rebalance-smoke perf perf-gate figures figures-smoke examples fuzz clean ci fmt-check
 
 all: build test
 
 # Everything the CI workflow runs: formatting, build+vet, tests, race,
 # the one-iteration benchmark smoke pass, the live-serving smoke, the
-# fault-injection chaos smoke, and the counterfactual-harness smoke.
-ci: fmt-check build test race bench-smoke serve-smoke chaos-smoke regret-smoke
+# fault-injection chaos smoke, the counterfactual-harness smoke, and the
+# demand-drift rebalancing smoke.
+ci: fmt-check build test race bench-smoke serve-smoke chaos-smoke regret-smoke rebalance-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -68,6 +69,14 @@ chaos-smoke:
 # candidate diverges at least once — the invariants vodab's scoring leans on.
 regret-smoke:
 	$(GO) run ./cmd/vodab -policies static-rr,least-loaded -lambda 60 -runs 2 -smoke > /dev/null
+
+# The demand-drift drill under the race detector: the same mid-trace
+# popularity rotation replayed against a static daemon and one running the
+# online placement rebalancer, asserting the rebalancer migrates replicas
+# toward the shifted head, lowers post-shift rejections, stays inside its
+# copy-bandwidth budget, and leaks nothing after the drain.
+rebalance-smoke:
+	$(GO) test -race -run 'TestRebalance' -v .
 
 # Re-measure the canonical benchmarks (Fig. 4 quick sweep + serve burst)
 # and refresh the checked-in multi-run baseline.

@@ -72,6 +72,10 @@ func run() error {
 	tolerance := flag.Float64("tolerance", 2, "allowed |live−sim| rejection-rate gap in percentage points (-validate)")
 	benchOut := flag.String("bench-out", "", "write a JSON benchmark record (throughput, latency percentiles) to this file")
 	faultsPath := flag.String("faults", "", "replay this JSON fault schedule against the daemon over HTTP during the trace")
+	driftAt := flag.Float64("drift-at", 0, "re-rank the popularity curve at this virtual time (seconds); 0 disables")
+	driftRotate := flag.Int("drift-rotate", 0, "drift rank-rotation distance; 0 means half the catalog")
+	driftShuffle := flag.Bool("drift-shuffle", false, "drift with a seeded random permutation instead of a rotation")
+	driftSeed := flag.Int64("drift-seed", 1, "seed of the -drift-shuffle permutation")
 	flag.Parse()
 
 	if !*selftest && *addr == "" {
@@ -128,6 +132,13 @@ func run() error {
 	}
 	if len(tr.Requests) == 0 {
 		return fmt.Errorf("trace is empty; raise -rate or -burst")
+	}
+	drift := workload.Drift{At: *driftAt, Rotate: *driftRotate, Shuffle: *driftShuffle, Seed: *driftSeed}
+	if drift.Enabled() {
+		if tr, err = drift.Apply(tr); err != nil {
+			return err
+		}
+		fmt.Printf("drift: popularity re-ranked at t=%gs (shuffle=%v)\n", drift.At, drift.Shuffle)
 	}
 
 	base := *addr

@@ -27,6 +27,12 @@
 // -retry enables admission retry-with-backoff. POST /backend/{id}/fail,
 // POST /backend/{id}/recover, and POST /fault inject the same faults over
 // HTTP.
+//
+// Online rebalancing (DESIGN.md §14): -rebalance starts the placement
+// controller, which re-estimates per-video popularity from the admission
+// stream, periodically re-anneals the layout, and migrates replicas under
+// the -rebalance-budget bandwidth cap. GET /rebalance reports its status and
+// journal; POST /rebalance/trigger forces an immediate round.
 package main
 
 import (
@@ -49,6 +55,7 @@ import (
 	"vodcluster/internal/faults"
 	"vodcluster/internal/obs"
 	"vodcluster/internal/policy"
+	"vodcluster/internal/rebalance"
 	"vodcluster/internal/serve"
 )
 
@@ -76,6 +83,14 @@ func run() error {
 	retryOn := flag.Bool("retry", false, "enable admission retry-with-backoff (simulator resilience defaults: base 5s, factor 2, patience 120s, all virtual time)")
 	repairOn := flag.Bool("repair", false, "enable automatic re-replication of under-replicated videos after a backend crash")
 	repairBudget := flag.Float64("repair-budget", 0, "cap on total concurrent repair-copy bandwidth, bits/s (0 = per-copy reservations only)")
+	rebalanceOn := flag.Bool("rebalance", false, "enable the online placement rebalancer (re-anneals the layout from admission telemetry and migrates replicas)")
+	rebalanceInterval := flag.Float64("rebalance-interval", 0, "rebalance control-round cadence in virtual seconds (0 = default 300)")
+	rebalanceBudget := flag.Float64("rebalance-budget", 0, "cap on total concurrent migration-copy bandwidth, bits/s (0 = per-copy reservations only)")
+	rebalanceCopyRate := flag.Float64("rebalance-copy-rate", 0, "bandwidth one migration copy consumes, bits/s (0 = default 200 Mb/s)")
+	rebalanceMaxMoves := flag.Int("rebalance-max-moves", 0, "max adds and max evictions per rebalance round (0 = default 8)")
+	rebalanceAnnealSteps := flag.Int("rebalance-anneal-steps", 0, "annealing steps per rebalance round (0 = default 4000)")
+	rebalanceMinObserved := flag.Float64("rebalance-min-observed", 0, "decayed observation mass below which a round skips (0 = default 50)")
+	rebalanceSeed := flag.Int64("rebalance-seed", 0, "seed of the per-round annealing RNG streams (0 = default 1)")
 	flag.Parse()
 
 	if *listPolicies {
@@ -122,6 +137,23 @@ func run() error {
 		}
 		rep.Start()
 		log.Printf("vodserved: re-replication repairer started (budget %g bit/s)", *repairBudget)
+	}
+	if *rebalanceOn {
+		ctl, err := rebalance.New(srv, rebalance.Config{
+			Interval:         *rebalanceInterval,
+			Budget:           *rebalanceBudget,
+			CopyRate:         *rebalanceCopyRate,
+			MaxMovesPerRound: *rebalanceMaxMoves,
+			AnnealSteps:      *rebalanceAnnealSteps,
+			MinObserved:      *rebalanceMinObserved,
+			Seed:             *rebalanceSeed,
+		})
+		if err != nil {
+			return err
+		}
+		ctl.Start() // attaches to srv; srv.Shutdown stops it
+		log.Printf("vodserved: rebalancer started (interval %gs virtual, budget %g bit/s)",
+			ctl.Config().Interval, ctl.Config().Budget)
 	}
 	var sched *faults.Schedule
 	if *faultsPath != "" {

@@ -39,6 +39,7 @@ import (
 	"vodcluster/internal/report"
 	"vodcluster/internal/resilience"
 	"vodcluster/internal/sim"
+	"vodcluster/internal/workload"
 )
 
 func main() {
@@ -84,6 +85,10 @@ func run() error {
 	sweepList := flag.String("sweep", "", "comma-separated arrival rates (req/min) to sweep instead of the single -lambda run; every other knob still applies")
 	seriesList := flag.String("series", "", fmt.Sprintf("comma-separated named series for -sweep, each a scheduling policy curve over the same layout; available: %s (default: baseline)", strings.Join(sweepSeriesNames(), ", ")))
 	workers := flag.Int("workers", 0, "parallel simulations across a -sweep; 0 = GOMAXPROCS, 1 = sequential")
+	driftAt := flag.Float64("drift-at", 0, "re-rank the popularity curve at this virtual time (seconds); 0 disables; materializes the workload as a trace")
+	driftRotate := flag.Int("drift-rotate", 0, "drift rank-rotation distance; 0 means half the catalog")
+	driftShuffle := flag.Bool("drift-shuffle", false, "drift with a seeded random permutation instead of a rotation")
+	driftSeed := flag.Int64("drift-seed", 1, "seed of the -drift-shuffle permutation")
 	tracePath := flag.String("trace", "", "dump a session-lifecycle trace of the run(s) to this file (ring buffer of -trace-events)")
 	traceFormat := flag.String("trace-format", "json", "trace dump format: json | chrome (chrome://tracing / Perfetto)")
 	traceEvents := flag.Int("trace-events", obs.DefaultTraceEvents, "trace ring-buffer capacity (oldest events are overwritten)")
@@ -167,6 +172,27 @@ func run() error {
 			return err
 		}
 		cfg.NewController = func() sim.Controller { return newManager() }
+	}
+	drift := workload.Drift{At: *driftAt, Rotate: *driftRotate, Shuffle: *driftShuffle, Seed: *driftSeed}
+	if drift.Enabled() {
+		if *sweepList != "" {
+			return fmt.Errorf("-drift-at materializes a fixed trace and cannot combine with -sweep")
+		}
+		// A drift shock needs a concrete request sequence to rewrite, so the
+		// scenario's arrival process is materialized once (every replication
+		// replays the same drifted trace; the seed still drives scheduling).
+		gen, err := workload.NewGenerator(workload.Poisson{Lambda: p.ArrivalRate}, p.M(), s.Theta)
+		if err != nil {
+			return err
+		}
+		tr := gen.Generate(p.PeakPeriod, s.Seed)
+		if tr, err = drift.Apply(tr); err != nil {
+			return err
+		}
+		cfg.Trace = tr
+		cfg.Duration = tr.Meta.Duration
+		fmt.Printf("drift: popularity re-ranked at t=%gs over a %d-request trace (shuffle=%v)\n",
+			drift.At, len(tr.Requests), drift.Shuffle)
 	}
 	// Session tracing: one shared ring buffer across every replication. The
 	// tracer publishes with atomics, so sharing it between parallel runs is

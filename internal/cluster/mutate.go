@@ -110,6 +110,34 @@ func (st *State) RemoveReplica(v, s int) error {
 	return nil
 }
 
+// PinnedStreams counts active streams pinned to video v's replica on server
+// s: streams of v carried by s's outgoing link, plus redirected streams of v
+// sourced from s's copy. A replica with pinned streams must not be evicted —
+// the copy is feeding live sessions.
+func (st *State) PinnedStreams(v, s int) int {
+	n := 0
+	for _, stream := range st.streams {
+		if stream.Video == v && (stream.Server == s || stream.Source == s) {
+			n++
+		}
+	}
+	return n
+}
+
+// EvictReplica removes the replica of video v from server s only when no
+// active stream is pinned to it — the rebalancer's safe eviction, as opposed
+// to RemoveReplica, which merely stops future scheduling. The last replica
+// of a video can never be evicted.
+func (st *State) EvictReplica(v, s int) error {
+	if v < 0 || v >= st.p.M() {
+		return fmt.Errorf("cluster: no video %d", v)
+	}
+	if n := st.PinnedStreams(v, s); n > 0 {
+		return fmt.Errorf("cluster: video %d on server %d has %d pinned streams", v, s, n)
+	}
+	return st.RemoveReplica(v, s)
+}
+
 // ReserveBackbone claims bps of internal backbone bandwidth (e.g. for a
 // replica migration) and reports whether it fit.
 func (st *State) ReserveBackbone(bps float64) bool {

@@ -1,0 +1,132 @@
+// Package demand is the single decayed-demand estimator shared by the
+// sim-side dynamic-replication manager (internal/dynrep) and the live
+// placement controller (internal/rebalance), so the two control loops rank
+// videos identically from identical observations. It sits below both — it
+// must import neither the simulator nor the serving stack.
+package demand
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Estimator maintains exponentially decayed per-video demand counts: each
+// observation adds one to its video's counter, and Decay multiplies every
+// counter by the decay factor — an exponential sliding window over the
+// request stream. All methods are safe for concurrent use; the sim-side
+// manager pays one uncontended lock per call, the live admission path one
+// per observed request.
+type Estimator struct {
+	decay float64
+
+	mu     sync.Mutex
+	counts []float64
+}
+
+// NewEstimator builds an estimator over m videos with the given per-round
+// decay factor in [0, 1).
+func NewEstimator(m int, decay float64) (*Estimator, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("demand: estimator needs at least one video, got %d", m)
+	}
+	if decay < 0 || decay >= 1 {
+		return nil, fmt.Errorf("demand: decay must be in [0,1), got %g", decay)
+	}
+	return &Estimator{decay: decay, counts: make([]float64, m)}, nil
+}
+
+// Videos returns the catalog size the estimator was built for.
+func (e *Estimator) Videos() int { return len(e.counts) }
+
+// Observe records one request for video. Out-of-range videos are ignored —
+// the caller's request validation owns that error.
+func (e *Estimator) Observe(video int) {
+	if video < 0 || video >= len(e.counts) {
+		return
+	}
+	e.mu.Lock()
+	e.counts[video]++
+	e.mu.Unlock()
+}
+
+// Decay multiplies every counter by the decay factor, aging out history.
+// Control loops call it once per adjustment round, after reading the
+// counters the round's decision used.
+func (e *Estimator) Decay() {
+	e.mu.Lock()
+	for i := range e.counts {
+		e.counts[i] *= e.decay
+	}
+	e.mu.Unlock()
+}
+
+// Count returns video v's current decayed count (0 for out-of-range v).
+func (e *Estimator) Count(v int) float64 {
+	if v < 0 || v >= len(e.counts) {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counts[v]
+}
+
+// Total returns the sum of all decayed counts.
+func (e *Estimator) Total() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := 0.0
+	for _, c := range e.counts {
+		t += c
+	}
+	return t
+}
+
+// Snapshot returns a copy of the per-video counts, consistent at one instant.
+func (e *Estimator) Snapshot() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]float64(nil), e.counts...)
+}
+
+// SmoothedPopularity returns the empirical popularity of every video with
+// add-one smoothing — (count+1)/(total+M) — so cold videos keep a positive
+// floor (the catalog constraint p > 0 holds on any shadow problem built
+// from it), plus the raw total the smoothing was computed over. A total
+// below one observation means there is nothing to go on yet.
+func (e *Estimator) SmoothedPopularity() (pops []float64, total float64) {
+	counts := e.Snapshot()
+	for _, c := range counts {
+		total += c
+	}
+	denom := total + float64(len(counts))
+	pops = make([]float64, len(counts))
+	for v, c := range counts {
+		pops[v] = (c + 1) / denom
+	}
+	return pops, total
+}
+
+// Ranked pairs a video with its empirical popularity for rank ordering.
+type Ranked struct {
+	Video int
+	Pop   float64
+}
+
+// RankByPopularity orders videos most-popular-first, breaking ties by
+// video index — the deterministic ranking both control loops build their
+// shadow (rank-space) problems from, where the catalog's sorted-popularity
+// invariant must hold.
+func RankByPopularity(pops []float64) []Ranked {
+	ranked := make([]Ranked, len(pops))
+	for v, p := range pops {
+		ranked[v] = Ranked{Video: v, Pop: p}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Pop != ranked[j].Pop {
+			return ranked[i].Pop > ranked[j].Pop
+		}
+		return ranked[i].Video < ranked[j].Video
+	})
+	return ranked
+}

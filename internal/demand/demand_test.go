@@ -1,0 +1,117 @@
+package demand
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestEstimatorValidation(t *testing.T) {
+	if _, err := NewEstimator(0, 0.5); err == nil {
+		t.Fatal("zero videos accepted")
+	}
+	if _, err := NewEstimator(4, 1.0); err == nil {
+		t.Fatal("decay = 1 accepted")
+	}
+	if _, err := NewEstimator(4, -0.1); err == nil {
+		t.Fatal("negative decay accepted")
+	}
+	if _, err := NewEstimator(4, 0); err != nil {
+		t.Fatalf("decay 0 (no memory) rejected: %v", err)
+	}
+}
+
+func TestObserveCountAndDecay(t *testing.T) {
+	e, err := NewEstimator(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(0)
+	e.Observe(0)
+	e.Observe(2)
+	e.Observe(-1) // ignored
+	e.Observe(3)  // ignored
+	if got := e.Count(0); got != 2 {
+		t.Fatalf("Count(0) = %g, want 2", got)
+	}
+	if got := e.Total(); got != 3 {
+		t.Fatalf("Total = %g, want 3", got)
+	}
+	e.Decay()
+	if got := e.Count(0); got != 0.5 {
+		t.Fatalf("Count(0) after decay = %g, want 0.5", got)
+	}
+	if got := e.Count(2); got != 0.25 {
+		t.Fatalf("Count(2) after decay = %g, want 0.25", got)
+	}
+	if got := e.Count(1); got != 0 {
+		t.Fatalf("Count(1) = %g, want 0", got)
+	}
+}
+
+func TestSmoothedPopularitySumsToOne(t *testing.T) {
+	e, err := NewEstimator(5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		e.Observe(1)
+	}
+	e.Observe(4)
+	pops, total := e.SmoothedPopularity()
+	if total != 8 {
+		t.Fatalf("total = %g, want 8", total)
+	}
+	sum := 0.0
+	for _, p := range pops {
+		if p <= 0 {
+			t.Fatalf("popularity floor violated: %v", pops)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("popularities sum to %g, want 1", sum)
+	}
+	// Add-one smoothing: (7+1)/(8+5) for the hot video.
+	if want := 8.0 / 13.0; math.Abs(pops[1]-want) > 1e-12 {
+		t.Fatalf("pops[1] = %g, want %g", pops[1], want)
+	}
+}
+
+func TestRankByPopularityDeterministicTieBreak(t *testing.T) {
+	ranked := RankByPopularity([]float64{0.2, 0.4, 0.2, 0.2})
+	if ranked[0].Video != 1 {
+		t.Fatalf("hottest video ranked %d", ranked[0].Video)
+	}
+	// Ties resolve by ascending video index.
+	for i, want := range []int{1, 0, 2, 3} {
+		if ranked[i].Video != want {
+			t.Fatalf("rank %d = video %d, want %d", i, ranked[i].Video, want)
+		}
+	}
+}
+
+func TestEstimatorConcurrentObserve(t *testing.T) {
+	e, err := NewEstimator(8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.Observe(g)
+				if i%100 == 0 {
+					_ = e.Snapshot()
+					_, _ = e.SmoothedPopularity()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := e.Total(); got != 8000 {
+		t.Fatalf("Total = %g after concurrent observes, want 8000", got)
+	}
+}

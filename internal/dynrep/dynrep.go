@@ -21,6 +21,7 @@ import (
 
 	"vodcluster/internal/cluster"
 	"vodcluster/internal/core"
+	"vodcluster/internal/demand"
 	"vodcluster/internal/replicate"
 )
 
@@ -50,8 +51,8 @@ type Manager struct {
 	p    *core.Problem
 	opts Options
 
-	counts   []float64
-	inflight map[int]bool // videos currently being copied
+	est      *demand.Estimator // shared decayed-demand estimator
+	inflight map[int]bool      // videos currently being copied
 
 	migrations int
 	evictions  int
@@ -99,10 +100,15 @@ func (opts Options) withDefaults(p *core.Problem) (Options, error) {
 
 // newManager builds a Manager from already-validated options.
 func newManager(p *core.Problem, opts Options) *Manager {
+	est, err := demand.NewEstimator(p.M(), opts.Decay)
+	if err != nil {
+		// withDefaults already validated the problem and decay range.
+		panic(err)
+	}
 	return &Manager{
 		p:        p,
 		opts:     opts,
-		counts:   make([]float64, p.M()),
+		est:      est,
 		inflight: make(map[int]bool),
 	}
 }
@@ -141,21 +147,18 @@ func (m *Manager) Evictions() int { return m.evictions }
 func (m *Manager) Skipped() int { return m.skipped }
 
 // Observe implements the controller hook: record one request.
-func (m *Manager) Observe(video int) {
-	if video >= 0 && video < len(m.counts) {
-		m.counts[video]++
-	}
-}
+func (m *Manager) Observe(video int) { m.est.Observe(video) }
 
 // Interval implements the controller hook.
 func (m *Manager) Interval() float64 { return m.opts.IntervalSec }
 
 // Tick implements the controller hook: one adjustment round.
 func (m *Manager) Tick(now float64, st *cluster.State, schedule func(delay float64, fn func(now float64))) {
-	defer m.decay()
+	defer m.est.Decay()
 	if m.p.BackboneBandwidth <= 0 {
 		return // migrations need the backbone
 	}
+	counts := m.est.Snapshot()
 	target := m.targetVector(st)
 	if target == nil {
 		return
@@ -172,7 +175,7 @@ func (m *Manager) Tick(now float64, st *cluster.State, schedule func(delay float
 			continue
 		}
 		if have := st.Replicas(v); target[v] > have {
-			deficits = append(deficits, deficit{video: v, want: target[v], heat: m.counts[v]})
+			deficits = append(deficits, deficit{video: v, want: target[v], heat: counts[v]})
 		}
 	}
 	sort.Slice(deficits, func(i, j int) bool {
@@ -198,36 +201,18 @@ func (m *Manager) Tick(now float64, st *cluster.State, schedule func(delay float
 // targetVector recomputes the desired replica counts from the empirical
 // demand ranking. It returns nil when there is nothing to go on yet.
 func (m *Manager) targetVector(st *cluster.State) []int {
-	totalObs := 0.0
-	for _, c := range m.counts {
-		totalObs += c
-	}
+	// Empirical popularity with add-one smoothing so cold videos keep a
+	// floor (and the catalog constraint p > 0 holds).
+	pops, totalObs := m.est.SmoothedPopularity()
 	if totalObs < 1 {
 		return nil
 	}
-	// Empirical popularity with add-one smoothing so cold videos keep a
-	// floor (and the catalog constraint p > 0 holds).
-	m_ := m.p.M()
-	type ranked struct {
-		video int
-		pop   float64
-	}
-	rankedVideos := make([]ranked, m_)
-	denom := totalObs + float64(m_)
-	for v := 0; v < m_; v++ {
-		rankedVideos[v] = ranked{video: v, pop: (m.counts[v] + 1) / denom}
-	}
-	sort.Slice(rankedVideos, func(i, j int) bool {
-		if rankedVideos[i].pop != rankedVideos[j].pop {
-			return rankedVideos[i].pop > rankedVideos[j].pop
-		}
-		return rankedVideos[i].video < rankedVideos[j].video
-	})
+	rankedVideos := demand.RankByPopularity(pops)
 	// Shadow problem with the empirical ranking.
 	shadow := m.p.Clone()
 	for rank := range shadow.Catalog {
 		shadow.Catalog[rank].ID = rank
-		shadow.Catalog[rank].Popularity = rankedVideos[rank].pop
+		shadow.Catalog[rank].Popularity = rankedVideos[rank].Pop
 	}
 	budget, err := shadow.ClusterReplicaCapacity()
 	if err != nil {
@@ -243,9 +228,9 @@ func (m *Manager) targetVector(st *cluster.State) []int {
 	if err != nil {
 		return nil
 	}
-	target := make([]int, m_)
+	target := make([]int, m.p.M())
 	for rank, r := range byRank {
-		target[rankedVideos[rank].video] = r
+		target[rankedVideos[rank].Video] = r
 	}
 	return target
 }
@@ -325,7 +310,7 @@ func (m *Manager) evictOne(s int, target []int, st *cluster.State) bool {
 	victim := -1
 	for v := 0; v < m.p.M(); v++ {
 		if st.Replicas(v) > target[v] && st.Replicas(v) > 1 && contains(st.Holders(v), s) {
-			if victim == -1 || m.counts[v] < m.counts[victim] {
+			if victim == -1 || m.est.Count(v) < m.est.Count(victim) {
 				victim = v
 			}
 		}
@@ -338,12 +323,6 @@ func (m *Manager) evictOne(s int, target []int, st *cluster.State) bool {
 	}
 	m.evictions++
 	return true
-}
-
-func (m *Manager) decay() {
-	for i := range m.counts {
-		m.counts[i] *= m.opts.Decay
-	}
 }
 
 func contains(xs []int, x int) bool {

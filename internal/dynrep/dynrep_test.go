@@ -108,7 +108,7 @@ func TestNewFactoryValidatesUpFrontAndBuildsFreshManagers(t *testing.T) {
 	}
 	// Per-run state must not leak between the factory's products.
 	a.Observe(0)
-	if b.counts[0] != 0 {
+	if b.est.Count(0) != 0 {
 		t.Fatal("observation leaked into a sibling Manager")
 	}
 }
@@ -282,12 +282,12 @@ func TestCountersAndDecay(t *testing.T) {
 	m.Observe(0)
 	m.Observe(-5)        // out of range: ignored
 	m.Observe(p.M() + 3) // out of range: ignored
-	if m.counts[0] != 2 {
-		t.Fatalf("counts[0] = %g", m.counts[0])
+	if got := m.est.Count(0); got != 2 {
+		t.Fatalf("counts[0] = %g", got)
 	}
 	var fs fakeScheduler
 	m.Tick(0, st, fs.schedule)
-	if m.counts[0] != 0.5 {
-		t.Fatalf("decay not applied: %g", m.counts[0])
+	if got := m.est.Count(0); got != 0.5 {
+		t.Fatalf("decay not applied: %g", got)
 	}
 }

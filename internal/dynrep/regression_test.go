@@ -1,0 +1,120 @@
+package dynrep
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"vodcluster/internal/cluster"
+	"vodcluster/internal/core"
+	"vodcluster/internal/replicate"
+)
+
+// referenceTarget re-implements the Manager's pre-refactor private target
+// computation — its own counts array, add-one smoothing, pop-desc/video-asc
+// ranking, shadow problem, budget clamp — so the regression test can prove
+// the shared-estimator refactor changed no decision.
+func referenceTarget(counts []float64, p *core.Problem, rep replicate.Replicator) []int {
+	totalObs := 0.0
+	for _, c := range counts {
+		totalObs += c
+	}
+	if totalObs < 1 {
+		return nil
+	}
+	m := p.M()
+	type ranked struct {
+		video int
+		pop   float64
+	}
+	rankedVideos := make([]ranked, m)
+	denom := totalObs + float64(m)
+	for v := 0; v < m; v++ {
+		rankedVideos[v] = ranked{video: v, pop: (counts[v] + 1) / denom}
+	}
+	sort.Slice(rankedVideos, func(i, j int) bool {
+		if rankedVideos[i].pop != rankedVideos[j].pop {
+			return rankedVideos[i].pop > rankedVideos[j].pop
+		}
+		return rankedVideos[i].video < rankedVideos[j].video
+	})
+	shadow := p.Clone()
+	for rank := range shadow.Catalog {
+		shadow.Catalog[rank].ID = rank
+		shadow.Catalog[rank].Popularity = rankedVideos[rank].pop
+	}
+	budget, err := shadow.ClusterReplicaCapacity()
+	if err != nil {
+		return nil
+	}
+	if max := shadow.M() * shadow.N(); budget > max {
+		budget = max
+	}
+	if budget < shadow.M() {
+		return nil
+	}
+	byRank, err := rep.Replicate(shadow, budget)
+	if err != nil {
+		return nil
+	}
+	target := make([]int, m)
+	for rank, r := range byRank {
+		target[rankedVideos[rank].video] = r
+	}
+	return target
+}
+
+// TestTargetVectorUnchangedByEstimatorRefactor drives a Manager and a
+// bitwise reference of the old private-counter logic through the same
+// randomized observation stream, comparing the decayed counters and the
+// target replica vector after every round. Identical targets mean identical
+// deficits, and the counters feeding heat ordering and eviction coldness
+// match exactly, so the Manager's decisions are unchanged.
+func TestTargetVectorUnchangedByEstimatorRefactor(t *testing.T) {
+	p, layout := shiftProblem(t)
+	st, err := cluster.New(p, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const decay = 0.5
+	m, err := New(p, Options{Decay: decay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]float64, p.M())
+	rng := rand.New(rand.NewSource(7))
+
+	for round := 0; round < 12; round++ {
+		// A drifting hot spot plus background noise, identical on both sides.
+		hot := (round / 3) % p.M()
+		for i := 0; i < 200; i++ {
+			v := hot
+			if rng.Float64() < 0.3 {
+				v = rng.Intn(p.M())
+			}
+			m.Observe(v)
+			ref[v]++
+		}
+		got := m.targetVector(st)
+		want := referenceTarget(ref, p, m.opts.Replicator)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: target length %d vs reference %d", round, len(got), len(want))
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("round %d: target[%d] = %d, reference says %d", round, v, got[v], want[v])
+			}
+		}
+		// Decay both sides the way Tick does, and require bitwise-equal
+		// counters (same adds, same multiplies, same order).
+		m.est.Decay()
+		for i := range ref {
+			ref[i] *= decay
+		}
+		for v := 0; v < p.M(); v++ {
+			if c := m.est.Count(v); c != ref[v] {
+				t.Fatalf("round %d: counts[%d] = %g, reference %g", round, v, c, ref[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package rebalance
+
+import (
+	"testing"
+	"time"
+
+	"vodcluster/internal/core"
+	"vodcluster/internal/place"
+	"vodcluster/internal/replicate"
+	"vodcluster/internal/serve"
+)
+
+// testServer builds a live daemon over a small planned layout: 12 videos,
+// 4 servers with room for a few extra replicas each, a backbone for copies.
+func testServer(t *testing.T) *serve.Server {
+	t.Helper()
+	c, err := core.NewCatalog(12, 1.0, 4*core.Mbps, 90*core.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Problem{
+		Catalog:            c,
+		NumServers:         4,
+		StoragePerServer:   7 * c[0].SizeBytes(),
+		BandwidthPerServer: 40 * core.Mbps,
+		ArrivalRate:        2.0 / core.Minute,
+		PeakPeriod:         90 * core.Minute,
+		BackboneBandwidth:  core.Gbps,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	budget, err := p.TargetTotalReplicas(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := replicate.BoundedAdams{}.Replicate(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := place.SmallestLoadFirst{}.Place(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(p, layout, serve.Config{Compress: 1800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Shutdown)
+	return srv
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	srv := testServer(t)
+	if _, err := New(srv, Config{Interval: -1}); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+	if _, err := New(srv, Config{Decay: 1.5}); err == nil {
+		t.Fatal("decay >= 1 accepted")
+	}
+	if _, err := New(srv, Config{Budget: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	ctl, err := New(srv, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ctl.Status()
+	if !st.Enabled || st.LayoutVersion != 1 || st.Rounds != 0 {
+		t.Fatalf("fresh status %+v", st)
+	}
+}
+
+// TestControllerMigratesTowardObservedDemand drives the full pipeline:
+// a skewed admission stream, a triggered round, an incremental re-anneal,
+// and migration copies landing as new replicas — under the bandwidth budget
+// and with the layout version advancing.
+func TestControllerMigratesTowardObservedDemand(t *testing.T) {
+	srv := testServer(t)
+	cl := srv.Cluster()
+	const budget = 400 * core.Mbps
+	ctl, err := New(srv, Config{
+		Interval:         300,
+		MinObserved:      10,
+		AnnealSteps:      3000,
+		CopyRate:         200 * core.Mbps,
+		Budget:           budget,
+		MaxMovesPerRound: 4,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Start()
+	if srv.Rebalancer() == nil {
+		t.Fatal("Start did not attach the controller")
+	}
+
+	before := 0
+	for v := 0; v < cl.Videos(); v++ {
+		before += len(cl.Holders(v))
+	}
+
+	// The cold tail suddenly takes the traffic: observe a strong shift and
+	// keep the signal alive across decay while polling for migrations.
+	hot := cl.Videos() - 1
+	deadline := time.Now().Add(15 * time.Second)
+	for ctl.Migrations() == 0 && time.Now().Before(deadline) {
+		for i := 0; i < 300; i++ {
+			ctl.Observe(hot)
+		}
+		for i := 0; i < 60; i++ {
+			ctl.Observe(i % cl.Videos())
+		}
+		ctl.Trigger()
+		time.Sleep(150 * time.Millisecond)
+	}
+	if ctl.Migrations() == 0 {
+		t.Fatalf("no migrations landed; status %+v", ctl.Status())
+	}
+	if ctl.Rounds() == 0 {
+		t.Fatal("migrations without a completed round")
+	}
+	if got := cl.LayoutVersion(); got <= 1 {
+		t.Fatalf("layout version %d did not advance", got)
+	}
+	if peak := ctl.PeakCopyRate(); peak > budget+1e-6 {
+		t.Fatalf("peak copy rate %g exceeded budget %g", peak, budget)
+	}
+	after := 0
+	for v := 0; v < cl.Videos(); v++ {
+		after += len(cl.Holders(v))
+	}
+	if after <= before && ctl.Evictions() == 0 {
+		t.Fatalf("replica count did not move: %d -> %d", before, after)
+	}
+	found := false
+	for _, a := range ctl.Journal() {
+		if a.Action == "copy-complete" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("journal has no completed copy")
+	}
+	// Stop is idempotent and leaves no goroutines behind (the race detector
+	// and t.Cleanup(srv.Shutdown) audit the rest).
+	ctl.Stop()
+	ctl.Stop()
+}
+
+// TestControllerSkipsWithoutSignal pins the quiet-cluster behavior: a
+// triggered round with almost no observations must not touch the layout.
+func TestControllerSkipsWithoutSignal(t *testing.T) {
+	srv := testServer(t)
+	ctl, err := New(srv, Config{MinObserved: 1000, Interval: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Start()
+	ctl.Observe(0)
+	ctl.Trigger()
+	time.Sleep(200 * time.Millisecond)
+	if ctl.Rounds() != 0 || ctl.Migrations() != 0 {
+		t.Fatalf("controller acted on %g observations: %+v", 1.0, ctl.Status())
+	}
+	if ctl.Skipped() == 0 {
+		t.Fatal("skipped round not counted")
+	}
+	if got := srv.Cluster().LayoutVersion(); got != 1 {
+		t.Fatalf("layout version moved to %d on a skipped round", got)
+	}
+	ctl.Stop()
+}

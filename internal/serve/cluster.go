@@ -76,6 +76,8 @@ type Cluster struct {
 
 	backboneCap  int64
 	backboneUsed atomic.Int64
+
+	layoutVersion atomic.Int64 // bumped on every holder-list change
 }
 
 // NewCluster validates the layout against the problem and builds the
@@ -106,6 +108,7 @@ func NewCluster(p *core.Problem, layout *core.Layout) (*Cluster, error) {
 	for s := range c.capBps {
 		c.capBps[s] = int64(p.BandwidthOf(s))
 	}
+	c.layoutVersion.Store(1) // the seeded layout is version 1
 	return c, nil
 }
 
@@ -134,9 +137,53 @@ func (c *Cluster) AddHolder(v, s int) bool {
 		hs := append(append([]int(nil), *old...), s)
 		sort.Ints(hs)
 		if c.holders[v].CompareAndSwap(old, &hs) {
+			c.layoutVersion.Add(1)
 			return true
 		}
 	}
+}
+
+// RemoveHolder deregisters video v's replica on server s at runtime — the
+// rebalancer's eviction landing. The shrunken holder list is republished
+// atomically, like AddHolder's growth. It reports false when s holds no copy
+// or when the copy is the video's last: the directory never goes empty, so
+// scheduling always has at least one candidate (constraint Eq. 7).
+func (c *Cluster) RemoveHolder(v, s int) bool {
+	for {
+		old := c.holders[v].Load()
+		i := -1
+		for j, h := range *old {
+			if h == s {
+				i = j
+				break
+			}
+		}
+		if i < 0 || len(*old) <= 1 {
+			return false
+		}
+		hs := append([]int(nil), (*old)[:i]...)
+		hs = append(hs, (*old)[i+1:]...)
+		if c.holders[v].CompareAndSwap(old, &hs) {
+			c.layoutVersion.Add(1)
+			return true
+		}
+	}
+}
+
+// LayoutVersion returns the monotone layout version: 1 for the seeded
+// layout, bumped on every holder-list change (repair copies, rebalance
+// migrations, evictions). Clients diffing GET /layout poll it to detect
+// placement churn cheaply.
+func (c *Cluster) LayoutVersion() int64 { return c.layoutVersion.Load() }
+
+// TotalReplicatedBytes sums the storage footprint of every replica currently
+// in the directory.
+func (c *Cluster) TotalReplicatedBytes() float64 {
+	total := 0.0
+	for v := range c.holders {
+		total += float64(len(c.Holders(v))) * c.p.Catalog[v].SizeBytes()
+	}
+	return total
 }
 
 // LiveReplicas counts the replicas of v on backends that are not Down —

@@ -30,3 +30,14 @@ var (
 	// ErrBackendNotDown rejects a recovery of a backend that never crashed.
 	ErrBackendNotDown = errors.New("serve: backend is not down")
 )
+
+// Sentinel errors of replica eviction (the rebalancer's migration path).
+var (
+	// ErrReplicaPinned defers an eviction while live sessions stream from
+	// the replica; the rebalancer retries after the sessions drain.
+	ErrReplicaPinned = errors.New("serve: replica has pinned sessions")
+	// ErrLastReplica refuses to evict a video's only live copy.
+	ErrLastReplica = errors.New("serve: refusing to evict the last live replica")
+	// ErrNoReplica rejects an eviction of a copy the server does not hold.
+	ErrNoReplica = errors.New("serve: server holds no replica of the video")
+)

@@ -29,6 +29,16 @@ type layoutBody struct {
 	CapacityBps  []int64 `json:"capacity_bps"`
 	Replicas     []int   `json:"replicas"`
 	VideoServers [][]int `json:"video_servers"`
+	// LayoutVersion is the monotone replica-directory version: 1 at startup,
+	// bumped on every repair copy, migration, or eviction.
+	LayoutVersion int64 `json:"layout_version"`
+	// LiveReplicas is the current per-video replica count in the live
+	// directory — unlike Replicas (the planned counts), it tracks runtime
+	// mutation by the repairer and rebalancer.
+	LiveReplicas []int `json:"live_replicas"`
+	// ReplicatedBytes is the total storage footprint of every replica in the
+	// live directory.
+	ReplicatedBytes float64 `json:"replicated_bytes"`
 }
 
 // healthBody is the GET /healthz response.
@@ -60,6 +70,8 @@ type repairsBody struct {
 //	POST   /backend/{id}/recover   recover a crashed backend
 //	POST   /fault                  apply one fault-schedule event (JSON body)
 //	GET    /repairs                re-replication journal and counters
+//	GET    /rebalance              placement-controller status and journal
+//	POST   /rebalance/trigger      request an immediate rebalance round
 //	GET    /metrics                Prometheus text exposition
 //	GET    /healthz                liveness + drain status + backend states
 //	GET    /layout                 the layout being served
@@ -75,6 +87,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /backend/{id}/recover", s.handleRecover)
 	mux.HandleFunc("POST /fault", s.handleFault)
 	mux.HandleFunc("GET /repairs", s.handleRepairs)
+	mux.HandleFunc("GET /rebalance", s.handleRebalance)
+	mux.HandleFunc("POST /rebalance/trigger", s.handleRebalanceTrigger)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /layout", s.handleLayout)
@@ -208,6 +222,25 @@ func (s *Server) handleRepairs(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+func (s *Server) handleRebalance(w http.ResponseWriter, _ *http.Request) {
+	r := s.Rebalancer()
+	if r == nil {
+		writeJSON(w, http.StatusOK, RebalanceStatus{LayoutVersion: s.c.LayoutVersion()})
+		return
+	}
+	writeJSON(w, http.StatusOK, r.Status())
+}
+
+func (s *Server) handleRebalanceTrigger(w http.ResponseWriter, _ *http.Request) {
+	r := s.Rebalancer()
+	if r == nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "rebalancer not enabled"})
+		return
+	}
+	r.Trigger()
+	writeJSON(w, http.StatusAccepted, errorBody{Outcome: "triggered"})
+}
+
 func (s *Server) handleTraceDump(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	var err error
@@ -303,18 +336,23 @@ func (s *Server) handleLayout(w http.ResponseWriter, _ *http.Request) {
 		caps[b] = s.c.Capacity(b)
 	}
 	servers := make([][]int, s.c.Videos())
+	liveReplicas := make([]int, s.c.Videos())
 	for v := range servers {
 		servers[v] = append([]int(nil), s.c.Holders(v)...)
+		liveReplicas[v] = len(servers[v])
 	}
 	writeJSON(w, http.StatusOK, layoutBody{
-		Servers:      s.c.Servers(),
-		Videos:       s.c.Videos(),
-		Degree:       s.c.Layout().ReplicationDegree(),
-		Policy:       s.pol.Name(),
-		Compress:     s.compress,
-		BackboneBps:  int64(s.c.Problem().BackboneBandwidth),
-		CapacityBps:  caps,
-		Replicas:     append([]int(nil), s.c.Layout().Replicas...),
-		VideoServers: servers,
+		Servers:         s.c.Servers(),
+		Videos:          s.c.Videos(),
+		Degree:          s.c.Layout().ReplicationDegree(),
+		Policy:          s.pol.Name(),
+		Compress:        s.compress,
+		BackboneBps:     int64(s.c.Problem().BackboneBandwidth),
+		CapacityBps:     caps,
+		Replicas:        append([]int(nil), s.c.Layout().Replicas...),
+		VideoServers:    servers,
+		LayoutVersion:   s.c.LayoutVersion(),
+		LiveReplicas:    liveReplicas,
+		ReplicatedBytes: s.c.TotalReplicatedBytes(),
 	})
 }

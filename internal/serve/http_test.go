@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -172,6 +173,135 @@ func TestHTTPHealthzAndLayout(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
 		t.Fatalf("healthz during drain: status %d body %+v", resp.StatusCode, h)
+	}
+}
+
+// stubRebalancer is a canned serve.Rebalancer for exercising the HTTP
+// surface without spinning up the real controller.
+type stubRebalancer struct {
+	triggers atomic.Int64
+	status   RebalanceStatus
+}
+
+func (r *stubRebalancer) Observe(int) {}
+func (r *stubRebalancer) Trigger() bool {
+	r.triggers.Add(1)
+	return true
+}
+func (r *stubRebalancer) Status() RebalanceStatus { return r.status }
+func (r *stubRebalancer) Stop()                   {}
+
+func TestHTTPRebalanceAndLayoutVersion(t *testing.T) {
+	srv, hs := newTestServer(t, Config{})
+	getLayout := func() layoutBody {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/layout")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var l layoutBody
+		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	l := getLayout()
+	if l.LayoutVersion != 1 {
+		t.Fatalf("fresh layout version %d, want 1", l.LayoutVersion)
+	}
+	wantBytes := 0.0
+	p := srv.Cluster().Problem()
+	for v, servers := range l.VideoServers {
+		if l.LiveReplicas[v] != len(servers) {
+			t.Fatalf("live_replicas[%d] = %d, holders %v", v, l.LiveReplicas[v], servers)
+		}
+		wantBytes += float64(len(servers)) * p.Catalog[v].SizeBytes()
+	}
+	if l.ReplicatedBytes != wantBytes {
+		t.Fatalf("replicated_bytes = %g, want %g", l.ReplicatedBytes, wantBytes)
+	}
+
+	// No controller attached: status is a zero-ish snapshot, trigger conflicts.
+	resp, err := http.Get(hs.URL + "/rebalance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RebalanceStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Enabled || st.LayoutVersion != 1 {
+		t.Fatalf("detached rebalance status: %+v", st)
+	}
+	resp, err = http.Post(hs.URL+"/rebalance/trigger", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("trigger without controller: status %d, want 409", resp.StatusCode)
+	}
+
+	// Attached: trigger lands on the controller, status passes through.
+	stub := &stubRebalancer{status: RebalanceStatus{Enabled: true, Rounds: 3, LayoutVersion: 1}}
+	srv.AttachRebalancer(stub)
+	resp, err = http.Post(hs.URL+"/rebalance/trigger", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("trigger: status %d, want 202", resp.StatusCode)
+	}
+	if stub.triggers.Load() != 1 {
+		t.Fatalf("triggers = %d, want 1", stub.triggers.Load())
+	}
+	resp, err = http.Get(hs.URL + "/rebalance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.Enabled || st.Rounds != 3 {
+		t.Fatalf("attached rebalance status: %+v", st)
+	}
+
+	// A directory mutation bumps the version and the live replica view.
+	v := 1
+	dst := -1
+	holders := srv.Cluster().Holders(v)
+	for s := 0; s < srv.Cluster().Servers(); s++ {
+		held := false
+		for _, h := range holders {
+			if h == s {
+				held = true
+			}
+		}
+		if !held {
+			dst = s
+			break
+		}
+	}
+	if dst == -1 {
+		t.Fatalf("video %d already everywhere: %v", v, holders)
+	}
+	if err := srv.LandReplica(v, dst); err != nil {
+		t.Fatal(err)
+	}
+	l2 := getLayout()
+	if l2.LayoutVersion != 2 {
+		t.Fatalf("layout version after migration = %d, want 2", l2.LayoutVersion)
+	}
+	if l2.LiveReplicas[v] != len(holders)+1 {
+		t.Fatalf("live_replicas[%d] = %d, want %d", v, l2.LiveReplicas[v], len(holders)+1)
+	}
+	if l2.ReplicatedBytes != wantBytes+p.Catalog[v].SizeBytes() {
+		t.Fatalf("replicated_bytes = %g after migration, want %g", l2.ReplicatedBytes, wantBytes+p.Catalog[v].SizeBytes())
 	}
 }
 

@@ -41,6 +41,10 @@ type Metrics struct {
 	probeOK         atomic.Int64 // successful health probes
 	probeFail       atomic.Int64 // failed health probes
 
+	rebalanceRounds atomic.Int64 // completed rebalance control rounds
+	migrations      atomic.Int64 // rebalance copies landed as new replicas
+	evictions       atomic.Int64 // surplus replicas removed by rebalancing
+
 	latCount atomic.Int64
 	latSumNs atomic.Int64
 	latBins  [len(latencyBuckets) + 1]atomic.Int64 // +Inf overflow last
@@ -123,6 +127,15 @@ func (m *Metrics) BackendFailed() { m.backendFailures.Add(1) }
 // ReReplicated records one repair copy landing as a new replica.
 func (m *Metrics) ReReplicated() { m.rereplications.Add(1) }
 
+// RebalanceRound records one completed rebalance control round.
+func (m *Metrics) RebalanceRound() { m.rebalanceRounds.Add(1) }
+
+// Migrated records one rebalance copy landing as a new replica.
+func (m *Metrics) Migrated() { m.migrations.Add(1) }
+
+// Evicted records one surplus replica removed by the rebalancer.
+func (m *Metrics) Evicted() { m.evictions.Add(1) }
+
 // Probe records one health-probe result.
 func (m *Metrics) Probe(ok bool) {
 	if ok {
@@ -174,6 +187,15 @@ func (m *Metrics) Render(w io.Writer, c *Cluster, active int64, policy string) {
 	fmt.Fprintf(w, "# HELP vod_rereplications_total Repair copies landed as new replicas.\n")
 	fmt.Fprintf(w, "# TYPE vod_rereplications_total counter\n")
 	fmt.Fprintf(w, "vod_rereplications_total %d\n", m.rereplications.Load())
+	fmt.Fprintf(w, "# HELP vod_rebalance_rounds_total Completed rebalance control rounds.\n")
+	fmt.Fprintf(w, "# TYPE vod_rebalance_rounds_total counter\n")
+	fmt.Fprintf(w, "vod_rebalance_rounds_total %d\n", m.rebalanceRounds.Load())
+	fmt.Fprintf(w, "# HELP vod_migrations_total Rebalance copies landed as new replicas.\n")
+	fmt.Fprintf(w, "# TYPE vod_migrations_total counter\n")
+	fmt.Fprintf(w, "vod_migrations_total %d\n", m.migrations.Load())
+	fmt.Fprintf(w, "# HELP vod_evictions_total Surplus replicas removed by rebalancing.\n")
+	fmt.Fprintf(w, "# TYPE vod_evictions_total counter\n")
+	fmt.Fprintf(w, "vod_evictions_total %d\n", m.evictions.Load())
 	fmt.Fprintf(w, "# HELP vod_health_probes_total Health-probe results.\n")
 	fmt.Fprintf(w, "# TYPE vod_health_probes_total counter\n")
 	fmt.Fprintf(w, "vod_health_probes_total{result=\"ok\"} %d\n", m.probeOK.Load())
@@ -218,6 +240,9 @@ func (m *Metrics) Render(w io.Writer, c *Cluster, active int64, policy string) {
 	fmt.Fprintf(w, "# HELP vod_backbone_used_bps Internal backbone bandwidth in use.\n")
 	fmt.Fprintf(w, "# TYPE vod_backbone_used_bps gauge\n")
 	fmt.Fprintf(w, "vod_backbone_used_bps %d\n", c.BackboneUsed())
+	fmt.Fprintf(w, "# HELP vod_layout_version Monotone layout version; bumps on every replica-directory change.\n")
+	fmt.Fprintf(w, "# TYPE vod_layout_version gauge\n")
+	fmt.Fprintf(w, "vod_layout_version %d\n", c.LayoutVersion())
 
 	fmt.Fprintf(w, "# HELP vod_admission_latency_seconds Admission decision latency.\n")
 	fmt.Fprintf(w, "# TYPE vod_admission_latency_seconds histogram\n")

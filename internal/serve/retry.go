@@ -85,6 +85,7 @@ func (s *Server) OpenRetry(ctx context.Context, v int) (SessionInfo, Outcome, er
 		s.met.BadVideo()
 		return SessionInfo{}, OutcomeRejected, fmt.Errorf("serve: video %d outside catalog of %d", v, s.c.Videos())
 	}
+	s.observeDemand(v) // once per request, however many retry attempts follow
 	start := time.Now()
 	info, outcome := s.attempt(v, arriveNS, false)
 	if outcome != OutcomeRejected {

@@ -121,6 +121,7 @@ type Server struct {
 
 	hc  atomic.Pointer[HealthChecker] // attached health-check loop, if any
 	rep atomic.Pointer[Repairer]      // attached re-replication repairer, if any
+	reb atomic.Pointer[Rebalancer]    // attached placement controller, if any
 	inj atomic.Pointer[faults.Injector]
 
 	wg sync.WaitGroup // live session goroutines
@@ -237,6 +238,7 @@ func (s *Server) Open(v int) (SessionInfo, Outcome, error) {
 		s.met.BadVideo()
 		return SessionInfo{}, OutcomeRejected, fmt.Errorf("serve: video %d outside catalog of %d", v, s.c.Videos())
 	}
+	s.observeDemand(v)
 	info, outcome := s.attempt(v, arriveNS, true)
 	return info, outcome, nil
 }
@@ -544,6 +546,9 @@ func (s *Server) Shutdown() {
 	}
 	if r := s.rep.Load(); r != nil {
 		r.Stop()
+	}
+	if rp := s.reb.Load(); rp != nil {
+		(*rp).Stop()
 	}
 	s.baseStop()
 	s.wg.Wait()

@@ -145,4 +145,13 @@ func (p *SimPolicy) AddReplica(v, s int) error {
 	return p.st.AddReplica(v, s)
 }
 
+// RemoveReplica mirrors a rebalance eviction into the locked state. The
+// state-side EvictReplica re-checks pinned streams and the last-copy rule —
+// defense in depth behind the serve-layer checks.
+func (p *SimPolicy) RemoveReplica(v, s int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st.EvictReplica(v, s)
+}
+
 var _ Policy = (*SimPolicy)(nil)

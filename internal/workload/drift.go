@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"fmt"
+
+	"vodcluster/internal/stats"
+)
+
+// Drift is a mid-trace popularity shock: at virtual time At every later
+// request is remapped through a rank permutation, so content that was cold
+// when the layout was planned suddenly carries the traffic. It composes with
+// any arrival shape (Poisson, MMPP, flash crowds) because it rewrites an
+// already-generated trace rather than the generator — the drill the online
+// rebalancer exists for.
+type Drift struct {
+	// At is the shock time in the trace's virtual seconds; <= 0 disables.
+	At float64
+	// Rotate is the rank-rotation distance; 0 defaults to half the catalog
+	// (hottest titles become mid-pack and vice versa). Ignored under Shuffle.
+	Rotate int
+	// Shuffle replaces the rotation with a seeded random permutation.
+	Shuffle bool
+	// Seed drives the Shuffle permutation (default 1).
+	Seed int64
+}
+
+// Enabled reports whether the drift does anything.
+func (d Drift) Enabled() bool { return d.At > 0 }
+
+// Mapping returns the deterministic rank permutation the drift applies to a
+// catalog of m videos.
+func (d Drift) Mapping(m int) []int {
+	if d.Shuffle {
+		seed := d.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		return stats.NewRNG(seed).Perm(m)
+	}
+	k := d.Rotate
+	if k == 0 {
+		k = m / 2
+	}
+	return RotationMapping(m, k)
+}
+
+// Apply returns the drifted copy of tr (or tr itself when disabled).
+func (d Drift) Apply(tr *Trace) (*Trace, error) {
+	if !d.Enabled() {
+		return tr, nil
+	}
+	if tr.Meta.Videos <= 0 {
+		return nil, fmt.Errorf("workload: drift needs a trace with a declared catalog size")
+	}
+	return tr.Remap(d.Mapping(tr.Meta.Videos), d.At)
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+)
+
+func driftTrace(t *testing.T) *Trace {
+	t.Helper()
+	gen, err := NewGenerator(NewPoissonPerMinute(60), 10, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.Generate(600, 11)
+}
+
+func TestDriftDisabledIsIdentity(t *testing.T) {
+	tr := driftTrace(t)
+	out, err := Drift{}.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != tr {
+		t.Fatal("disabled drift rewrote the trace")
+	}
+}
+
+func TestDriftRotationShiftsOnlyAfterShock(t *testing.T) {
+	tr := driftTrace(t)
+	d := Drift{At: 300, Rotate: 3}
+	out, err := d.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Requests) != len(tr.Requests) {
+		t.Fatalf("request count changed: %d -> %d", len(tr.Requests), len(out.Requests))
+	}
+	for i, r := range tr.Requests {
+		got := out.Requests[i]
+		if got.Time != r.Time {
+			t.Fatalf("request %d time moved: %g -> %g", i, r.Time, got.Time)
+		}
+		want := r.Video
+		if r.Time >= 300 {
+			want = (r.Video + 3) % 10
+		}
+		if got.Video != want {
+			t.Fatalf("request %d (t=%g): video %d -> %d, want %d", i, r.Time, r.Video, got.Video, want)
+		}
+	}
+}
+
+func TestDriftDefaultRotationIsHalfCatalog(t *testing.T) {
+	m := Drift{At: 1}.Mapping(10)
+	for i, v := range m {
+		if v != (i+5)%10 {
+			t.Fatalf("default mapping[%d] = %d, want %d", i, v, (i+5)%10)
+		}
+	}
+}
+
+func TestDriftShuffleIsASeededPermutation(t *testing.T) {
+	d := Drift{At: 1, Shuffle: true, Seed: 9}
+	m1 := d.Mapping(16)
+	m2 := d.Mapping(16)
+	seen := make([]bool, 16)
+	for _, v := range m1 {
+		if v < 0 || v >= 16 || seen[v] {
+			t.Fatalf("not a permutation: %v", m1)
+		}
+		seen[v] = true
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatal("same seed produced different permutations")
+		}
+	}
+	m3 := Drift{At: 1, Shuffle: true, Seed: 10}.Mapping(16)
+	same := true
+	for i := range m1 {
+		if m1[i] != m3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical permutations")
+	}
+}

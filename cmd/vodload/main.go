@@ -63,6 +63,7 @@ func run() error {
 	scenarioPath := flag.String("scenario", "", "JSON scenario for the layout (selftest/validate); empty uses the paper defaults")
 	planPath := flag.String("plan", "", "plan file for the layout (selftest/validate)")
 	policy := flag.String("policy", "least-loaded", "admission policy of the in-process daemon (selftest)")
+	shards := flag.Int("shards", 1, "admission dispatch shards of the in-process daemon (selftest); 1 runs the single-queue engine")
 	tracePath := flag.String("trace", "", "replay this trace file instead of generating arrivals")
 	rate := flag.Float64("rate", 8000, "generated load: admission decisions per wall second")
 	burst := flag.Float64("burst", 1, "generated load: burst length in wall seconds")
@@ -145,14 +146,14 @@ func run() error {
 	if *selftest {
 		// A fault drill needs the daemon to heal itself, so the repairer
 		// rides along exactly when a schedule is loaded.
-		srv, stop, baseURL, err := startInProcess(p, layout, *policy, *compress, sched != nil)
+		srv, stop, baseURL, err := startInProcess(p, layout, *policy, *compress, *shards, sched != nil)
 		if err != nil {
 			return err
 		}
 		defer stop()
 		defer srv.Shutdown()
 		base = baseURL
-		fmt.Printf("selftest daemon: %s (policy %s, compress %gx)\n", base, srv.PolicyName(), srv.Compress())
+		fmt.Printf("selftest daemon: %s (policy %s, compress %gx, %d shards)\n", base, srv.PolicyName(), srv.Compress(), srv.Shards())
 	}
 
 	client := serve.NewClient(base)
@@ -204,7 +205,7 @@ func run() error {
 	}
 
 	if *benchOut != "" {
-		if err := writeBench(*benchOut, tr, rep, sched, *compress, *policy, *seed, *rate, *burst); err != nil {
+		if err := writeBench(*benchOut, tr, rep, sched, *compress, *policy, *seed, *rate, *burst, *shards); err != nil {
 			return err
 		}
 		fmt.Printf("benchmark record written to %s\n", *benchOut)
@@ -301,8 +302,8 @@ func printReport(tr *workload.Trace, rep *serve.Report, sched *faults.Schedule, 
 // use. withRepair attaches and starts the re-replication repairer (at the
 // simulator-parity defaults) so a scripted crash heals the same way a
 // sim.Run with Resilience.Repair does.
-func startInProcess(p *core.Problem, layout *core.Layout, policy string, compress float64, withRepair bool) (*serve.Server, func(), string, error) {
-	srv, err := serve.New(p, layout, serve.Config{Policy: policy, Compress: compress})
+func startInProcess(p *core.Problem, layout *core.Layout, policy string, compress float64, shards int, withRepair bool) (*serve.Server, func(), string, error) {
+	srv, err := serve.New(p, layout, serve.Config{Policy: policy, Compress: compress, Shards: shards})
 	if err != nil {
 		return nil, nil, "", err
 	}
@@ -436,7 +437,7 @@ func simSchedulerFor(policy string, backbone bool) (func() cluster.Scheduler, er
 // (BENCH_serve.json in CI) so serving throughput stays comparable across
 // revisions. The embedded manifest pins the environment the numbers came
 // from (git SHA, CPU, GOMAXPROCS, seed, flags).
-func writeBench(path string, tr *workload.Trace, rep *serve.Report, sched *faults.Schedule, compress float64, policy string, seed int64, rate, burst float64) error {
+func writeBench(path string, tr *workload.Trace, rep *serve.Report, sched *faults.Schedule, compress float64, policy string, seed int64, rate, burst float64, shards int) error {
 	man := obs.NewManifest()
 	man.Seed = seed
 	man.Flags = map[string]string{
@@ -444,6 +445,7 @@ func writeBench(path string, tr *workload.Trace, rep *serve.Report, sched *fault
 		"compress": fmt.Sprint(compress),
 		"rate":     fmt.Sprint(rate),
 		"burst":    fmt.Sprint(burst),
+		"shards":   fmt.Sprint(shards),
 	}
 	if sched != nil {
 		man.Flags["faults"] = fmt.Sprintf("%d events", len(sched.Events))
@@ -487,17 +489,31 @@ func writeBench(path string, tr *workload.Trace, rep *serve.Report, sched *fault
 		LatencyMaxMs:               rep.LatencyQuantile(1).Seconds() * 1e3,
 		VirtualSeconds:             tr.Meta.Duration,
 	}
-	f, err := os.Create(path)
+	buf, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rec); err != nil {
-		f.Close()
+	var flat map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &flat); err != nil {
 		return err
 	}
-	return f.Close()
+	// A checked-in baseline may carry a `scaling` section merged in by
+	// `vodperf -bench scale -merge`. The replay only re-measures the flat
+	// keys, so carry the sweep over — otherwise every serve-smoke refresh
+	// would silently strip the section and disarm the scale gate.
+	if prev, err := os.ReadFile(path); err == nil {
+		var old map[string]json.RawMessage
+		if json.Unmarshal(prev, &old) == nil {
+			if sc, ok := old["scaling"]; ok {
+				flat["scaling"] = sc
+			}
+		}
+	}
+	out, err := json.MarshalIndent(flat, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // loadLayout mirrors vodserved's layout resolution so both tools agree on

@@ -73,6 +73,7 @@ func run() error {
 	policyName := flag.String("policy", "least-loaded", fmt.Sprintf("admission policy: one of %v", serve.PolicyNames()))
 	listPolicies := flag.Bool("list-policies", false, "print the admission-policy registry and exit")
 	compress := flag.Float64("compress", 1, "time-compression factor: a D-second video holds bandwidth for D/compress wall seconds")
+	shards := flag.Int("shards", 1, "admission dispatch shards (DESIGN.md §15); 1 runs the single-queue engine, >1 partitions backends across shard owners for multi-core admission")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for active sessions")
 	pprofOn := flag.Bool("pprof", true, "mount the net/http/pprof profiling endpoints under /debug/pprof/")
 	traceEvents := flag.Int("trace", 0, "enable session tracing with a ring buffer of this many events (0 = off); dump at GET /debug/trace")
@@ -106,7 +107,7 @@ func run() error {
 	if *traceEvents > 0 {
 		tracer = obs.NewTracer(*traceEvents)
 	}
-	cfg := serve.Config{Policy: *policyName, Compress: *compress, Tracer: tracer}
+	cfg := serve.Config{Policy: *policyName, Compress: *compress, Tracer: tracer, Shards: *shards}
 	if *retryOn {
 		cfg.Retry = &serve.RetryConfig{}
 	}
@@ -183,8 +184,8 @@ func run() error {
 	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
-	log.Printf("vodserved: serving %d videos on %d backends at %s (policy %s, compress %gx)",
-		p.M(), p.N(), ln.Addr(), srv.PolicyName(), srv.Compress())
+	log.Printf("vodserved: serving %d videos on %d backends at %s (policy %s, compress %gx, %d shards)",
+		p.M(), p.N(), ln.Addr(), srv.PolicyName(), srv.Compress(), srv.Shards())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

@@ -22,6 +22,12 @@ type BenchMetric struct {
 	Samples        []float64 `json:"samples"`
 	Mean           float64   `json:"mean"`
 	Stddev         float64   `json:"stddev"`
+	// Gomaxprocs is part of the comparison key: the GOMAXPROCS the samples
+	// were measured at. CompareBench refuses to compare two metrics measured
+	// at different core counts — throughput recorded on one core is not a
+	// baseline for a four-core runner. Zero (records predating the field)
+	// matches anything.
+	Gomaxprocs int `json:"gomaxprocs,omitempty"`
 }
 
 // NewBenchMetric summarizes samples into a metric.
@@ -40,6 +46,45 @@ func NewBenchMetric(name, unit string, higherIsBetter, gate bool, samples []floa
 type BenchRecord struct {
 	Manifest   Manifest      `json:"manifest"`
 	Benchmarks []BenchMetric `json:"benchmarks"`
+}
+
+// ScalingLevel is one GOMAXPROCS point of the sharded-dispatch scaling sweep
+// (cmd/vodperf -bench scale): closed-loop admission throughput at that core
+// count, the speedup over the 1-core level, and parallel efficiency
+// (speedup / cores). HwCapped marks levels above the recording host's CPU
+// count: the number is measured but meaningless as a scaling claim, so it
+// never gates.
+type ScalingLevel struct {
+	Gomaxprocs      int     `json:"gomaxprocs"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	Speedup         float64 `json:"speedup"`
+	Efficiency      float64 `json:"efficiency"`
+	HwCapped        bool    `json:"hw_capped,omitempty"`
+}
+
+// Scaling is the `scaling` section of BENCH_serve.json: the GOMAXPROCS sweep
+// of the sharded dispatch engine.
+type Scaling struct {
+	Shards int            `json:"shards"`
+	Levels []ScalingLevel `json:"levels"`
+}
+
+// ScalingMetrics converts a scaling section into comparable metrics: one
+// gated throughput metric per non-capped level (keyed by its core count) plus
+// a report-only efficiency metric. The loader and cmd/vodperf share this so a
+// flat BENCH_serve.json and a fresh sweep compare against each other.
+func ScalingMetrics(sc Scaling) []BenchMetric {
+	ms := make([]BenchMetric, 0, 2*len(sc.Levels))
+	for _, l := range sc.Levels {
+		m := NewBenchMetric(fmt.Sprintf("scale_decisions_per_sec_g%d", l.Gomaxprocs),
+			"decisions/s", true, !l.HwCapped, []float64{l.DecisionsPerSec})
+		m.Gomaxprocs = l.Gomaxprocs
+		e := NewBenchMetric(fmt.Sprintf("scale_efficiency_g%d", l.Gomaxprocs),
+			"", true, false, []float64{l.Efficiency})
+		e.Gomaxprocs = l.Gomaxprocs
+		ms = append(ms, m, e)
+	}
+	return ms
 }
 
 // WriteFile persists the record as indented JSON.
@@ -92,9 +137,24 @@ func LoadBenchFile(path string) (*BenchRecord, error) {
 	}
 	for _, def := range flatMetrics {
 		if v, ok := flat[def.key].(float64); ok {
-			rec.Benchmarks = append(rec.Benchmarks,
-				NewBenchMetric(def.name, def.unit, def.higherIsBetter, def.gate, []float64{v}))
+			m := NewBenchMetric(def.name, def.unit, def.higherIsBetter, def.gate, []float64{v})
+			// The recording manifest pins the core count the flat numbers
+			// came from; stamping it onto each metric makes the comparison
+			// refuse cross-core-count baselines instead of silently passing.
+			m.Gomaxprocs = rec.Manifest.GOMAXPROCS
+			rec.Benchmarks = append(rec.Benchmarks, m)
 		}
+	}
+	if raw, ok := flat["scaling"]; ok {
+		var sc Scaling
+		buf, err := json.Marshal(raw)
+		if err == nil {
+			err = json.Unmarshal(buf, &sc)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: %s has a malformed scaling section: %w", path, err)
+		}
+		rec.Benchmarks = append(rec.Benchmarks, ScalingMetrics(sc)...)
 	}
 	if len(rec.Benchmarks) == 0 {
 		return nil, fmt.Errorf("obs: %s holds no recognized benchmark metrics", path)
@@ -132,12 +192,18 @@ type Delta struct {
 	// from the new record — treated as a failure so a benchmark cannot be
 	// silently dropped.
 	MissingNew bool
+	// CoreMismatch marks the two sides as measured at different GOMAXPROCS —
+	// the comparison is refused (a gated metric fails) rather than scored,
+	// because a throughput delta across core counts measures the runner, not
+	// the code.
+	CoreMismatch bool
 }
 
 // CompareBench compares a new record against a baseline at the given
 // relative tolerance (0.10 = a gated metric may be up to 10% worse plus the
 // noise margin). It returns one Delta per baseline metric and whether any
-// gated metric regressed or went missing.
+// gated metric regressed, went missing, or was measured at a different core
+// count than its baseline.
 func CompareBench(old, new *BenchRecord, tolerance float64) ([]Delta, bool) {
 	byName := make(map[string]BenchMetric, len(new.Benchmarks))
 	for _, m := range new.Benchmarks {
@@ -157,6 +223,14 @@ func CompareBench(old, new *BenchRecord, tolerance float64) ([]Delta, bool) {
 			continue
 		}
 		d.New = nm.Mean
+		if om.Gomaxprocs != 0 && nm.Gomaxprocs != 0 && om.Gomaxprocs != nm.Gomaxprocs {
+			d.CoreMismatch = true
+			if om.Gate {
+				failed = true
+			}
+			deltas = append(deltas, d)
+			continue
+		}
 		if om.Mean != 0 {
 			d.Pct = (nm.Mean - om.Mean) / math.Abs(om.Mean)
 			if om.HigherIsBetter {

@@ -39,6 +39,9 @@ type layoutBody struct {
 	// ReplicatedBytes is the total storage footprint of every replica in the
 	// live directory.
 	ReplicatedBytes float64 `json:"replicated_bytes"`
+	// Shards is the number of dispatch shards the daemon runs (1 = legacy
+	// single-queue path).
+	Shards int `json:"shards"`
 }
 
 // healthBody is the GET /healthz response.
@@ -310,7 +313,7 @@ func (s *Server) ApplyFault(e faults.Event) error {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.Render(w, s.c, s.Active(), s.pol.Name())
+	s.met.Render(w, s.c, s.Active(), s.PolicyName())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -345,7 +348,7 @@ func (s *Server) handleLayout(w http.ResponseWriter, _ *http.Request) {
 		Servers:         s.c.Servers(),
 		Videos:          s.c.Videos(),
 		Degree:          s.c.Layout().ReplicationDegree(),
-		Policy:          s.pol.Name(),
+		Policy:          s.PolicyName(),
 		Compress:        s.compress,
 		BackboneBps:     int64(s.c.Problem().BackboneBandwidth),
 		CapacityBps:     caps,
@@ -354,5 +357,6 @@ func (s *Server) handleLayout(w http.ResponseWriter, _ *http.Request) {
 		LayoutVersion:   s.c.LayoutVersion(),
 		LiveReplicas:    liveReplicas,
 		ReplicatedBytes: s.c.TotalReplicatedBytes(),
+		Shards:          s.Shards(),
 	})
 }

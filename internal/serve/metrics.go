@@ -45,6 +45,9 @@ type Metrics struct {
 	migrations      atomic.Int64 // rebalance copies landed as new replicas
 	evictions       atomic.Int64 // surplus replicas removed by rebalancing
 
+	snapshotConflicts atomic.Int64 // snapshot-and-verify admissions retried on a stale shard version
+	shards            atomic.Int64 // dispatch shards in use (1 = legacy single-queue daemon)
+
 	latCount atomic.Int64
 	latSumNs atomic.Int64
 	latBins  [len(latencyBuckets) + 1]atomic.Int64 // +Inf overflow last
@@ -68,7 +71,9 @@ func NewMetrics(maxDepth int) *Metrics {
 	if maxDepth < bins {
 		bins = maxDepth
 	}
-	return &Metrics{queueDepth: obs.NewHist(0, float64(maxDepth), bins)}
+	m := &Metrics{queueDepth: obs.NewHist(0, float64(maxDepth), bins)}
+	m.shards.Store(1)
+	return m
 }
 
 // ObserveQueueDepth records the active-session count seen by one admission
@@ -136,6 +141,17 @@ func (m *Metrics) Migrated() { m.migrations.Add(1) }
 // Evicted records one surplus replica removed by the rebalancer.
 func (m *Metrics) Evicted() { m.evictions.Add(1) }
 
+// SnapshotConflict records one admission attempt that read a shard snapshot,
+// decided, and found the shard's version moved before the decision committed.
+func (m *Metrics) SnapshotConflict() { m.snapshotConflicts.Add(1) }
+
+// SnapshotConflicts returns the snapshot-and-verify retry count so far.
+func (m *Metrics) SnapshotConflicts() int64 { return m.snapshotConflicts.Load() }
+
+// SetShards records how many dispatch shards the daemon runs (1 = legacy
+// single-queue path).
+func (m *Metrics) SetShards(n int) { m.shards.Store(int64(n)) }
+
 // Probe records one health-probe result.
 func (m *Metrics) Probe(ok bool) {
 	if ok {
@@ -196,6 +212,12 @@ func (m *Metrics) Render(w io.Writer, c *Cluster, active int64, policy string) {
 	fmt.Fprintf(w, "# HELP vod_evictions_total Surplus replicas removed by rebalancing.\n")
 	fmt.Fprintf(w, "# TYPE vod_evictions_total counter\n")
 	fmt.Fprintf(w, "vod_evictions_total %d\n", m.evictions.Load())
+	fmt.Fprintf(w, "# HELP vod_snapshot_conflicts_total Admissions retried because a shard snapshot went stale before commit.\n")
+	fmt.Fprintf(w, "# TYPE vod_snapshot_conflicts_total counter\n")
+	fmt.Fprintf(w, "vod_snapshot_conflicts_total %d\n", m.snapshotConflicts.Load())
+	fmt.Fprintf(w, "# HELP vod_dispatch_shards Dispatch shards in use (1 = single-queue daemon).\n")
+	fmt.Fprintf(w, "# TYPE vod_dispatch_shards gauge\n")
+	fmt.Fprintf(w, "vod_dispatch_shards %d\n", m.shards.Load())
 	fmt.Fprintf(w, "# HELP vod_health_probes_total Health-probe results.\n")
 	fmt.Fprintf(w, "# TYPE vod_health_probes_total counter\n")
 	fmt.Fprintf(w, "vod_health_probes_total{result=\"ok\"} %d\n", m.probeOK.Load())

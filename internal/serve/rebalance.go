@@ -82,6 +82,11 @@ func (s *Server) LandReplica(v, b int) error {
 	if b < 0 || b >= s.c.Servers() {
 		return &BackendRangeError{Backend: b, Servers: s.c.Servers()}
 	}
+	if s.eng != nil {
+		// Sharded dispatch: the landing routes through b's shard owner so it
+		// serializes with that shard's admission stream.
+		return s.eng.landReplica(v, b)
+	}
 	if s.c.State(b) == BackendDown {
 		return ErrBackendDown
 	}
@@ -104,6 +109,9 @@ func (s *Server) LandReplica(v, b int) error {
 // b: sessions streaming v from b's outgoing link plus redirected sessions of
 // v sourced from b's copy. A pinned replica must not be evicted.
 func (s *Server) PinnedSessions(v, b int) int {
+	if s.eng != nil {
+		return s.eng.pinnedSessions(v, b)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
@@ -127,6 +135,11 @@ func (s *Server) EvictReplica(v, b int) error {
 	}
 	if b < 0 || b >= s.c.Servers() {
 		return &BackendRangeError{Backend: b, Servers: s.c.Servers()}
+	}
+	if s.eng != nil {
+		// Sharded dispatch: the eviction runs on b's shard owner, exclusive
+		// with every admission that could pin the replica on this shard.
+		return s.eng.evictReplica(v, b)
 	}
 	if !holds(s.c, v, b) {
 		return ErrNoReplica

@@ -349,7 +349,7 @@ func (r *Repairer) settleCopy(v, src, dst int, finished bool) {
 		abort("source died mid-copy")
 	case c.State(dst) == BackendDown:
 		abort("destination died mid-copy")
-	case !c.AddHolder(v, dst):
+	case !r.s.landRepair(v, dst):
 		abort("destination already holds a replica")
 	default:
 		if m, ok := r.s.pol.(interface{ AddReplica(v, s int) error }); ok {

@@ -56,13 +56,16 @@ type SessionInfo struct {
 	ExpiresInS float64 `json:"expires_in_s"`
 }
 
-// session is the server-side record: the live grant plus the cancel handle
-// of the session goroutine's context.
+// session is the server-side record: the live grant plus the lifetime
+// handle of whichever engine owns it — the cancel handle of the session
+// goroutine's context on the single-shard path, the expiry deadline the
+// owning shard's heap fires on under sharded dispatch.
 type session struct {
-	id     int64
-	video  int
-	grant  Grant
-	cancel context.CancelFunc
+	id       int64
+	video    int
+	grant    Grant
+	cancel   context.CancelFunc
+	deadline time.Time
 }
 
 // Config tunes a Server beyond the problem/layout pair.
@@ -95,6 +98,13 @@ type Config struct {
 	// failing immediately. Nil disables retry; see RetryConfig for the
 	// tunables, whose defaults mirror the simulator's resilience policy.
 	Retry *RetryConfig
+	// Shards partitions the cluster's servers into that many admission
+	// shards, each owned by one dispatcher goroutine draining its queue in
+	// batches and committing admissions onto its own servers (DESIGN.md
+	// §15). 0 or 1 keeps the original single-shard engine — the
+	// bit-identical code path the live-vs-sim smoke cross-checks validate.
+	// Values above the server count are clamped to it.
+	Shards int
 }
 
 // Server is the live dispatch engine. Create with New; all exported methods
@@ -118,6 +128,7 @@ type Server struct {
 	draining atomic.Bool
 
 	retry *retrier // nil unless Config.Retry enabled admission retry
+	eng   *engine  // nil unless Config.Shards enabled sharded dispatch
 
 	hc  atomic.Pointer[HealthChecker] // attached health-check loop, if any
 	rep atomic.Pointer[Repairer]      // attached re-replication repairer, if any
@@ -133,9 +144,15 @@ func New(p *core.Problem, layout *core.Layout, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	pol, err := NewPolicy(cfg.Policy, c)
-	if err != nil {
-		return nil, err
+	var pol Policy
+	if cfg.Shards <= 1 {
+		// The sharded engine replaces the Policy object wholesale (rankers
+		// plus owner-side commits), so it is only constructed on the
+		// single-shard path.
+		pol, err = NewPolicy(cfg.Policy, c)
+		if err != nil {
+			return nil, err
+		}
 	}
 	compress := cfg.Compress
 	if compress == 0 {
@@ -157,10 +174,22 @@ func New(p *core.Problem, layout *core.Layout, cfg Config) (*Server, error) {
 		baseStop:   stop,
 		sessions:   make(map[int64]*session),
 	}
+	if cfg.Shards > 1 {
+		eng, err := newEngine(s, cfg.Shards, cfg.Policy)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		s.eng = eng
+	}
 	if cfg.Retry != nil {
 		r, err := newRetrier(s, *cfg.Retry)
 		if err != nil {
 			stop()
+			s.wg.Wait()
+			if s.eng != nil {
+				s.eng.wait()
+			}
 			return nil, err
 		}
 		s.retry = r
@@ -203,13 +232,21 @@ func (s *Server) Metrics() *Metrics { return s.met }
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // PolicyName reports the active admission policy.
-func (s *Server) PolicyName() string { return s.pol.Name() }
+func (s *Server) PolicyName() string {
+	if s.eng != nil {
+		return s.eng.name
+	}
+	return s.pol.Name()
+}
 
 // Compress reports the time-compression factor sessions run under.
 func (s *Server) Compress() float64 { return s.compress }
 
 // Active returns the number of live sessions.
 func (s *Server) Active() int64 {
+	if s.eng != nil {
+		return s.activeN.Load()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return int64(len(s.sessions))
@@ -250,6 +287,9 @@ func (s *Server) Open(v int) (SessionInfo, Outcome, error) {
 // inflate the request counters. Accepted and draining outcomes are always
 // final and always recorded here.
 func (s *Server) attempt(v int, arriveNS int64, settleReject bool) (SessionInfo, Outcome) {
+	if s.eng != nil {
+		return s.eng.attempt(v, arriveNS, settleReject)
+	}
 	start := time.Now()
 	if s.admitDelay > 0 {
 		time.Sleep(s.admitDelay)
@@ -331,6 +371,9 @@ func (s *Server) finish(sess *session, natural bool) {
 // Close ends session id early (the client hung up). It reports whether the
 // session was live.
 func (s *Server) Close(id int64) bool {
+	if s.eng != nil {
+		return s.eng.close(id)
+	}
 	s.mu.Lock()
 	sess, ok := s.sessions[id]
 	s.mu.Unlock()
@@ -339,6 +382,17 @@ func (s *Server) Close(id int64) bool {
 	}
 	sess.cancel() // the session goroutine settles it via finish
 	return true
+}
+
+// landRepair publishes a repaired replica of video v on backend dst; the
+// sharded engine routes the landing through dst's shard owner so it
+// serializes with that shard's admission stream. It reports whether the copy
+// became a new replica (false: dst already held one).
+func (s *Server) landRepair(v, dst int) bool {
+	if s.eng != nil {
+		return s.eng.landRepair(v, dst)
+	}
+	return s.c.AddHolder(v, dst)
 }
 
 // claimState moves backend b into target (BackendDraining or BackendDown)
@@ -416,6 +470,9 @@ func (s *Server) FailBackend(b int) (failedOver, dropped int, err error) {
 // sessions another backend's eviction concurrently failed over *onto* b
 // after its reservation but before our snapshot.
 func (s *Server) evictSessions(b int, cause string) (failedOver, dropped int) {
+	if s.eng != nil {
+		return s.eng.evictSessions(b, cause)
+	}
 	for {
 		s.mu.Lock()
 		var affected []*session
@@ -522,6 +579,9 @@ func (s *Server) RecoverBackend(b int) error {
 // force-canceled so their reservations still release before return.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.eng != nil {
+		return s.eng.drain(ctx)
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -552,4 +612,7 @@ func (s *Server) Shutdown() {
 	}
 	s.baseStop()
 	s.wg.Wait()
+	if s.eng != nil {
+		s.eng.wait()
+	}
 }

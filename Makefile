@@ -19,12 +19,16 @@ PERF_TOLERANCE ?= 0.10
 # over 1 whenever the host actually has 4 CPUs.
 SCALE_MAX ?= 4
 MIN_SPEEDUP ?= 2.5
+# Ingress-gate knob: batched HTTP admission through the sharded ingress must
+# reach at least this multiple of the baseline's open-loop
+# serve_decisions_per_sec on the same core count (DESIGN.md §16).
+MIN_HTTP_MULT ?= 10
 # Static-analysis tool pins; the targets run them via `go run pkg@version`,
 # so the module cache (restored by CI) is the only install step.
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race cover bench bench-smoke serve-smoke chaos-smoke regret-smoke rebalance-smoke perf perf-gate scale-gate staticcheck govulncheck figures figures-smoke examples fuzz clean ci fmt-check
+.PHONY: all build test race cover bench bench-smoke serve-smoke chaos-smoke regret-smoke rebalance-smoke perf perf-gate scale-gate ingress-gate staticcheck govulncheck figures figures-smoke examples fuzz clean ci fmt-check
 
 all: build test
 
@@ -106,13 +110,16 @@ perf:
 # measurements run at GOMAXPROCS=1 to match the core count the baselines
 # were recorded at (the comparison refuses a mismatch); compare reports are
 # kept under $(PERF_OUT) so CI can attach them as artifacts. The serve
-# comparison excludes the baseline's scale_* metrics — the scaling sweep is
-# scale-gate's job, and a serve-smoke record legitimately carries none.
+# comparison excludes the baseline's scale_* and http_* metrics — those
+# sections belong to scale-gate and ingress-gate, and a serve-smoke record
+# legitimately carries neither. The allocation guard asserts the zero-alloc
+# admission contract before any throughput is measured.
 perf-gate:
 	mkdir -p $(PERF_OUT)
+	GOMAXPROCS=1 $(GO) test -run TestAdmissionPathAllocs -count=1 ./internal/serve/
 	GOMAXPROCS=1 $(GO) run ./cmd/vodload -selftest -rate 8000 -burst 1 -faults testdata/faults_smoke.json -bench-out $(PERF_OUT)/BENCH_serve.json
 	GOMAXPROCS=1 $(GO) run ./cmd/vodperf -runs 3 -out $(PERF_OUT)/BENCH_perf.json
-	$(GO) run ./cmd/vodperf -compare BENCH_serve.json $(PERF_OUT)/BENCH_serve.json -tolerance $(PERF_TOLERANCE) -exclude scale_ | tee $(PERF_OUT)/compare_serve.txt
+	$(GO) run ./cmd/vodperf -compare BENCH_serve.json $(PERF_OUT)/BENCH_serve.json -tolerance $(PERF_TOLERANCE) -exclude scale_,http_ | tee $(PERF_OUT)/compare_serve.txt
 	$(GO) run ./cmd/vodperf -compare BENCH_perf.json $(PERF_OUT)/BENCH_perf.json -tolerance $(PERF_TOLERANCE) | tee $(PERF_OUT)/compare_perf.txt
 
 # The multi-core scaling gate (DESIGN.md §15): sweep the sharded dispatch
@@ -125,6 +132,19 @@ scale-gate:
 	mkdir -p $(PERF_OUT)
 	$(GO) run ./cmd/vodperf -bench scale -runs 3 -scale-max $(SCALE_MAX) -min-speedup $(MIN_SPEEDUP) -out $(PERF_OUT)/BENCH_scale.json
 	$(GO) run ./cmd/vodperf -compare BENCH_serve.json $(PERF_OUT)/BENCH_scale.json -tolerance $(PERF_TOLERANCE) -metrics scale_ | tee $(PERF_OUT)/compare_scale.txt
+
+# The HTTP ingress gate (DESIGN.md §16): the alloc guard first, then a
+# closed-loop benchmark of the sharded zero-alloc admission path — batched
+# and single round trips over persistent fast connections — pinned to one
+# core like every other gated measurement. The run itself enforces
+# ≥$(MIN_HTTP_MULT)× the checked-in baseline's open-loop
+# serve_decisions_per_sec, and the record is additionally compared against
+# the baseline's http_* metrics when the baseline carries them.
+ingress-gate:
+	mkdir -p $(PERF_OUT)
+	GOMAXPROCS=1 $(GO) test -run TestAdmissionPathAllocs -count=1 ./internal/serve/
+	GOMAXPROCS=1 $(GO) run ./cmd/vodperf -bench http -runs 3 -min-http-mult $(MIN_HTTP_MULT) -http-baseline BENCH_serve.json -out $(PERF_OUT)/BENCH_http.json | tee $(PERF_OUT)/ingress_report.txt
+	$(GO) run ./cmd/vodperf -compare BENCH_serve.json $(PERF_OUT)/BENCH_http.json -tolerance $(PERF_TOLERANCE) -metrics http_ | tee $(PERF_OUT)/compare_http.txt
 
 # Static analysis beyond go vet, at pinned tool versions. Both tools resolve
 # through the Go module cache, so CI's setup-go cache makes repeat runs
@@ -157,6 +177,8 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/config/
 	$(GO) test -run=Fuzz -fuzz=FuzzTraceLoad -fuzztime=$(FUZZTIME) ./internal/workload/
 	$(GO) test -run=Fuzz -fuzz=FuzzApportion -fuzztime=$(FUZZTIME) ./internal/apportion/
+	$(GO) test -run=Fuzz -fuzz=FuzzWireParse -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -run=Fuzz -fuzz=FuzzIngressConn -fuzztime=$(FUZZTIME) ./internal/serve/
 
 clean:
 	rm -f cover.out

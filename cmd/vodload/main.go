@@ -64,6 +64,8 @@ func run() error {
 	planPath := flag.String("plan", "", "plan file for the layout (selftest/validate)")
 	policy := flag.String("policy", "least-loaded", "admission policy of the in-process daemon (selftest)")
 	shards := flag.Int("shards", 1, "admission dispatch shards of the in-process daemon (selftest); 1 runs the single-queue engine")
+	listeners := flag.Int("listeners", 0, "sharded ingress accept loops of the in-process daemon (selftest); 0 serves the plain net/http mux")
+	conns := flag.Int("conns", 0, "persistent fast connections the replay drives; 0 picks 4×GOMAXPROCS clamped to [8,64]")
 	tracePath := flag.String("trace", "", "replay this trace file instead of generating arrivals")
 	rate := flag.Float64("rate", 8000, "generated load: admission decisions per wall second")
 	burst := flag.Float64("burst", 1, "generated load: burst length in wall seconds")
@@ -146,7 +148,7 @@ func run() error {
 	if *selftest {
 		// A fault drill needs the daemon to heal itself, so the repairer
 		// rides along exactly when a schedule is loaded.
-		srv, stop, baseURL, err := startInProcess(p, layout, *policy, *compress, *shards, sched != nil)
+		srv, stop, baseURL, err := startInProcess(p, layout, *policy, *compress, *shards, *listeners, sched != nil)
 		if err != nil {
 			return err
 		}
@@ -157,6 +159,7 @@ func run() error {
 	}
 
 	client := serve.NewClient(base)
+	client.Conns = *conns
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	// The fault schedule replays over HTTP concurrently with the trace, from
@@ -189,6 +192,18 @@ func run() error {
 		return err
 	}
 
+	// A generator that cannot sustain the requested rate silently measures
+	// itself, not the daemon: admission latency and throughput both look
+	// rosier under a thinner-than-asked-for load. Compare what the dispatcher
+	// achieved against what the trace demanded and say so out loud.
+	requested, achieved, bound := offeredRate(tr, rep, *compress)
+	fmt.Printf("offered load: %.0f of %.0f requested decisions/sec (max dispatch lag %.1fms)\n",
+		achieved, requested, rep.DispatchLagMax.Seconds()*1e3)
+	if bound {
+		fmt.Printf("WARNING: generator under-drove the daemon (offered %.0f/sec of the requested %.0f/sec); results are generator-bound — raise -conns or lower -rate\n",
+			achieved, requested)
+	}
+
 	// Satellite duty of the smoke path: the daemon's own /metrics must agree
 	// that sessions were admitted — a scrape-level liveness check, not just a
 	// client-side count.
@@ -205,7 +220,7 @@ func run() error {
 	}
 
 	if *benchOut != "" {
-		if err := writeBench(*benchOut, tr, rep, sched, *compress, *policy, *seed, *rate, *burst, *shards); err != nil {
+		if err := writeBench(*benchOut, tr, rep, sched, *compress, *policy, *seed, *rate, *burst, *shards, achieved, bound); err != nil {
 			return err
 		}
 		fmt.Printf("benchmark record written to %s\n", *benchOut)
@@ -242,6 +257,19 @@ func postFailureDecisionsPerSec(tr *workload.Trace, rep *serve.Report, sched *fa
 	}
 	n, _ := rep.Since(failAt)
 	return float64(n) / wall
+}
+
+// offeredRate compares the dispatch rate the replay achieved against the
+// rate the trace requested. bound reports a generator that fell more than 3%
+// short — the threshold under which timer jitter is indistinguishable from
+// genuine saturation.
+func offeredRate(tr *workload.Trace, rep *serve.Report, compress float64) (requested, achieved float64, bound bool) {
+	if tr.Meta.Duration > 0 {
+		requested = float64(len(tr.Requests)) * compress / tr.Meta.Duration
+	}
+	achieved = rep.OfferedRate()
+	bound = requested > 0 && achieved < 0.97*requested
+	return requested, achieved, bound
 }
 
 // estimateThetaOf recovers the Zipf skew the catalog was built with by
@@ -301,8 +329,9 @@ func printReport(tr *workload.Trace, rep *serve.Report, sched *faults.Schedule, 
 // process — the zero-dependency path the smoke target and quick experiments
 // use. withRepair attaches and starts the re-replication repairer (at the
 // simulator-parity defaults) so a scripted crash heals the same way a
-// sim.Run with Resilience.Repair does.
-func startInProcess(p *core.Problem, layout *core.Layout, policy string, compress float64, shards int, withRepair bool) (*serve.Server, func(), string, error) {
+// sim.Run with Resilience.Repair does. listeners > 0 fronts the daemon with
+// the sharded ingress (that many accept loops) instead of the net/http mux.
+func startInProcess(p *core.Problem, layout *core.Layout, policy string, compress float64, shards, listeners int, withRepair bool) (*serve.Server, func(), string, error) {
 	srv, err := serve.New(p, layout, serve.Config{Policy: policy, Compress: compress, Shards: shards})
 	if err != nil {
 		return nil, nil, "", err
@@ -314,6 +343,17 @@ func startInProcess(p *core.Problem, layout *core.Layout, policy string, compres
 			return nil, nil, "", err
 		}
 		rep.Start()
+	}
+	if listeners > 0 {
+		ing, err := serve.NewIngress(srv, serve.IngressConfig{Listeners: listeners})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		addr, err := ing.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return srv, ing.Close, "http://" + addr.String(), nil
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -437,7 +477,7 @@ func simSchedulerFor(policy string, backbone bool) (func() cluster.Scheduler, er
 // (BENCH_serve.json in CI) so serving throughput stays comparable across
 // revisions. The embedded manifest pins the environment the numbers came
 // from (git SHA, CPU, GOMAXPROCS, seed, flags).
-func writeBench(path string, tr *workload.Trace, rep *serve.Report, sched *faults.Schedule, compress float64, policy string, seed int64, rate, burst float64, shards int) error {
+func writeBench(path string, tr *workload.Trace, rep *serve.Report, sched *faults.Schedule, compress float64, policy string, seed int64, rate, burst float64, shards int, achieved float64, bound bool) error {
 	man := obs.NewManifest()
 	man.Seed = seed
 	man.Flags = map[string]string{
@@ -471,6 +511,11 @@ func writeBench(path string, tr *workload.Trace, rep *serve.Report, sched *fault
 		LatencyP99Ms               float64 `json:"latency_p99_ms"`
 		LatencyMaxMs               float64 `json:"latency_max_ms"`
 		VirtualSeconds             float64 `json:"virtual_seconds"`
+		// AchievedRate is the dispatch rate the generator actually offered;
+		// OfferedRateBound marks a record whose generator fell short of the
+		// requested rate, so its numbers bound the generator, not the daemon.
+		AchievedRate     float64 `json:"achieved_rate"`
+		OfferedRateBound bool    `json:"offered_rate_bound,omitempty"`
 	}{
 		Generated:                  time.Now().UTC().Format(time.RFC3339),
 		Manifest:                   man,
@@ -488,6 +533,8 @@ func writeBench(path string, tr *workload.Trace, rep *serve.Report, sched *fault
 		LatencyP99Ms:               rep.LatencyQuantile(0.99).Seconds() * 1e3,
 		LatencyMaxMs:               rep.LatencyQuantile(1).Seconds() * 1e3,
 		VirtualSeconds:             tr.Meta.Duration,
+		AchievedRate:               achieved,
+		OfferedRateBound:           bound,
 	}
 	buf, err := json.Marshal(rec)
 	if err != nil {
@@ -497,23 +544,41 @@ func writeBench(path string, tr *workload.Trace, rep *serve.Report, sched *fault
 	if err := json.Unmarshal(buf, &flat); err != nil {
 		return err
 	}
-	// A checked-in baseline may carry a `scaling` section merged in by
-	// `vodperf -bench scale -merge`. The replay only re-measures the flat
-	// keys, so carry the sweep over — otherwise every serve-smoke refresh
-	// would silently strip the section and disarm the scale gate.
+	// A checked-in baseline may carry sections merged in by other tools
+	// (`vodperf -bench scale -merge`, `vodperf -bench http -merge`). The
+	// replay only re-measures the flat keys, so carry those sections over —
+	// otherwise every serve-smoke refresh would silently strip them and
+	// disarm their gates.
 	if prev, err := os.ReadFile(path); err == nil {
-		var old map[string]json.RawMessage
-		if json.Unmarshal(prev, &old) == nil {
-			if sc, ok := old["scaling"]; ok {
-				flat["scaling"] = sc
-			}
-		}
+		preserveSections(flat, prev)
 	}
 	out, err := json.MarshalIndent(flat, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// preservedSections are the benchmark-record sections owned by vodperf
+// -merge rather than the replay: writeBench must carry them across a
+// flat-key refresh.
+var preservedSections = []string{"scaling", "http"}
+
+// preserveSections copies vodperf-owned sections from a previous benchmark
+// record into a freshly measured flat map, without overwriting a section the
+// new record already has.
+func preserveSections(flat map[string]json.RawMessage, prev []byte) {
+	var old map[string]json.RawMessage
+	if json.Unmarshal(prev, &old) != nil {
+		return
+	}
+	for _, key := range preservedSections {
+		if sec, ok := old[key]; ok {
+			if _, fresh := flat[key]; !fresh {
+				flat[key] = sec
+			}
+		}
+	}
 }
 
 // loadLayout mirrors vodserved's layout resolution so both tools agree on

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPreserveSections: refreshing BENCH_serve.json must carry forward the
+// sections other tools merged into it (the scale and http gates), without
+// ever overwriting a section this run produced, and must tolerate a missing
+// or corrupt previous file.
+func TestPreserveSections(t *testing.T) {
+	prev := []byte(`{
+		"decisions_per_sec": 8081.8,
+		"scaling": {"shards": 4, "levels": [{"gomaxprocs": 1}]},
+		"http": {"listeners": 2, "decisions_per_sec": 200000}
+	}`)
+
+	flat := map[string]json.RawMessage{
+		"decisions_per_sec": json.RawMessage(`9000`),
+	}
+	preserveSections(flat, prev)
+	for _, key := range []string{"scaling", "http"} {
+		if _, ok := flat[key]; !ok {
+			t.Fatalf("%s section from the previous record was dropped", key)
+		}
+	}
+	var sc struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.Unmarshal(flat["scaling"], &sc); err != nil || sc.Shards != 4 {
+		t.Fatalf("scaling section mangled: %s (err %v)", flat["scaling"], err)
+	}
+	if string(flat["decisions_per_sec"]) != "9000" {
+		t.Fatalf("fresh flat key overwritten: %s", flat["decisions_per_sec"])
+	}
+
+	// A section written by THIS run wins over the previous file's copy.
+	flat = map[string]json.RawMessage{
+		"http": json.RawMessage(`{"listeners": 8}`),
+	}
+	preserveSections(flat, prev)
+	var hb struct {
+		Listeners int `json:"listeners"`
+	}
+	if err := json.Unmarshal(flat["http"], &hb); err != nil || hb.Listeners != 8 {
+		t.Fatalf("fresh http section overwritten by the stale one: %s", flat["http"])
+	}
+
+	// Corrupt previous content is ignored rather than fatal.
+	flat = map[string]json.RawMessage{"x": json.RawMessage(`1`)}
+	preserveSections(flat, []byte(`not json`))
+	if len(flat) != 1 {
+		t.Fatalf("corrupt previous record changed the fresh region: %v", flat)
+	}
+
+	// Previous records without the sections add nothing.
+	flat = map[string]json.RawMessage{"x": json.RawMessage(`1`)}
+	preserveSections(flat, []byte(`{"decisions_per_sec": 1}`))
+	if _, ok := flat["scaling"]; ok {
+		t.Fatal("scaling section invented from nowhere")
+	}
+}

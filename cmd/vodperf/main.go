@@ -29,6 +29,18 @@
 // stamped with the GOMAXPROCS it was measured at, and -compare refuses
 // cross-core-count comparisons instead of silently passing.
 //
+// A fifth benchmark, "http" (also never part of "all"), measures the
+// sharded HTTP ingress (DESIGN.md §16): a fresh daemon fronted by
+// -listeners SO_REUSEPORT accept loops, driven closed-loop by workers on
+// persistent fast connections issuing POST /open/batch at -batch videos per
+// round trip (http_decisions_per_sec, gated) and single POST /open requests
+// (http_single_decisions_per_sec, report-only). -min-http-mult with
+// -http-baseline enforces the ingress contract in absolute terms: batched
+// HTTP admission throughput must be at least that multiple of the
+// baseline's open-loop serve_decisions_per_sec, measured at the same core
+// count. -merge folds the result into a flat BENCH_serve.json as its `http`
+// section.
+//
 // -compare also accepts the flat single-run records the smoke targets
 // write (BENCH_serve.json, BENCH_sweep.json); those gate only on
 // throughput-type metrics, with a fixed single-sample noise allowance,
@@ -79,7 +91,7 @@ func main() {
 func run() error {
 	out := flag.String("out", "BENCH_perf.json", "write the benchmark record to this file")
 	runs := flag.Int("runs", 5, "repetitions per benchmark; more runs tighten the noise margin")
-	bench := flag.String("bench", "all", "which benchmarks to run: all | fig4 | serve | anneal | scale (scale is never part of all)")
+	bench := flag.String("bench", "all", "which benchmarks to run: all | fig4 | serve | anneal | scale | http (scale and http are never part of all)")
 	seed := flag.Int64("seed", 42, "seed for the simulated sweep and the replay trace")
 	rate := flag.Float64("rate", 8000, "serve benchmark: admission decisions per wall second")
 	burst := flag.Float64("burst", 1, "serve benchmark: burst length in wall seconds")
@@ -90,11 +102,15 @@ func run() error {
 	compare := flag.Bool("compare", false, "compare two records: vodperf -compare OLD NEW")
 	tolerance := flag.Float64("tolerance", 0.10, "compare: allowed relative worsening of a gated metric before the noise margin")
 	metricsPrefix := flag.String("metrics", "", "compare: only baseline metrics with this name prefix (e.g. scale_)")
-	excludePrefix := flag.String("exclude", "", "compare: drop baseline metrics with this name prefix (e.g. scale_)")
+	excludePrefix := flag.String("exclude", "", "compare: drop baseline metrics with these comma-separated name prefixes (e.g. scale_,http_)")
 	scaleMax := flag.Int("scale-max", 16, "scale benchmark: highest GOMAXPROCS level of the sweep")
-	shardsFlag := flag.Int("shards", 0, "scale benchmark: dispatch shards of the in-process daemon (0 = one per backend)")
+	shardsFlag := flag.Int("shards", 0, "scale/http benchmark: dispatch shards of the in-process daemon (0 = one per backend)")
 	minSpeedup := flag.Float64("min-speedup", 2.5, "scale benchmark: required decisions/s speedup at GOMAXPROCS=4 over 1 when the host has ≥4 CPUs (0 disables)")
-	mergePath := flag.String("merge", "", "scale benchmark: also fold the sweep into this flat BENCH_serve.json as its scaling section")
+	mergePath := flag.String("merge", "", "scale/http benchmark: also fold the result into this flat BENCH_serve.json as its scaling/http section")
+	listenersFlag := flag.Int("listeners", 0, "http benchmark: sharded ingress accept loops (0 = GOMAXPROCS)")
+	batchFlag := flag.Int("batch", 256, "http benchmark: videos per POST /open/batch round trip")
+	minHTTPMult := flag.Float64("min-http-mult", 0, "http benchmark: required multiple of the baseline's serve_decisions_per_sec (0 disables; needs -http-baseline)")
+	httpBaseline := flag.String("http-baseline", "", "http benchmark: flat BENCH_serve.json whose serve_decisions_per_sec anchors -min-http-mult")
 	flag.Parse()
 
 	if *compare {
@@ -120,9 +136,9 @@ func run() error {
 		return fmt.Errorf("-runs must be at least 1, got %d", *runs)
 	}
 	switch *bench {
-	case "all", "fig4", "serve", "anneal", "scale":
+	case "all", "fig4", "serve", "anneal", "scale", "http":
 	default:
-		return fmt.Errorf("-bench must be all, fig4, serve, anneal, or scale, got %q", *bench)
+		return fmt.Errorf("-bench must be all, fig4, serve, anneal, scale, or http, got %q", *bench)
 	}
 
 	rec := &obs.BenchRecord{Manifest: obs.NewManifest()}
@@ -169,10 +185,23 @@ func run() error {
 		}
 		rec.Benchmarks = append(rec.Benchmarks, ms...)
 		if *mergePath != "" {
-			if err := mergeScaling(*mergePath, sc); err != nil {
+			if err := mergeSection(*mergePath, "scaling", sc); err != nil {
 				return err
 			}
 			fmt.Printf("scaling section merged into %s\n", *mergePath)
+		}
+	}
+	if *bench == "http" {
+		ms, hb, err := benchHTTP(*runs, *seed, *listenersFlag, *batchFlag, *shardsFlag, *minHTTPMult, *httpBaseline)
+		if err != nil {
+			return err
+		}
+		rec.Benchmarks = append(rec.Benchmarks, ms...)
+		if *mergePath != "" {
+			if err := mergeSection(*mergePath, "http", hb); err != nil {
+				return err
+			}
+			fmt.Printf("http section merged into %s\n", *mergePath)
 		}
 	}
 
@@ -567,10 +596,10 @@ func scaleOnce(p *core.Problem, layout *core.Layout, shards, lvl int, vids []int
 	return float64(total) / elapsed, nil
 }
 
-// mergeScaling folds the sweep into a flat benchmark record (the
-// BENCH_serve.json shape) as its `scaling` section, leaving every other key
-// as written by vodload.
-func mergeScaling(path string, sc obs.Scaling) error {
+// mergeSection folds a benchmark section (`scaling`, `http`) into a flat
+// benchmark record (the BENCH_serve.json shape), leaving every other key as
+// written by vodload.
+func mergeSection(path, key string, section any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -582,12 +611,255 @@ func mergeScaling(path string, sc obs.Scaling) error {
 	if _, ok := flat["benchmarks"]; ok {
 		return fmt.Errorf("vodperf: %s is a multi-run vodperf record; -merge expects the flat BENCH_serve.json shape", path)
 	}
-	flat["scaling"] = sc
+	flat[key] = section
 	out, err := json.MarshalIndent(flat, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+const (
+	// httpWindow bounds each closed-loop HTTP repetition; matches scaleWindow
+	// so a full -runs 5 batch+single sweep stays a few seconds.
+	httpWindow = 300 * time.Millisecond
+	// httpRing caps the live sessions each worker keeps open; beyond it the
+	// oldest ones are closed, pipelined into the next batch's round trip, so
+	// steady-state occupancy stays bounded without a close per open.
+	httpRing = 256
+)
+
+// benchHTTP measures the sharded HTTP ingress end to end: a fresh in-process
+// daemon behind NewIngress, driven closed-loop over persistent fast
+// connections. The gated metric is batched admission (POST /open/batch at
+// `batch` videos per round trip); single-request round trips (POST /open)
+// are reported alongside for the pipelining-win story. With minMult > 0 the
+// batched rate must beat minMult× the baseline record's open-loop
+// serve_decisions_per_sec, refusing the comparison when the baseline was
+// measured at a different GOMAXPROCS.
+func benchHTTP(runs int, seed int64, listeners, batch, shards int, minMult float64, baselinePath string) ([]obs.BenchMetric, obs.HTTPBench, error) {
+	if batch <= 0 {
+		return nil, obs.HTTPBench{}, fmt.Errorf("-batch must be positive, got %d", batch)
+	}
+	if minMult > 0 && baselinePath == "" {
+		return nil, obs.HTTPBench{}, fmt.Errorf("-min-http-mult needs -http-baseline to anchor the multiple")
+	}
+	p, layout, _, err := vodcluster.Pipeline(config.Paper())
+	if err != nil {
+		return nil, obs.HTTPBench{}, err
+	}
+	if shards <= 0 {
+		shards = p.N()
+	}
+	if listeners <= 0 {
+		listeners = runtime.GOMAXPROCS(0)
+	}
+	gen, err := workload.NewGenerator(workload.Poisson{Lambda: 1000}, p.M(), estimateThetaOf(p))
+	if err != nil {
+		return nil, obs.HTTPBench{}, err
+	}
+	tr := gen.Generate(200, seed)
+	if len(tr.Requests) == 0 {
+		return nil, obs.HTTPBench{}, fmt.Errorf("http benchmark trace is empty")
+	}
+	vids := make([]int, len(tr.Requests))
+	for i, r := range tr.Requests {
+		vids[i] = r.Video
+	}
+
+	var dpsBatch, dpsSingle []float64
+	for r := 0; r < runs; r++ {
+		d, err := httpOnce(p, layout, shards, listeners, batch, vids)
+		if err != nil {
+			return nil, obs.HTTPBench{}, fmt.Errorf("http batch run %d: %w", r, err)
+		}
+		dpsBatch = append(dpsBatch, d)
+	}
+	for r := 0; r < runs; r++ {
+		d, err := httpOnce(p, layout, shards, listeners, 1, vids)
+		if err != nil {
+			return nil, obs.HTTPBench{}, fmt.Errorf("http single run %d: %w", r, err)
+		}
+		dpsSingle = append(dpsSingle, d)
+	}
+
+	mb := obs.NewBenchMetric("http_decisions_per_sec", "decisions/s", true, true, dpsBatch)
+	ms := obs.NewBenchMetric("http_single_decisions_per_sec", "decisions/s", true, false, dpsSingle)
+	hb := obs.HTTPBench{
+		Listeners: listeners, Shards: shards, Batch: batch,
+		Gomaxprocs:            runtime.GOMAXPROCS(0),
+		DecisionsPerSec:       mb.Mean,
+		SingleDecisionsPerSec: ms.Mean,
+	}
+
+	if minMult > 0 {
+		base, baseCores, err := baselineServeRate(baselinePath)
+		if err != nil {
+			return nil, obs.HTTPBench{}, err
+		}
+		if baseCores != 0 && baseCores != runtime.GOMAXPROCS(0) {
+			return nil, obs.HTTPBench{}, fmt.Errorf(
+				"http: baseline serve_decisions_per_sec was measured at GOMAXPROCS=%d but this run is at %d; refusing a cross-core-count multiple",
+				baseCores, runtime.GOMAXPROCS(0))
+		}
+		if base <= 0 {
+			return nil, obs.HTTPBench{}, fmt.Errorf("http: baseline serve_decisions_per_sec in %s is not positive", baselinePath)
+		}
+		if hb.DecisionsPerSec < minMult*base {
+			return nil, obs.HTTPBench{}, fmt.Errorf(
+				"http: %.0f batched decisions/s is %.2f× the baseline %.0f, below the required %.3g×",
+				hb.DecisionsPerSec, hb.DecisionsPerSec/base, base, minMult)
+		}
+		fmt.Printf("http: %.2f× the baseline serve_decisions_per_sec (%.0f vs %.0f; required ≥%.3g×)\n",
+			hb.DecisionsPerSec/base, hb.DecisionsPerSec, base, minMult)
+	}
+	return []obs.BenchMetric{mb, ms}, hb, nil
+}
+
+// baselineServeRate pulls the open-loop serve_decisions_per_sec (and the
+// core count it was measured at) out of a flat BENCH_serve.json record.
+func baselineServeRate(path string) (float64, int, error) {
+	rec, err := obs.LoadBenchFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, m := range rec.Benchmarks {
+		if m.Name == "serve_decisions_per_sec" {
+			return m.Mean, m.Gomaxprocs, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("vodperf: %s has no serve_decisions_per_sec metric", path)
+}
+
+// httpOnce runs one closed-loop repetition against a fresh daemon fronted by
+// a fresh sharded ingress. batch == 1 drives single POST /open round trips;
+// batch > 1 drives POST /open/batch with closes of overflow sessions
+// pipelined into the same flush as the next batch, so each round trip
+// settles `batch` decisions. Workers each own one fast connection (FastConn
+// is single-goroutine by design).
+func httpOnce(p *core.Problem, layout *core.Layout, shards, listeners, batch int, vids []int) (float64, error) {
+	srv, err := serve.New(p, layout, serve.Config{Compress: 3600, Shards: shards})
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Shutdown()
+	ing, err := serve.NewIngress(srv, serve.IngressConfig{Listeners: listeners, MaxBatch: batch})
+	if err != nil {
+		return 0, err
+	}
+	addr, err := ing.Start("127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer ing.Close()
+
+	workers := 4 * runtime.GOMAXPROCS(0)
+	counts := make([]int64, workers)
+	errs := make([]error, workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fc, err := serve.DialFast(addr.String())
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer fc.Close()
+			var open []int64
+			bvids := make([]int, batch)
+			var res []serve.OpenResult
+			i := w
+			n := int64(0)
+			for !stop.Load() {
+				if batch == 1 {
+					info, out, err := fc.Open(vids[i%len(vids)])
+					i += workers
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					n++
+					if out == serve.OutcomeAccepted {
+						open = append(open, info.ID)
+					}
+					if len(open) > httpRing {
+						if _, err := fc.CloseSession(open[0]); err != nil {
+							errs[w] = err
+							return
+						}
+						open = open[1:]
+					}
+					continue
+				}
+				for k := range bvids {
+					bvids[k] = vids[i%len(vids)]
+					i += workers
+				}
+				ncl := 0
+				if len(open) > httpRing {
+					ncl = len(open) - httpRing
+					for _, id := range open[:ncl] {
+						fc.QueueClose(id)
+					}
+				}
+				fc.QueueOpenBatch(bvids)
+				if err := fc.Flush(); err != nil {
+					errs[w] = err
+					return
+				}
+				for k := 0; k < ncl; k++ {
+					if _, err := fc.ReadClose(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				open = open[ncl:]
+				res, err = fc.ReadOpenBatch(res[:0])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				n += int64(len(res))
+				for _, or := range res {
+					if or.Outcome == serve.OutcomeAccepted {
+						open = append(open, or.Info.ID)
+					}
+				}
+			}
+			counts[w] = n
+			// Settle the leftovers so the daemon drains cleanly; sessions
+			// here no longer count toward the window.
+			for _, id := range open {
+				fc.QueueClose(id)
+			}
+			if err := fc.Flush(); err == nil {
+				for range open {
+					if _, err := fc.ReadClose(); err != nil {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(httpWindow)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	total := int64(0)
+	for w := range counts {
+		if errs[w] != nil {
+			return 0, errs[w]
+		}
+		total += counts[w]
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("no admission decisions settled in the %s window", httpWindow)
+	}
+	return float64(total) / elapsed, nil
 }
 
 // estimateThetaOf recovers the Zipf skew the catalog was built with (the
@@ -626,9 +898,10 @@ func printRecord(rec *obs.BenchRecord) {
 // noise margin, vanished from the new record, or was measured at a different
 // GOMAXPROCS than the baseline. A non-empty prefix restricts the comparison
 // to baseline metrics whose names start with it (e.g. scale_); a non-empty
-// exclude drops baseline metrics with that prefix, so the perf gate can leave
-// the scaling section to the scale gate — a serve-smoke record legitimately
-// carries no scaling sweep, and its absence must not read as a regression.
+// exclude drops baseline metrics matching any of its comma-separated
+// prefixes, so the perf gate can leave the scaling and http sections to
+// their own gates — a serve-smoke record legitimately carries neither, and
+// their absence must not read as a regression.
 func runCompare(oldPath, newPath string, tolerance float64, prefix, exclude string) error {
 	oldRec, err := obs.LoadBenchFile(oldPath)
 	if err != nil {
@@ -638,13 +911,26 @@ func runCompare(oldPath, newPath string, tolerance float64, prefix, exclude stri
 	if err != nil {
 		return err
 	}
-	if prefix != "" || exclude != "" {
+	var excludes []string
+	for _, ex := range strings.Split(exclude, ",") {
+		if ex = strings.TrimSpace(ex); ex != "" {
+			excludes = append(excludes, ex)
+		}
+	}
+	if prefix != "" || len(excludes) > 0 {
 		kept := oldRec.Benchmarks[:0]
 		for _, m := range oldRec.Benchmarks {
 			if prefix != "" && !strings.HasPrefix(m.Name, prefix) {
 				continue
 			}
-			if exclude != "" && strings.HasPrefix(m.Name, exclude) {
+			excluded := false
+			for _, ex := range excludes {
+				if strings.HasPrefix(m.Name, ex) {
+					excluded = true
+					break
+				}
+			}
+			if excluded {
 				continue
 			}
 			kept = append(kept, m)

@@ -9,10 +9,18 @@
 //	vodserved -plan plan.json -compress 60         # 1 video-minute per second
 //
 // Endpoints: POST /session?video=V, DELETE /session/{id},
+// POST /open, /open/batch, /close (body-first admission hot path),
 // POST /backend/{id}/drain, POST /backend/{id}/restore, GET /metrics
 // (Prometheus text), GET /healthz, GET /layout. SIGTERM/SIGINT drain the
 // daemon gracefully: new sessions are refused while active ones run out,
 // bounded by -drain-timeout.
+//
+// High-throughput ingress (DESIGN.md §16): -listeners N fronts the daemon
+// with N SO_REUSEPORT accept loops running an allocation-free HTTP/1.1
+// admission path (keep-alive, pipelining, batched opens capped by -batch);
+// every non-admission route falls back to the regular handler stack.
+// Per-listener counters and latency histograms render as vod_http_* in
+// /metrics.
 //
 // Observability: -pprof (default on) mounts the net/http/pprof profiling
 // endpoints under /debug/pprof/; -trace N enables the session tracer with
@@ -74,6 +82,8 @@ func run() error {
 	listPolicies := flag.Bool("list-policies", false, "print the admission-policy registry and exit")
 	compress := flag.Float64("compress", 1, "time-compression factor: a D-second video holds bandwidth for D/compress wall seconds")
 	shards := flag.Int("shards", 1, "admission dispatch shards (DESIGN.md §15); 1 runs the single-queue engine, >1 partitions backends across shard owners for multi-core admission")
+	listeners := flag.Int("listeners", 0, "sharded SO_REUSEPORT ingress accept loops (DESIGN.md §16); 0 serves the plain net/http mux")
+	maxBatch := flag.Int("batch", 0, "max videos per POST /open/batch request (0 = default 256)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for active sessions")
 	pprofOn := flag.Bool("pprof", true, "mount the net/http/pprof profiling endpoints under /debug/pprof/")
 	traceEvents := flag.Int("trace", 0, "enable session tracing with a ring buffer of this many events (0 = off); dump at GET /debug/trace")
@@ -177,15 +187,44 @@ func run() error {
 		handler = withPprof(handler)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
-	hs := &http.Server{Handler: handler}
+	// Two fronts share the drain flow below: the sharded ingress (DESIGN.md
+	// §16) or the plain net/http server. stopServing tears down whichever
+	// one ran, after the sessions drained.
 	errCh := make(chan error, 1)
-	go func() { errCh <- hs.Serve(ln) }()
-	log.Printf("vodserved: serving %d videos on %d backends at %s (policy %s, compress %gx, %d shards)",
-		p.M(), p.N(), ln.Addr(), srv.PolicyName(), srv.Compress(), srv.Shards())
+	var stopServing func() error
+	if *listeners > 0 {
+		ing, err := serve.NewIngress(srv, serve.IngressConfig{
+			Listeners: *listeners, MaxBatch: *maxBatch, Fallback: handler,
+		})
+		if err != nil {
+			return err
+		}
+		iaddr, err := ing.Start(*addr)
+		if err != nil {
+			return err
+		}
+		log.Printf("vodserved: serving %d videos on %d backends at %s (policy %s, compress %gx, %d shards, %d ingress listeners)",
+			p.M(), p.N(), iaddr, srv.PolicyName(), srv.Compress(), srv.Shards(), *listeners)
+		stopServing = func() error { ing.Close(); return nil }
+	} else {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: handler}
+		go func() { errCh <- hs.Serve(ln) }()
+		log.Printf("vodserved: serving %d videos on %d backends at %s (policy %s, compress %gx, %d shards)",
+			p.M(), p.N(), ln.Addr(), srv.PolicyName(), srv.Compress(), srv.Shards())
+		stopServing = func() error {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			<-errCh // Serve has returned ErrServerClosed
+			return nil
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -215,12 +254,9 @@ func run() error {
 	}
 	srv.Shutdown() // stop the health-check and repair loops
 
-	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel2()
-	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := stopServing(); err != nil {
 		return err
 	}
-	<-errCh // Serve has returned ErrServerClosed
 	log.Printf("vodserved: drained; bye")
 	return nil
 }

@@ -87,6 +87,38 @@ func ScalingMetrics(sc Scaling) []BenchMetric {
 	return ms
 }
 
+// HTTPBench is the `http` section of BENCH_serve.json: the closed-loop
+// throughput of the sharded HTTP ingress (cmd/vodperf -bench http), measured
+// through real TCP connections with the batched admission endpoint and with
+// single-shot requests.
+type HTTPBench struct {
+	Listeners  int `json:"listeners"`
+	Shards     int `json:"shards"`
+	Batch      int `json:"batch"`
+	Gomaxprocs int `json:"gomaxprocs"`
+	// DecisionsPerSec is admission decisions settled per wall second over
+	// keep-alive connections driving POST /open/batch at the Batch size.
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	// SingleDecisionsPerSec is the same closed loop issuing one POST /open
+	// per round trip — the unbatched per-request ceiling.
+	SingleDecisionsPerSec float64 `json:"single_decisions_per_sec"`
+}
+
+// HTTPMetrics converts an http section into comparable metrics: the batched
+// throughput gates, the single-shot throughput is report-only (it measures
+// round-trip cost, which batching exists to amortize; gating both would
+// double-count the same regression). The loader and cmd/vodperf share this
+// so a flat BENCH_serve.json and a fresh -bench http record compare.
+func HTTPMetrics(hb HTTPBench) []BenchMetric {
+	m := NewBenchMetric("http_decisions_per_sec", "decisions/s", true, true,
+		[]float64{hb.DecisionsPerSec})
+	m.Gomaxprocs = hb.Gomaxprocs
+	s := NewBenchMetric("http_single_decisions_per_sec", "decisions/s", true, false,
+		[]float64{hb.SingleDecisionsPerSec})
+	s.Gomaxprocs = hb.Gomaxprocs
+	return []BenchMetric{m, s}
+}
+
 // WriteFile persists the record as indented JSON.
 func (r *BenchRecord) WriteFile(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")
@@ -155,6 +187,17 @@ func LoadBenchFile(path string) (*BenchRecord, error) {
 			return nil, fmt.Errorf("obs: %s has a malformed scaling section: %w", path, err)
 		}
 		rec.Benchmarks = append(rec.Benchmarks, ScalingMetrics(sc)...)
+	}
+	if raw, ok := flat["http"]; ok {
+		var hb HTTPBench
+		buf, err := json.Marshal(raw)
+		if err == nil {
+			err = json.Unmarshal(buf, &hb)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: %s has a malformed http section: %w", path, err)
+		}
+		rec.Benchmarks = append(rec.Benchmarks, HTTPMetrics(hb)...)
 	}
 	if len(rec.Benchmarks) == 0 {
 		return nil, fmt.Errorf("obs: %s holds no recognized benchmark metrics", path)

@@ -76,3 +76,57 @@ func TestHistNil(t *testing.T) {
 		t.Fatalf("nil hist wrote %q", buf.String())
 	}
 }
+
+// TestExpHistWriteProm: doubling bounds, bucket placement at and across the
+// bound (Observe buckets x ≤ bound inclusively), cumulative rendering with a
+// labels string, and the billionths-resolution sum.
+func TestExpHistWriteProm(t *testing.T) {
+	h := NewExpHist(1e-3, 4) // bounds 0.001, 0.002, 0.004, 0.008
+	for _, x := range []float64{0.0005, 0.002, 0.003, 0.1} {
+		h.Observe(x)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	var buf bytes.Buffer
+	h.WriteProm(&buf, "test_lat", `listener="3"`)
+	out := buf.String()
+	for _, want := range []string{
+		`test_lat_bucket{listener="3",le="0.001"} 1` + "\n", // 0.0005
+		`test_lat_bucket{listener="3",le="0.002"} 2` + "\n", // + 0.002 (inclusive)
+		`test_lat_bucket{listener="3",le="0.004"} 3` + "\n", // + 0.003
+		`test_lat_bucket{listener="3",le="0.008"} 3` + "\n",
+		`test_lat_bucket{listener="3",le="+Inf"} 4` + "\n", // + 0.1 overflow
+		`test_lat_sum{listener="3"} 0.1055` + "\n",
+		`test_lat_count{listener="3"} 4` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "# HELP") || strings.Contains(out, "# TYPE") {
+		t.Fatalf("labeled series must not write family headers:\n%s", out)
+	}
+
+	// Unlabeled series render without the empty label braces on _sum/_count.
+	buf.Reset()
+	h.WriteProm(&buf, "plain", "")
+	if !strings.Contains(buf.String(), "plain_sum 0.1055\n") ||
+		!strings.Contains(buf.String(), `plain_bucket{le="0.001"} 1`+"\n") {
+		t.Fatalf("unlabeled rendering:\n%s", buf.String())
+	}
+}
+
+// TestExpHistNil: the nil exponential histogram is a no-op too.
+func TestExpHistNil(t *testing.T) {
+	var h *ExpHist
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Fatal("nil ExpHist counted")
+	}
+	var buf bytes.Buffer
+	h.WriteProm(&buf, "x", "")
+	if buf.Len() != 0 {
+		t.Fatalf("nil ExpHist wrote %q", buf.String())
+	}
+}

@@ -159,12 +159,18 @@ func (t *Tracer) NowNS() int64 {
 // Record publishes one event into the ring, assigning its sequence number.
 // The oldest resident event is overwritten once the ring is full. Record on
 // a nil tracer is a no-op, so disabled tracing costs one predictable branch.
+// The event is copied into a fresh heap cell only after the nil check —
+// taking the parameter's own address would force the copy in the function
+// prologue and charge one allocation per event even with tracing off (the
+// ingress alloc guard pins this at zero).
 func (t *Tracer) Record(e Event) {
 	if t == nil {
 		return
 	}
-	e.Seq = t.next.Add(1) - 1
-	t.slots[e.Seq&t.mask].Store(&e)
+	ev := new(Event)
+	*ev = e
+	ev.Seq = t.next.Add(1) - 1
+	t.slots[ev.Seq&t.mask].Store(ev)
 }
 
 // Snapshot returns the resident events in sequence order. Taken while

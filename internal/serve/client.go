@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -26,6 +27,10 @@ type Client struct {
 	// HTTP overrides the transport; nil gets a keep-alive pool sized for
 	// replay concurrency.
 	HTTP *http.Client
+	// Conns is the number of persistent fast connections Replay drives
+	// (each owned by one worker goroutine); 0 picks 4×GOMAXPROCS clamped
+	// to [8, 64].
+	Conns int
 }
 
 // NewClient builds a replay-tuned client for a daemon base URL.
@@ -141,6 +146,26 @@ type Report struct {
 	// Wall is the wall-clock time from first dispatch to last settled
 	// decision.
 	Wall time.Duration
+	// DispatchWall is the wall-clock span of the dispatch loop alone —
+	// first scheduled request to last handoff. Requests/DispatchWall is the
+	// rate the generator actually offered, which the caller must compare
+	// against the rate it asked for: an overloaded generator silently
+	// under-drives the daemon and makes every downstream number look rosier
+	// than reality.
+	DispatchWall time.Duration
+	// DispatchLagMax is the worst gap between a request's scheduled
+	// dispatch time and the moment the dispatcher actually handed it off —
+	// the direct symptom of a generator that cannot keep up.
+	DispatchLagMax time.Duration
+}
+
+// OfferedRate returns the request rate the dispatcher actually achieved, in
+// requests per wall second.
+func (r *Report) OfferedRate() float64 {
+	if r.DispatchWall <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.DispatchWall.Seconds()
 }
 
 // Since aggregates the settled decisions dispatched at or after virtual
@@ -209,10 +234,17 @@ func (r *Report) Result() metrics.Result {
 
 // Replay replays a trace open-loop against the daemon at the given time
 // compression: request i is dispatched at wall time Time_i/compress after
-// the replay starts, in its own goroutine, regardless of how earlier
-// decisions fared. The daemon must run with the same compression factor for
-// its session occupancy to match the trace's virtual timeline. Dispatch
-// stops early when ctx ends; already-dispatched requests still settle.
+// the replay starts, regardless of how earlier decisions fared. A central
+// timer loop hands requests to a pool of worker goroutines, each owning one
+// persistent fast connection (Conns of them), so replay reuses sockets
+// instead of paying a dial or a transport round trip per decision; a worker
+// whose connection dies redials once per request. The daemon must run with
+// the same compression factor for its session occupancy to match the
+// trace's virtual timeline. Dispatch stops early when ctx ends;
+// already-dispatched requests still settle. Latencies are measured from the
+// moment the dispatcher hands a request off, so worker-queue wait is
+// honestly part of observed admission latency, and the report carries the
+// dispatcher's own lag so callers can detect an under-driven run.
 func (c *Client) Replay(ctx context.Context, tr *workload.Trace, compress float64) (*Report, error) {
 	scaled, err := tr.Compress(compress)
 	if err != nil {
@@ -225,17 +257,66 @@ func (c *Client) Replay(ctx context.Context, tr *workload.Trace, compress float6
 		err        error
 	}
 	results := make([]outcome, len(scaled.Requests))
+
+	nconn := c.Conns
+	if nconn <= 0 {
+		nconn = 4 * runtime.GOMAXPROCS(0)
+		if nconn < 8 {
+			nconn = 8
+		}
+		if nconn > 64 {
+			nconn = 64
+		}
+	}
+	type job struct {
+		i, v int
+		at   time.Time
+	}
+	jobs := make(chan job, 4096)
+	var wg sync.WaitGroup
+	for w := 0; w < nconn; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var fc *FastConn
+			defer func() {
+				if fc != nil {
+					fc.Close()
+				}
+			}()
+			for j := range jobs {
+				var info SessionInfo
+				var out Outcome
+				var err error
+				for attempt := 0; attempt < 2; attempt++ {
+					if fc == nil {
+						if fc, err = c.DialFast(); err != nil {
+							fc = nil
+							break
+						}
+					}
+					if info, out, err = fc.Open(j.v); err == nil {
+						break
+					}
+					fc.Close()
+					fc = nil
+				}
+				results[j.i] = outcome{out, info.Redirected, time.Since(j.at), err}
+			}
+		}()
+	}
+
 	start := time.Now()
 	timer := time.NewTimer(0)
 	if !timer.Stop() {
 		<-timer.C
 	}
 	defer timer.Stop()
-	var wg sync.WaitGroup
+	var lagMax time.Duration
 dispatch:
 	for i, req := range scaled.Requests {
-		wait := time.Until(start.Add(time.Duration(req.Time * float64(time.Second))))
-		if wait > 0 {
+		sched := start.Add(time.Duration(req.Time * float64(time.Second)))
+		if wait := time.Until(sched); wait > 0 {
 			timer.Reset(wait)
 			select {
 			case <-timer.C:
@@ -243,16 +324,21 @@ dispatch:
 				break dispatch
 			}
 		}
-		wg.Add(1)
-		go func(i, v int) {
-			defer wg.Done()
-			info, out, lat, err := c.Request(ctx, v)
-			results[i] = outcome{out, info.Redirected, lat, err}
-		}(i, req.Video)
+		now := time.Now()
+		if lag := now.Sub(sched); lag > lagMax {
+			lagMax = lag
+		}
+		select {
+		case jobs <- job{i, req.Video, now}:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
+	dispatchWall := time.Since(start)
+	close(jobs)
 	wg.Wait()
 
-	rep := &Report{Wall: time.Since(start)}
+	rep := &Report{Wall: time.Since(start), DispatchWall: dispatchWall, DispatchLagMax: lagMax}
 	for i, res := range results {
 		switch {
 		case res.err != nil:

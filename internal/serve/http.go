@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -66,6 +67,9 @@ type repairsBody struct {
 // Handler returns the daemon's HTTP API:
 //
 //	POST   /session?video=V        admit a session (200 / 503 with outcome)
+//	POST   /open                   admit a session; body {"video":V}
+//	POST   /open/batch             admit many; body {"videos":[v0,v1,…]}
+//	POST   /close                  end a session early; body {"id":N}
 //	DELETE /session/{id}           end a session early
 //	POST   /backend/{id}/drain     drain a backend (fails sessions over)
 //	POST   /backend/{id}/restore   restore a drained backend
@@ -83,6 +87,9 @@ type repairsBody struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /session", s.handleOpen)
+	mux.HandleFunc("POST /open", s.handleOpenFast)
+	mux.HandleFunc("POST /open/batch", s.handleOpenBatch)
+	mux.HandleFunc("POST /close", s.handleCloseFast)
 	mux.HandleFunc("DELETE /session/{id}", s.handleClose)
 	mux.HandleFunc("POST /backend/{id}/drain", s.handleDrain)
 	mux.HandleFunc("POST /backend/{id}/restore", s.handleRestore)
@@ -105,6 +112,98 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeRaw sends a pre-encoded JSON body with an explicit Content-Length.
+// The hand-rolled fast client has no chunked decoder, so the body-first
+// admission routes must never fall into net/http's chunked framing (which
+// kicks in when WriteHeader precedes Write without a declared length).
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// readFastBody slurps a hot-path request body, bounded by the same cap the
+// sharded ingress enforces.
+func readFastBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, defaultMaxBody))
+}
+
+// handleOpenFast is POST /open: the body-first twin of POST /session,
+// sharing its wire format with the sharded ingress so the fast client works
+// against either front.
+func (s *Server) handleOpenFast(w http.ResponseWriter, r *http.Request) {
+	body, err := readFastBody(w, r)
+	if err != nil {
+		writeRaw(w, http.StatusRequestEntityTooLarge, appendOutcome(nil, "", "request body too large"))
+		return
+	}
+	v, err := parseOpenBody(body)
+	if err != nil {
+		writeRaw(w, http.StatusBadRequest, appendOutcome(nil, "", err.Error()))
+		return
+	}
+	info, outcome, oerr := s.OpenRetry(r.Context(), v)
+	status := http.StatusOK
+	switch {
+	case oerr != nil:
+		status = http.StatusBadRequest
+	case outcome != OutcomeAccepted:
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeRaw(w, status, appendOpenResult(nil, info, outcome, oerr))
+}
+
+// handleOpenBatch is POST /open/batch: one round trip, many admissions,
+// answered as a JSON array aligned with the request order.
+func (s *Server) handleOpenBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := readFastBody(w, r)
+	if err != nil {
+		writeRaw(w, http.StatusRequestEntityTooLarge, appendOutcome(nil, "", "request body too large"))
+		return
+	}
+	vids, err := parseBatchBody(body, nil)
+	if err != nil {
+		writeRaw(w, http.StatusBadRequest, appendOutcome(nil, "", err.Error()))
+		return
+	}
+	if len(vids) > defaultMaxBatch {
+		writeRaw(w, http.StatusBadRequest, appendOutcome(nil, "",
+			fmt.Sprintf("batch of %d exceeds the %d-video cap", len(vids), defaultMaxBatch)))
+		return
+	}
+	resp := []byte{'['}
+	for i, v := range vids {
+		if i > 0 {
+			resp = append(resp, ',')
+		}
+		info, outcome, oerr := s.OpenRetry(r.Context(), v)
+		resp = appendOpenResult(resp, info, outcome, oerr)
+	}
+	resp = append(resp, ']')
+	writeRaw(w, http.StatusOK, resp)
+}
+
+// handleCloseFast is POST /close: the body-first twin of DELETE /session/{id}.
+func (s *Server) handleCloseFast(w http.ResponseWriter, r *http.Request) {
+	body, err := readFastBody(w, r)
+	if err != nil {
+		writeRaw(w, http.StatusRequestEntityTooLarge, appendOutcome(nil, "", "request body too large"))
+		return
+	}
+	id, err := parseCloseBody(body)
+	if err != nil {
+		writeRaw(w, http.StatusBadRequest, appendOutcome(nil, "", err.Error()))
+		return
+	}
+	if !s.Close(id) {
+		writeRaw(w, http.StatusNotFound, appendOutcome(nil, "", "no such session"))
+		return
+	}
+	writeRaw(w, http.StatusOK, appendOutcome(nil, "closed", ""))
 }
 
 func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {

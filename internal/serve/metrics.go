@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -58,7 +59,89 @@ type Metrics struct {
 	// range follows the cluster's stream ceiling; nil (zero-value Metrics)
 	// skips both recording and rendering.
 	queueDepth *obs.Hist
+
+	// httpStats is the sharded ingress instrument panel, attached when an
+	// Ingress starts; nil until then (mux-only daemons render no vod_http_*
+	// families).
+	httpStats atomic.Pointer[HTTPStats]
 }
+
+// HTTPStats is the per-listener instrument panel of the sharded ingress:
+// one row of independent atomics per accept loop, so listeners never share
+// a cache line of telemetry, plus a request-latency histogram per listener.
+type HTTPStats struct {
+	ls []listenerStats
+}
+
+type listenerStats struct {
+	conns       atomic.Int64 // connections accepted
+	requests    atomic.Int64 // hot-path requests parsed and dispatched
+	decisions   atomic.Int64 // admission decisions settled (batch counts each video)
+	batches     atomic.Int64 // batch requests served
+	fallbacks   atomic.Int64 // requests replayed into the net/http fallback
+	parseErrors atomic.Int64 // malformed hot-path requests refused
+	latency     *obs.ExpHist // hot-path request latency, read-to-encoded
+	_           [24]byte     // pad to a cache line so listeners don't false-share
+}
+
+// NewHTTPStats builds a panel for n listeners.
+func NewHTTPStats(n int) *HTTPStats {
+	h := &HTTPStats{ls: make([]listenerStats, n)}
+	for i := range h.ls {
+		// 10µs..~1.3s exponential bounds: in-process admission decisions
+		// cluster at the bottom, stalls show up in the overflow.
+		h.ls[i].latency = obs.NewExpHist(1e-5, 18)
+	}
+	return h
+}
+
+// Decisions returns the total admission decisions settled via the ingress.
+func (h *HTTPStats) Decisions() int64 {
+	var n int64
+	for i := range h.ls {
+		n += h.ls[i].decisions.Load()
+	}
+	return n
+}
+
+// Fallbacks returns the total requests replayed into the net/http fallback.
+func (h *HTTPStats) Fallbacks() int64 {
+	var n int64
+	for i := range h.ls {
+		n += h.ls[i].fallbacks.Load()
+	}
+	return n
+}
+
+// render writes the vod_http_* families, one labeled series per listener.
+func (h *HTTPStats) render(w io.Writer) {
+	counter := func(name, help string, get func(*listenerStats) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i := range h.ls {
+			fmt.Fprintf(w, "%s{listener=\"%d\"} %d\n", name, i, get(&h.ls[i]))
+		}
+	}
+	counter("vod_http_connections_total", "Connections accepted per ingress listener.",
+		func(ls *listenerStats) int64 { return ls.conns.Load() })
+	counter("vod_http_requests_total", "Hot-path requests served per ingress listener.",
+		func(ls *listenerStats) int64 { return ls.requests.Load() })
+	counter("vod_http_decisions_total", "Admission decisions settled per ingress listener (batches count each video).",
+		func(ls *listenerStats) int64 { return ls.decisions.Load() })
+	counter("vod_http_batches_total", "Batch admission requests served per ingress listener.",
+		func(ls *listenerStats) int64 { return ls.batches.Load() })
+	counter("vod_http_fallbacks_total", "Requests replayed into the net/http fallback per ingress listener.",
+		func(ls *listenerStats) int64 { return ls.fallbacks.Load() })
+	counter("vod_http_parse_errors_total", "Malformed hot-path requests refused per ingress listener.",
+		func(ls *listenerStats) int64 { return ls.parseErrors.Load() })
+	fmt.Fprintf(w, "# HELP vod_http_request_seconds Hot-path request latency per ingress listener, read-to-encoded.\n")
+	fmt.Fprintf(w, "# TYPE vod_http_request_seconds histogram\n")
+	for i := range h.ls {
+		h.ls[i].latency.WriteProm(w, "vod_http_request_seconds", fmt.Sprintf("listener=%q", strconv.Itoa(i)))
+	}
+}
+
+// AttachHTTP wires the sharded-ingress panel into /metrics.
+func (m *Metrics) AttachHTTP(h *HTTPStats) { m.httpStats.Store(h) }
 
 // NewMetrics builds the instrument panel with a queue-depth histogram
 // spanning [0, maxDepth) sessions. The zero Metrics value stays valid for
@@ -280,4 +363,8 @@ func (m *Metrics) Render(w io.Writer, c *Cluster, active int64, policy string) {
 
 	m.queueDepth.WriteProm(w, "vod_queue_depth",
 		"Active sessions observed at each admission decision.")
+
+	if hs := m.httpStats.Load(); hs != nil {
+		hs.render(w)
+	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled lets tests skip allocation accounting under the race
+// detector, whose instrumentation allocates on paths that are clean in a
+// normal build.
+const raceEnabled = true

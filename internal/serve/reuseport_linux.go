@@ -1,0 +1,38 @@
+//go:build linux && !mips && !mipsle && !mips64 && !mips64le
+
+package serve
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT from the asm-generic Linux socket ABI (0xf on
+// every port Go supports except MIPS, which the build tag excludes). The
+// frozen syscall package predates the option, so the constant lives here.
+const soReusePort = 0xf
+
+// reusePortAvailable reports whether this platform can bind several
+// listeners to one address — the sharded accept-loop mode of the ingress.
+const reusePortAvailable = true
+
+// listenReusePort binds a TCP listener with SO_REUSEPORT set before bind,
+// so N listeners share one port and the kernel spreads incoming connections
+// across their accept queues — one accept loop per ingress shard with no
+// user-space handoff.
+func listenReusePort(addr string) (net.Listener, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.Listen(context.Background(), "tcp", addr)
+}

@@ -1,0 +1,15 @@
+//go:build !linux || mips || mipsle || mips64 || mips64le
+
+package serve
+
+import "net"
+
+// reusePortAvailable: without SO_REUSEPORT the ingress still runs, but with
+// a single accept loop (IngressConfig.Listeners > 1 is rejected).
+const reusePortAvailable = false
+
+// listenReusePort falls back to a plain TCP listener on platforms without a
+// known-safe SO_REUSEPORT constant.
+func listenReusePort(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

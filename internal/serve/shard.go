@@ -27,7 +27,6 @@ package serve
 // cross-checks validate.
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -375,9 +374,13 @@ func (sh *shard) scheduleExpiry(id int64, at time.Time) {
 
 // run is the shard dispatcher: wake on mail or the next session deadline,
 // drain the whole accumulated batch, fire due expiries, re-arm the timer.
+// The mailbox slice double-buffers with a spare: each drain swaps in the
+// previous batch's (fully processed) backing array instead of handing the
+// allocator a nil slice, so steady-state dispatch appends into warm memory.
 func (sh *shard) run() {
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
+	var spare []*shardOp
 	for {
 		select {
 		case <-sh.eng.s.baseCtx.Done():
@@ -389,14 +392,17 @@ func (sh *shard) run() {
 		for {
 			sh.mbMu.Lock()
 			batch := sh.mb
-			sh.mb = nil
-			sh.mbMu.Unlock()
 			if len(batch) == 0 {
+				sh.mbMu.Unlock()
 				break
 			}
-			for _, op := range batch {
+			sh.mb = spare
+			sh.mbMu.Unlock()
+			for i, op := range batch {
 				sh.exec(op)
+				batch[i] = nil // drop the ref; ops recycle through the pool
 			}
+			spare = batch[:0]
 		}
 		sh.fireExpired()
 		if len(sh.exp) > 0 {
@@ -416,7 +422,7 @@ func (sh *shard) exec(op *shardOp) {
 	case opAdmit:
 		sh.execAdmit(op)
 	case opSchedule:
-		heap.Push(&sh.exp, expiry{at: op.deadline, id: op.id})
+		sh.exp.push(expiry{at: op.deadline, id: op.id})
 		sh.eng.putOp(op)
 		return
 	case opLand:
@@ -452,7 +458,7 @@ func (sh *shard) execAdmit(op *shardOp) {
 	sh.reg[sess.id] = sess
 	sh.regMu.Unlock()
 	s.activeN.Add(1)
-	heap.Push(&sh.exp, expiry{at: sess.deadline, id: sess.id})
+	sh.exp.push(expiry{at: sess.deadline, id: sess.id})
 	op.ok = true
 	op.info = SessionInfo{
 		ID: sess.id, Video: op.video, Server: op.server, Source: op.server,
@@ -533,8 +539,7 @@ func (sh *shard) execRepair(op *shardOp) bool {
 func (sh *shard) fireExpired() {
 	now := time.Now()
 	for len(sh.exp) > 0 && !sh.exp[0].at.After(now) {
-		ent := heap.Pop(&sh.exp).(expiry)
-		sh.settle(ent.id, true)
+		sh.settle(sh.exp.popMin().id, true)
 	}
 }
 
@@ -845,16 +850,51 @@ type expiry struct {
 	id int64
 }
 
+// expiryHeap is a hand-rolled binary min-heap on the deadline. It
+// deliberately does not implement container/heap: heap.Push takes its
+// element through an interface value, which boxes the expiry struct onto the
+// heap on every admission — one avoidable allocation on the owner's hot
+// path. The sift loops below move value types only.
 type expiryHeap []expiry
 
-func (h expiryHeap) Len() int           { return len(h) }
-func (h expiryHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
-func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(expiry)) }
-func (h *expiryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// push adds e and restores the heap order (sift up).
+func (h *expiryHeap) push(e expiry) {
+	*h = append(*h, e)
+	hs := *h
+	i := len(hs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hs[i].at.Before(hs[parent].at) {
+			break
+		}
+		hs[i], hs[parent] = hs[parent], hs[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the earliest entry (sift down). The caller
+// checks len > 0 first.
+func (h *expiryHeap) popMin() expiry {
+	hs := *h
+	top := hs[0]
+	n := len(hs) - 1
+	hs[0] = hs[n]
+	hs = hs[:n]
+	*h = hs
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && hs[l].at.Before(hs[min].at) {
+			min = l
+		}
+		if r < n && hs[r].at.Before(hs[min].at) {
+			min = r
+		}
+		if min == i {
+			return top
+		}
+		hs[i], hs[min] = hs[min], hs[i]
+		i = min
+	}
 }

@@ -1,0 +1,225 @@
+package serve
+
+// Wire codecs of the HTTP admission hot path (DESIGN.md §16). The fast
+// parsers accept exactly the canonical byte shapes the rebuilt client and
+// load generator emit — `{"video":N}`, `{"videos":[a,b,…]}`, `{"id":N}`,
+// no whitespace, no reordered or duplicate keys — and fall back to
+// encoding/json for anything else. The fallback is what makes the fast path
+// safe to hand-roll: any input the scanner is not absolutely sure about is
+// decoded by the stdlib, so the pair agrees with encoding/json on every
+// input by construction (the differential fuzz target in wire_test.go pins
+// this). The encoders append into caller-owned buffers with strconv, so a
+// settled admission decision serializes without touching the allocator.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+var (
+	errMissingVideo  = errors.New("serve: request body has no \"video\" field")
+	errMissingVideos = errors.New("serve: request body has no \"videos\" field")
+	errMissingID     = errors.New("serve: request body has no \"id\" field")
+)
+
+// parseInt consumes a canonical JSON integer (-?(0|[1-9][0-9]*)) from b[i:]
+// and returns its value and the index after it. ok is false when the bytes
+// are not a canonical in-range integer — the caller must fall back to
+// encoding/json rather than guess (the input may still be valid JSON, e.g.
+// 1e2 or 007, which the stdlib rejects or errors on in its own way).
+func parseInt(b []byte, i int) (v int64, next int, ok bool) {
+	neg := false
+	if i < len(b) && b[i] == '-' {
+		neg = true
+		i++
+	}
+	start := i
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		if v > (math.MaxInt64-9)/10 {
+			return 0, i, false // would overflow; let encoding/json report it
+		}
+		v = v*10 + int64(b[i]-'0')
+		i++
+	}
+	if i == start {
+		return 0, i, false
+	}
+	if b[start] == '0' && i-start > 1 {
+		return 0, i, false // leading zero: not a JSON number
+	}
+	if i < len(b) && (b[i] == '.' || b[i] == 'e' || b[i] == 'E') {
+		return 0, i, false // a float or exponent form; not canonical
+	}
+	if neg {
+		v = -v
+	}
+	return v, i, true
+}
+
+// parseOpenBody decodes a POST /open body. Canonical {"video":N} parses
+// inline; everything else goes through encoding/json.
+func parseOpenBody(b []byte) (int, error) {
+	const pre = `{"video":`
+	if len(b) > len(pre)+1 && string(b[:len(pre)]) == pre && b[len(b)-1] == '}' {
+		if v, next, ok := parseInt(b, len(pre)); ok && next == len(b)-1 {
+			return int(v), nil
+		}
+	}
+	var req struct {
+		Video *int `json:"video"`
+	}
+	if err := json.Unmarshal(b, &req); err != nil {
+		return 0, fmt.Errorf("serve: open body: %w", err)
+	}
+	if req.Video == nil {
+		return 0, errMissingVideo
+	}
+	return *req.Video, nil
+}
+
+// parseBatchBody decodes a POST /open/batch body into dst (reused, so the
+// hot path never reallocates once warm). Canonical {"videos":[a,b,…]}
+// parses inline; everything else goes through encoding/json.
+func parseBatchBody(b []byte, dst []int) ([]int, error) {
+	const pre = `{"videos":[`
+	if len(b) > len(pre)+1 && string(b[:len(pre)]) == pre &&
+		b[len(b)-1] == '}' && b[len(b)-2] == ']' {
+		i, end := len(pre), len(b)-2
+		if i == end { // {"videos":[]}
+			return dst, nil
+		}
+		out := dst
+		for {
+			v, next, ok := parseInt(b, i)
+			if !ok {
+				out = nil
+				break
+			}
+			out = append(out, int(v))
+			i = next
+			if i == end {
+				return out, nil
+			}
+			if i >= end || b[i] != ',' {
+				out = nil
+				break
+			}
+			i++
+		}
+		_ = out // fell off the canonical shape; defer to encoding/json
+	}
+	var req struct {
+		Videos *[]int `json:"videos"`
+	}
+	if err := json.Unmarshal(b, &req); err != nil {
+		return nil, fmt.Errorf("serve: batch body: %w", err)
+	}
+	if req.Videos == nil {
+		return nil, errMissingVideos
+	}
+	return append(dst, *req.Videos...), nil
+}
+
+// parseCloseBody decodes a POST /close body. Canonical {"id":N} parses
+// inline; everything else goes through encoding/json.
+func parseCloseBody(b []byte) (int64, error) {
+	const pre = `{"id":`
+	if len(b) > len(pre)+1 && string(b[:len(pre)]) == pre && b[len(b)-1] == '}' {
+		if v, next, ok := parseInt(b, len(pre)); ok && next == len(b)-1 {
+			return v, nil
+		}
+	}
+	var req struct {
+		ID *int64 `json:"id"`
+	}
+	if err := json.Unmarshal(b, &req); err != nil {
+		return 0, fmt.Errorf("serve: close body: %w", err)
+	}
+	if req.ID == nil {
+		return 0, errMissingID
+	}
+	return *req.ID, nil
+}
+
+// appendJSONString appends s as a JSON string literal, escaping the
+// characters the grammar requires. Error strings are the only free-form text
+// on the hot path, and only on already-failed requests, so clarity beats
+// cleverness here.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for _, r := range s {
+		switch {
+		case r == '"':
+			dst = append(dst, '\\', '"')
+		case r == '\\':
+			dst = append(dst, '\\', '\\')
+		case r == '\n':
+			dst = append(dst, '\\', 'n')
+		case r == '\r':
+			dst = append(dst, '\\', 'r')
+		case r == '\t':
+			dst = append(dst, '\\', 't')
+		case r < 0x20:
+			dst = append(dst, fmt.Sprintf(`\u%04x`, r)...)
+		default:
+			dst = utf8.AppendRune(dst, r)
+		}
+	}
+	return append(dst, '"')
+}
+
+// appendSessionInfo appends the accepted-session response body — the same
+// shape encoding/json produces for SessionInfo, so fast and mux routes are
+// interchangeable on the wire.
+func appendSessionInfo(dst []byte, info SessionInfo) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = strconv.AppendInt(dst, info.ID, 10)
+	dst = append(dst, `,"video":`...)
+	dst = strconv.AppendInt(dst, int64(info.Video), 10)
+	dst = append(dst, `,"server":`...)
+	dst = strconv.AppendInt(dst, int64(info.Server), 10)
+	dst = append(dst, `,"source":`...)
+	dst = strconv.AppendInt(dst, int64(info.Source), 10)
+	dst = append(dst, `,"rate_bps":`...)
+	dst = strconv.AppendInt(dst, info.RateBps, 10)
+	dst = append(dst, `,"redirected":`...)
+	dst = strconv.AppendBool(dst, info.Redirected)
+	dst = append(dst, `,"expires_in_s":`...)
+	dst = strconv.AppendFloat(dst, info.ExpiresInS, 'g', -1, 64)
+	return append(dst, '}')
+}
+
+// appendOutcome appends the refusal/error envelope ({"outcome":…} with an
+// optional "error" key) — the errorBody shape without the reflection.
+func appendOutcome(dst []byte, out Outcome, errMsg string) []byte {
+	dst = append(dst, '{')
+	if out != "" {
+		dst = append(dst, `"outcome":`...)
+		dst = appendJSONString(dst, string(out))
+	}
+	if errMsg != "" {
+		if out != "" {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `"error":`...)
+		dst = appendJSONString(dst, errMsg)
+	}
+	return append(dst, '}')
+}
+
+// appendOpenResult appends one admission decision as a response body: the
+// session info when accepted, the outcome envelope otherwise. It is the
+// element encoder of the batch response and the whole body of /open.
+func appendOpenResult(dst []byte, info SessionInfo, out Outcome, err error) []byte {
+	if err != nil {
+		return appendOutcome(dst, out, err.Error())
+	}
+	if out == OutcomeAccepted {
+		return appendSessionInfo(dst, info)
+	}
+	return appendOutcome(dst, out, "")
+}

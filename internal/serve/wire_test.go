@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// refOpen is the pure-stdlib reference decoder the fast parser must agree
+// with byte for byte.
+func refOpen(b []byte) (int, bool) {
+	var req struct {
+		Video *int `json:"video"`
+	}
+	if json.Unmarshal(b, &req) != nil || req.Video == nil {
+		return 0, false
+	}
+	return *req.Video, true
+}
+
+func refBatch(b []byte) ([]int, bool) {
+	var req struct {
+		Videos *[]int `json:"videos"`
+	}
+	if json.Unmarshal(b, &req) != nil || req.Videos == nil {
+		return nil, false
+	}
+	return *req.Videos, true
+}
+
+func refClose(b []byte) (int64, bool) {
+	var req struct {
+		ID *int64 `json:"id"`
+	}
+	if json.Unmarshal(b, &req) != nil || req.ID == nil {
+		return 0, false
+	}
+	return *req.ID, true
+}
+
+func TestParseOpenBody(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{`{"video":0}`, 0, false},
+		{`{"video":42}`, 42, false},
+		{`{"video":-7}`, -7, false},
+		{`{"video": 42}`, 42, false},      // whitespace: stdlib fallback
+		{`{ "video" : 3 }`, 3, false},     // more whitespace
+		{`{"video":42,"x":1}`, 42, false}, // extra key: fallback accepts
+		{`{"video":007}`, 0, true},        // leading zeros are not JSON
+		{`{"video":4.5}`, 0, true},        // float into int
+		{`{"video":1e2}`, 0, true},        // exponent into int
+		{`{"video":"3"}`, 0, true},
+		{`{}`, 0, true},
+		{`{"vid":3}`, 0, true},
+		{``, 0, true},
+		{`{"video":}`, 0, true},
+		{`{"video":3`, 0, true},
+		{`{"video":99999999999999999999}`, 0, true}, // overflows int64
+	} {
+		got, err := parseOpenBody([]byte(tc.in))
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseOpenBody(%q): err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("parseOpenBody(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseBatchBody(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{`{"videos":[]}`, []int{}, false},
+		{`{"videos":[1]}`, []int{1}, false},
+		{`{"videos":[3,1,4,1,5]}`, []int{3, 1, 4, 1, 5}, false},
+		{`{"videos":[-2,0]}`, []int{-2, 0}, false},
+		{`{"videos": [1, 2]}`, []int{1, 2}, false}, // whitespace: fallback
+		{`{"videos":[1,]}`, nil, true},             // trailing comma
+		{`{"videos":[1.5]}`, nil, true},
+		{`{"videos":["a"]}`, nil, true},
+		{`{"videos":1}`, nil, true},
+		{`{}`, nil, true},
+		{`{"videos":[01]}`, nil, true}, // leading zero
+	} {
+		got, err := parseBatchBody([]byte(tc.in), nil)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseBatchBody(%q): err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseBatchBody(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseBatchBody(%q)[%d] = %d, want %d", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+
+	// The destination is reused, not reallocated, when it has capacity.
+	dst := make([]int, 0, 8)
+	out, err := parseBatchBody([]byte(`{"videos":[9,8,7]}`), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Error("canonical parse reallocated a destination with spare capacity")
+	}
+}
+
+func TestParseCloseBody(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		{`{"id":1}`, 1, false},
+		{`{"id":9223372036854775807}`, 9223372036854775807, false},
+		{`{"id": 12}`, 12, false}, // whitespace: fallback
+		{`{"id":"1"}`, 0, true},
+		{`{}`, 0, true},
+		{`{"id":1.0}`, 0, true},
+	} {
+		got, err := parseCloseBody([]byte(tc.in))
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseCloseBody(%q): err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("parseCloseBody(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestAppendersMatchEncodingJSON pins the wire contract of the hand-rolled
+// encoders: the bytes they emit are exactly what encoding/json produces for
+// the same values, so fast and mux routes are interchangeable on the wire.
+func TestAppendersMatchEncodingJSON(t *testing.T) {
+	infos := []SessionInfo{
+		{},
+		{ID: 42, Video: 3, Server: 1, Source: 0, RateBps: 4_000_000, Redirected: true, ExpiresInS: 5400},
+		{ID: -1, Video: 0, Server: 0, Source: 2, RateBps: 1, Redirected: false, ExpiresInS: 0.125},
+	}
+	for _, info := range infos {
+		want, err := json.Marshal(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendSessionInfo(nil, info)
+		if !bytes.Equal(got, want) {
+			t.Errorf("appendSessionInfo(%+v) = %s, want %s", info, got, want)
+		}
+	}
+
+	for _, tc := range []struct {
+		out Outcome
+		msg string
+	}{
+		{OutcomeRejected, ""},
+		{OutcomeDraining, ""},
+		{"", "no such video"},
+		{OutcomeRejected, `quote " backslash \ newline` + "\n" + "control \x01 done"},
+	} {
+		got := appendOutcome(nil, tc.out, tc.msg)
+		var e errorBody
+		if err := json.Unmarshal(got, &e); err != nil {
+			t.Fatalf("appendOutcome(%q, %q) emitted invalid JSON %s: %v", tc.out, tc.msg, got, err)
+		}
+		if e.Outcome != tc.out || e.Error != tc.msg {
+			t.Errorf("appendOutcome(%q, %q) round-tripped to (%q, %q)", tc.out, tc.msg, e.Outcome, e.Error)
+		}
+	}
+}
+
+// FuzzWireParse is the differential target: on every input, each fast parser
+// must agree with a pure encoding/json reference — same accept/reject
+// verdict, same value — and never panic. The corpus seeds both canonical
+// shapes (exercising the hand-rolled scanner) and the deviations that must
+// fall back to the stdlib.
+func FuzzWireParse(f *testing.F) {
+	for _, s := range []string{
+		`{"video":0}`, `{"video":42}`, `{"video":-7}`, `{"video": 42}`,
+		`{"video":007}`, `{"video":1e3}`, `{"video":4.5}`, `{"video":99999999999999999999}`,
+		`{"videos":[]}`, `{"videos":[1]}`, `{"videos":[3,1,4]}`, `{"videos":[1,]}`,
+		`{"videos":[01]}`, `{"videos": [1]}`, `{"videos":[1,2,`,
+		`{"id":1}`, `{"id":9223372036854775807}`, `{"id":-9223372036854775808}`,
+		``, `{`, `}`, `null`, `[]`, `"video"`, "\x00\xff", `{"video":`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		gotV, errV := parseOpenBody(b)
+		refV, okV := refOpen(b)
+		if (errV == nil) != okV {
+			t.Fatalf("parseOpenBody(%q): err=%v but stdlib ok=%v", b, errV, okV)
+		}
+		if errV == nil && gotV != refV {
+			t.Fatalf("parseOpenBody(%q) = %d, stdlib = %d", b, gotV, refV)
+		}
+
+		gotB, errB := parseBatchBody(b, nil)
+		refB, okB := refBatch(b)
+		if (errB == nil) != okB {
+			t.Fatalf("parseBatchBody(%q): err=%v but stdlib ok=%v", b, errB, okB)
+		}
+		if errB == nil {
+			if len(gotB) != len(refB) {
+				t.Fatalf("parseBatchBody(%q) = %v, stdlib = %v", b, gotB, refB)
+			}
+			for i := range gotB {
+				if gotB[i] != refB[i] {
+					t.Fatalf("parseBatchBody(%q) = %v, stdlib = %v", b, gotB, refB)
+				}
+			}
+		}
+
+		gotC, errC := parseCloseBody(b)
+		refC, okC := refClose(b)
+		if (errC == nil) != okC {
+			t.Fatalf("parseCloseBody(%q): err=%v but stdlib ok=%v", b, errC, okC)
+		}
+		if errC == nil && gotC != refC {
+			t.Fatalf("parseCloseBody(%q) = %d, stdlib = %d", b, gotC, refC)
+		}
+	})
+}
